@@ -1,0 +1,148 @@
+// The §1.1 design-choice ablation: blocked (Level-3-rich) factorizations
+// versus their unblocked (Level-1/2, LINPACK-style) counterparts, the very
+// reorganization LAPACK exists for. Block sizes are driven through the
+// ilaenv override hooks so both paths run the same code base.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "lapack90/lapack90.hpp"
+
+namespace {
+
+using la::idx;
+
+void set_blocking(la::EnvRoutine r, idx nb) {
+  // nb == 0 restores the defaults; nb == 1 forces the unblocked path.
+  la::set_env_override(la::EnvSpec::BlockSize, r, nb);
+  la::set_env_override(la::EnvSpec::Crossover, r, nb == 1 ? 1 << 28 : 2);
+}
+
+void BM_GetrfBlocked(benchmark::State& state) {
+  const idx n = static_cast<idx>(state.range(0));
+  la::Iseed seed = la::default_iseed();
+  la::Matrix<double> a0(n, n);
+  la::larnv(la::Dist::Uniform11, seed, n * n, a0.data());
+  la::Matrix<double> a(n, n);
+  std::vector<idx> ipiv(n);
+  set_blocking(la::EnvRoutine::getrf, 64);
+  for (auto _ : state) {
+    state.PauseTiming();
+    a = a0;
+    state.ResumeTiming();
+    la::lapack::getrf(n, n, a.data(), a.ld(), ipiv.data());
+  }
+  set_blocking(la::EnvRoutine::getrf, 0);
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_GetrfBlocked)->Arg(128)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GetrfUnblocked(benchmark::State& state) {
+  const idx n = static_cast<idx>(state.range(0));
+  la::Iseed seed = la::default_iseed();
+  la::Matrix<double> a0(n, n);
+  la::larnv(la::Dist::Uniform11, seed, n * n, a0.data());
+  la::Matrix<double> a(n, n);
+  std::vector<idx> ipiv(n);
+  for (auto _ : state) {
+    state.PauseTiming();
+    a = a0;
+    state.ResumeTiming();
+    la::lapack::getf2(n, n, a.data(), a.ld(), ipiv.data());
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_GetrfUnblocked)->Arg(128)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PotrfBlocked(benchmark::State& state) {
+  const idx n = static_cast<idx>(state.range(0));
+  la::Iseed seed = la::default_iseed();
+  la::Matrix<double> g(n, n);
+  la::larnv(la::Dist::Uniform11, seed, n * n, g.data());
+  la::Matrix<double> a0(n, n);
+  la::blas::gemm(la::Trans::NoTrans, la::Trans::Trans, n, n, n, 1.0, g.data(),
+                 g.ld(), g.data(), g.ld(), 0.0, a0.data(), a0.ld());
+  for (idx i = 0; i < n; ++i) {
+    a0(i, i) += double(n);
+  }
+  la::Matrix<double> a(n, n);
+  set_blocking(la::EnvRoutine::potrf, 64);
+  for (auto _ : state) {
+    state.PauseTiming();
+    a = a0;
+    state.ResumeTiming();
+    la::lapack::potrf(la::Uplo::Lower, n, a.data(), a.ld());
+  }
+  set_blocking(la::EnvRoutine::potrf, 0);
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_PotrfBlocked)->Arg(128)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PotrfUnblocked(benchmark::State& state) {
+  const idx n = static_cast<idx>(state.range(0));
+  la::Iseed seed = la::default_iseed();
+  la::Matrix<double> g(n, n);
+  la::larnv(la::Dist::Uniform11, seed, n * n, g.data());
+  la::Matrix<double> a0(n, n);
+  la::blas::gemm(la::Trans::NoTrans, la::Trans::Trans, n, n, n, 1.0, g.data(),
+                 g.ld(), g.data(), g.ld(), 0.0, a0.data(), a0.ld());
+  for (idx i = 0; i < n; ++i) {
+    a0(i, i) += double(n);
+  }
+  la::Matrix<double> a(n, n);
+  for (auto _ : state) {
+    state.PauseTiming();
+    a = a0;
+    state.ResumeTiming();
+    la::lapack::potf2(la::Uplo::Lower, n, a.data(), a.ld());
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_PotrfUnblocked)->Arg(128)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GeqrfBlocked(benchmark::State& state) {
+  const idx n = static_cast<idx>(state.range(0));
+  la::Iseed seed = la::default_iseed();
+  la::Matrix<double> a0(n, n);
+  la::larnv(la::Dist::Uniform11, seed, n * n, a0.data());
+  la::Matrix<double> a(n, n);
+  std::vector<double> tau(n);
+  set_blocking(la::EnvRoutine::geqrf, 32);
+  for (auto _ : state) {
+    state.PauseTiming();
+    a = a0;
+    state.ResumeTiming();
+    la::lapack::geqrf(n, n, a.data(), a.ld(), tau.data());
+  }
+  set_blocking(la::EnvRoutine::geqrf, 0);
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_GeqrfBlocked)->Arg(128)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GeqrfUnblocked(benchmark::State& state) {
+  const idx n = static_cast<idx>(state.range(0));
+  la::Iseed seed = la::default_iseed();
+  la::Matrix<double> a0(n, n);
+  la::larnv(la::Dist::Uniform11, seed, n * n, a0.data());
+  la::Matrix<double> a(n, n);
+  std::vector<double> tau(n);
+  std::vector<double> work(n);
+  for (auto _ : state) {
+    state.PauseTiming();
+    a = a0;
+    state.ResumeTiming();
+    la::lapack::geqr2(n, n, a.data(), a.ld(), tau.data(), work.data());
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_GeqrfUnblocked)->Arg(128)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

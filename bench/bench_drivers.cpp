@@ -1,0 +1,226 @@
+// Appendix G breadth benchmark: one timing per driver family, each
+// exercised through the generic interface on a representative problem.
+// This is the "every catalog entry is alive and converges" series that
+// accompanies the per-table benches.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "lapack90/lapack90.hpp"
+
+namespace {
+
+using la::idx;
+constexpr idx kN = 128;
+
+la::Matrix<double> random_mat(idx m, idx n, int salt) {
+  la::Iseed seed = {idx(salt % 4096), 1, 2, 3};
+  la::Matrix<double> a(m, n);
+  la::larnv(la::Dist::Uniform11, seed, m * n, a.data());
+  return a;
+}
+
+la::Matrix<double> spd_mat(idx n, int salt) {
+  la::Matrix<double> g = random_mat(n, n, salt);
+  la::Matrix<double> a(n, n);
+  la::blas::gemm(la::Trans::NoTrans, la::Trans::Trans, n, n, n, 1.0, g.data(),
+                 g.ld(), g.data(), g.ld(), 0.0, a.data(), a.ld());
+  for (idx i = 0; i < n; ++i) {
+    a(i, i) += double(n);
+  }
+  return a;
+}
+
+void BM_DriverGesv(benchmark::State& state) {
+  const auto a0 = random_mat(kN, kN, 1);
+  const auto b0 = random_mat(kN, 2, 2);
+  for (auto _ : state) {
+    la::Matrix<double> a = a0;
+    la::Matrix<double> b = b0;
+    la::gesv(a, b);
+  }
+}
+BENCHMARK(BM_DriverGesv)->Unit(benchmark::kMillisecond);
+
+void BM_DriverGbsv(benchmark::State& state) {
+  const idx kl = 4;
+  const idx ku = 4;
+  auto dense = random_mat(kN, kN, 3);
+  for (idx j = 0; j < kN; ++j) {
+    for (idx i = 0; i < kN; ++i) {
+      if (i - j > kl || j - i > ku) {
+        dense(i, j) = 0;
+      }
+    }
+    dense(j, j) += 8.0;
+  }
+  const auto ab0 = la::BandMatrix<double>::from_dense(dense, kl, ku);
+  const auto b0 = random_mat(kN, 2, 4);
+  for (auto _ : state) {
+    la::BandMatrix<double> ab = ab0;
+    la::Matrix<double> b = b0;
+    la::gbsv(ab, b);
+  }
+}
+BENCHMARK(BM_DriverGbsv)->Unit(benchmark::kMillisecond);
+
+void BM_DriverGtsv(benchmark::State& state) {
+  for (auto _ : state) {
+    la::Vector<double> dl(kN - 1);
+    la::Vector<double> d(kN);
+    la::Vector<double> du(kN - 1);
+    dl.fill(-1.0);
+    du.fill(-1.0);
+    d.fill(4.0);
+    la::Matrix<double> b = random_mat(kN, 2, 5);
+    la::gtsv(dl, d, du, b);
+  }
+}
+BENCHMARK(BM_DriverGtsv);
+
+void BM_DriverPosv(benchmark::State& state) {
+  const auto a0 = spd_mat(kN, 6);
+  const auto b0 = random_mat(kN, 2, 7);
+  for (auto _ : state) {
+    la::Matrix<double> a = a0;
+    la::Matrix<double> b = b0;
+    la::posv(a, b);
+  }
+}
+BENCHMARK(BM_DriverPosv)->Unit(benchmark::kMillisecond);
+
+void BM_DriverPtsv(benchmark::State& state) {
+  for (auto _ : state) {
+    la::Vector<double> d(kN);
+    la::Vector<double> e(kN - 1);
+    d.fill(4.0);
+    e.fill(-1.0);
+    la::Matrix<double> b = random_mat(kN, 2, 8);
+    la::ptsv<double>(d, e, b);
+  }
+}
+BENCHMARK(BM_DriverPtsv);
+
+void BM_DriverSysv(benchmark::State& state) {
+  auto a0 = random_mat(kN, kN, 9);
+  for (idx j = 0; j < kN; ++j) {
+    for (idx i = 0; i < j; ++i) {
+      a0(j, i) = a0(i, j);
+    }
+  }
+  const auto b0 = random_mat(kN, 2, 10);
+  for (auto _ : state) {
+    la::Matrix<double> a = a0;
+    la::Matrix<double> b = b0;
+    la::sysv(a, b);
+  }
+}
+BENCHMARK(BM_DriverSysv)->Unit(benchmark::kMillisecond);
+
+void BM_DriverGels(benchmark::State& state) {
+  const auto a0 = random_mat(2 * kN, kN, 11);
+  const auto b0 = random_mat(2 * kN, 2, 12);
+  for (auto _ : state) {
+    la::Matrix<double> a = a0;
+    la::Matrix<double> b = b0;
+    la::gels(a, b);
+  }
+}
+BENCHMARK(BM_DriverGels)->Unit(benchmark::kMillisecond);
+
+void BM_DriverGelss(benchmark::State& state) {
+  const auto a0 = random_mat(2 * kN, kN, 13);
+  const auto b0 = random_mat(2 * kN, 2, 14);
+  for (auto _ : state) {
+    la::Matrix<double> a = a0;
+    la::Matrix<double> b = b0;
+    la::gelss(a, b);
+  }
+}
+BENCHMARK(BM_DriverGelss)->Unit(benchmark::kMillisecond);
+
+void BM_DriverSyev(benchmark::State& state) {
+  auto a0 = random_mat(kN, kN, 15);
+  for (idx j = 0; j < kN; ++j) {
+    for (idx i = 0; i < j; ++i) {
+      a0(j, i) = a0(i, j);
+    }
+  }
+  for (auto _ : state) {
+    la::Matrix<double> a = a0;
+    la::Vector<double> w(kN);
+    la::syev(a, w);
+  }
+}
+BENCHMARK(BM_DriverSyev)->Unit(benchmark::kMillisecond);
+
+void BM_DriverSyevd(benchmark::State& state) {
+  auto a0 = random_mat(kN, kN, 16);
+  for (idx j = 0; j < kN; ++j) {
+    for (idx i = 0; i < j; ++i) {
+      a0(j, i) = a0(i, j);
+    }
+  }
+  for (auto _ : state) {
+    la::Matrix<double> a = a0;
+    la::Vector<double> w(kN);
+    la::syevd(a, w);
+  }
+}
+BENCHMARK(BM_DriverSyevd)->Unit(benchmark::kMillisecond);
+
+void BM_DriverGeev(benchmark::State& state) {
+  const auto a0 = random_mat(kN, kN, 17);
+  for (auto _ : state) {
+    la::Matrix<double> a = a0;
+    la::Vector<double> wr(kN);
+    la::Vector<double> wi(kN);
+    la::Matrix<double> vr(kN, kN);
+    la::geev(a, wr, wi, static_cast<la::Matrix<double>*>(nullptr), &vr);
+  }
+}
+BENCHMARK(BM_DriverGeev)->Unit(benchmark::kMillisecond);
+
+void BM_DriverGesvd(benchmark::State& state) {
+  const auto a0 = random_mat(kN, kN, 18);
+  for (auto _ : state) {
+    la::Matrix<double> a = a0;
+    la::Vector<double> s(kN);
+    la::Matrix<double> u(kN, kN);
+    la::Matrix<double> vt(kN, kN);
+    la::gesvd(a, s, &u, &vt);
+  }
+}
+BENCHMARK(BM_DriverGesvd)->Unit(benchmark::kMillisecond);
+
+void BM_DriverSygv(benchmark::State& state) {
+  auto a0 = random_mat(kN, kN, 19);
+  for (idx j = 0; j < kN; ++j) {
+    for (idx i = 0; i < j; ++i) {
+      a0(j, i) = a0(i, j);
+    }
+  }
+  const auto b0 = spd_mat(kN, 20);
+  for (auto _ : state) {
+    la::Matrix<double> a = a0;
+    la::Matrix<double> b = b0;
+    la::Vector<double> w(kN);
+    la::sygv(a, b, w);
+  }
+}
+BENCHMARK(BM_DriverSygv)->Unit(benchmark::kMillisecond);
+
+void BM_DriverGesvx(benchmark::State& state) {
+  const auto a0 = random_mat(kN, kN, 21);
+  const auto b0 = random_mat(kN, 2, 22);
+  for (auto _ : state) {
+    la::Matrix<double> x(kN, 2);
+    la::gesvx(a0, b0, x);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_DriverGesvx)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

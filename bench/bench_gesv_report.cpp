@@ -1,0 +1,234 @@
+// Appendix F transcript generator: runs the LA_GESV test program the
+// paper prints ("SGESV Test Example Program Results") and emits the same
+// report — 3 matrices x 4 tests with NRHS in {50, 1}, the biggest matrix
+// 300 x 300, followed by the 9 error-exit tests.
+//
+//   ./bench_gesv_report                prints the threshold-10 run
+//                                      (paper: "Test Runs Correctly")
+//   ./bench_gesv_report --threshold 2  reproduces the "Test Partly Fails"
+//                                      transcript layout: failures are
+//                                      printed with norms, condition and
+//                                      ratio, exactly as in the paper
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "lapack90/lapack90.hpp"
+
+namespace {
+
+using la::idx;
+using T = float;  // the transcript is the SGESV (single precision) run
+
+/// Appendix F ratio: || B - AX ||_1 / ( ||A||_1 * ||X||_1 * eps ), the
+/// paper's un-normalized form (its failing example prints 5.31 at n=300).
+float ratio(const la::Matrix<T>& a, const la::Matrix<T>& x,
+            const la::Matrix<T>& b, float* rnorm = nullptr,
+            float* anorm = nullptr, float* xnorm = nullptr) {
+  la::Matrix<T> r = b;
+  la::blas::gemm(la::Trans::NoTrans, la::Trans::NoTrans, a.rows(), x.cols(),
+                 a.cols(), T(-1), a.data(), a.ld(), x.data(), x.ld(), T(1),
+                 r.data(), r.ld());
+  const float rn =
+      la::lapack::lange(la::Norm::One, r.rows(), r.cols(), r.data(), r.ld());
+  const float an =
+      la::lapack::lange(la::Norm::One, a.rows(), a.cols(), a.data(), a.ld());
+  const float xn =
+      la::lapack::lange(la::Norm::One, x.rows(), x.cols(), x.data(), x.ld());
+  if (rnorm != nullptr) {
+    *rnorm = rn;
+  }
+  if (anorm != nullptr) {
+    *anorm = an;
+  }
+  if (xnorm != nullptr) {
+    *xnorm = xn;
+  }
+  return rn / (an * xn * la::eps<T>());
+}
+
+la::Matrix<T> make_matrix(int which, idx n, la::Iseed& seed) {
+  la::Matrix<T> a(n, n);
+  switch (which) {
+    case 0:
+      la::larnv(la::Dist::Uniform11, seed, n * n, a.data());
+      break;
+    case 1:
+      la::lapack::latms(n, n, la::lapack::SpectrumMode::Geometric, 100.0f,
+                        1.0f, a.data(), a.ld(), seed);
+      break;
+    default:
+      la::lapack::latms(n, n, la::lapack::SpectrumMode::Arithmetic, 200.0f,
+                        10.0f, a.data(), a.ld(), seed);
+      break;
+  }
+  return a;
+}
+
+int run_error_exits() {
+  int passed = 0;
+  idx info = 0;
+  // The same nine channels as tests/test_gesv_driver.cpp.
+  {
+    la::Matrix<double> a(4, 3);
+    la::Matrix<double> b(4, 1);
+    la::gesv(a, b, {}, &info);
+    passed += info == -1;
+  }
+  {
+    la::Matrix<double> a(4, 4);
+    la::Matrix<double> b(3, 1);
+    la::gesv(a, b, {}, &info);
+    passed += info == -2;
+  }
+  {
+    la::Matrix<double> a(4, 4);
+    la::Vector<double> b(3);
+    la::gesv(a, b, {}, &info);
+    passed += info == -2;
+  }
+  {
+    la::Matrix<double> a(4, 4);
+    a.set_identity();
+    la::Matrix<double> b(4, 1);
+    std::vector<idx> ipiv(3);
+    la::gesv(a, b, ipiv, &info);
+    passed += info == -3;
+  }
+  {
+    la::Matrix<double> a(4, 4);
+    a.set_identity();
+    la::Vector<double> b(4);
+    std::vector<idx> ipiv(5);
+    la::gesv(a, b, ipiv, &info);
+    passed += info == -3;
+  }
+  {
+    la::Matrix<double> a(4, 4);
+    la::Matrix<double> b(4, 1);
+    la::gesv(a, b, {}, &info);
+    passed += info == 1;
+  }
+  {
+    la::Matrix<double> a(4, 4);
+    a.set_identity();
+    la::Matrix<double> b(4, 1);
+    la::inject_alloc_failures(1);
+    la::gesv(a, b, {}, &info);
+    la::inject_alloc_failures(0);
+    passed += info == -100;
+  }
+  {
+    la::Matrix<double> a(4, 3);
+    la::Matrix<double> b(4, 1);
+    bool threw = false;
+    try {
+      la::gesv(a, b);
+    } catch (const la::Error&) {
+      threw = true;
+    }
+    passed += threw;
+  }
+  {
+    la::Matrix<double> a(4, 4);
+    a.set_identity();
+    la::Matrix<double> b(4, 1);
+    info = 99;
+    la::gesv(a, b, {}, &info);
+    passed += info == 0;
+  }
+  return passed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  float threshold = 10.0f;
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--threshold") == 0) {
+      threshold = std::stof(argv[i + 1]);
+    }
+  }
+  std::printf("SGESV Test Example Program Results.\n");
+  std::printf("LA_GESV LAPACK subroutine solves a dense general\n");
+  std::printf("linear system of equations, Ax = b.\n");
+  std::printf(
+      "Threshold value of test ratio = %5.2f the machine eps = %11.5E\n",
+      static_cast<double>(threshold), static_cast<double>(la::eps<T>()));
+  std::printf(
+      "------------------------------------------------------------\n");
+
+  int tested = 0;
+  int passed = 0;
+  int failed = 0;
+  idx biggest = 0;
+  la::Iseed seed = la::default_iseed();
+  int testno = 0;
+  for (int which = 0; which < 3; ++which) {
+    const idx n = which == 2 ? 300 : 100;
+    biggest = std::max(biggest, n);
+    for (idx nrhs : {idx(50), idx(1)}) {
+      ++testno;
+      const la::Matrix<T> a = make_matrix(which, n, seed);
+      const la::Matrix<T> b = [&] {
+        la::Matrix<T> out(n, nrhs);
+        la::larnv(la::Dist::Uniform11, seed, n * nrhs, out.data());
+        return out;
+      }();
+      la::Matrix<T> af = a;
+      la::Matrix<T> x = b;
+      std::vector<idx> ipiv(n);
+      idx info = 0;
+      la::f77::la_gesv(n, nrhs, af.data(), af.ld(), ipiv.data(), x.data(),
+                       x.ld(), info);
+      float rn;
+      float an;
+      float xn;
+      const float r = ratio(a, x, b, &rn, &an, &xn);
+      ++tested;
+      if (info == 0 && r < threshold) {
+        ++passed;
+      } else {
+        ++failed;
+        // Failure block in the transcript's format.
+        float rcond = 0;
+        const float anorm1 =
+            la::lapack::lange(la::Norm::One, n, n, a.data(), a.ld());
+        la::lapack::gecon(la::Norm::One, n, af.data(), af.ld(), ipiv.data(),
+                          anorm1, rcond);
+        std::printf(
+            "------------------------------------------------------------\n");
+        std::printf(
+            "Test %d -- 'CALL LA_GESV( A, B, IPIV, INFO )', Failed.\n",
+            testno);
+        std::printf("Matrix %d x %d with %d rhs.\n", static_cast<int>(n),
+                    static_cast<int>(n), static_cast<int>(nrhs));
+        std::printf("INFO = %d\n", static_cast<int>(info));
+        std::printf("|| A ||1 = %.7G COND = %.7E\n",
+                    static_cast<double>(an),
+                    static_cast<double>(rcond > 0 ? 1.0f / rcond : 0.0f));
+        std::printf("|| X ||1 = %.7E || B - AX ||1 = %.7G\n",
+                    static_cast<double>(xn), static_cast<double>(rn));
+        std::printf(
+            "ratio = || B - AX || / ( || A ||*|| X ||*eps ) = %.7G\n",
+            static_cast<double>(r));
+      }
+    }
+  }
+  std::printf(
+      "------------------------------------------------------------\n");
+  std::printf("3 matrices were tested with %d tests. NRHS was 50 and one.\n",
+              tested - 2);
+  std::printf("The biggest tested matrix was %d x %d\n",
+              static_cast<int>(biggest), static_cast<int>(biggest));
+  std::printf("%d tests passed.\n", passed);
+  std::printf("%d test%s failed.\n", failed, failed == 1 ? "" : "s");
+  std::printf(
+      "------------------------------------------------------------\n");
+  const int epassed = run_error_exits();
+  std::printf("9 error exits tests were ran\n");
+  std::printf("%d tests passed.\n", epassed);
+  std::printf("%d tests failed.\n", 9 - epassed);
+  return failed == 0 && epassed == 9 ? 0 : (threshold < 10.0f ? 0 : 1);
+}

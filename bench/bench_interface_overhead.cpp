@@ -1,0 +1,115 @@
+// Figure 3 / Example 3 reproduction: the cost of the generic F90-style
+// interface over the explicit F77-style interface for LA_GESV, swept over
+// N. The paper's claim is that the convenience layer costs nothing
+// measurable; the wrapper-only series isolates what the layer itself does
+// (validation + workspace allocation, no factorization).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "lapack90/lapack90.hpp"
+
+namespace {
+
+using la::idx;
+
+template <class T>
+la::Matrix<T> make_system(idx n, idx nrhs, la::Matrix<T>& b) {
+  la::Iseed seed = la::default_iseed();
+  la::Matrix<T> a(n, n);
+  la::larnv(la::Dist::Uniform01, seed, n * n, a.data());
+  b.resize(n, nrhs);
+  for (idx j = 0; j < nrhs; ++j) {
+    for (idx i = 0; i < n; ++i) {
+      T s = 0;
+      for (idx k = 0; k < n; ++k) {
+        s += a(i, k);
+      }
+      b(i, j) = s * T(j + 1);
+    }
+  }
+  return a;
+}
+
+void BM_F77Gesv(benchmark::State& state) {
+  const idx n = static_cast<idx>(state.range(0));
+  const idx nrhs = 2;
+  la::Matrix<float> b0;
+  const la::Matrix<float> a0 = make_system<float>(n, nrhs, b0);
+  la::Matrix<float> a(n, n);
+  la::Matrix<float> b(n, nrhs);
+  std::vector<idx> ipiv(n);
+  for (auto _ : state) {
+    state.PauseTiming();
+    a = a0;
+    b = b0;
+    state.ResumeTiming();
+    idx info = 0;
+    la::f77::la_gesv(n, nrhs, a.data(), a.ld(), ipiv.data(), b.data(),
+                     b.ld(), info);
+    benchmark::DoNotOptimize(info);
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_F77Gesv)->Arg(50)->Arg(100)->Arg(200)->Arg(500)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_F90Gesv(benchmark::State& state) {
+  const idx n = static_cast<idx>(state.range(0));
+  const idx nrhs = 2;
+  la::Matrix<float> b0;
+  const la::Matrix<float> a0 = make_system<float>(n, nrhs, b0);
+  la::Matrix<float> a(n, n);
+  la::Matrix<float> b(n, nrhs);
+  for (auto _ : state) {
+    state.PauseTiming();
+    a = a0;
+    b = b0;
+    state.ResumeTiming();
+    la::gesv(a, b);  // the generic call: validation + alloc + compute
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_F90Gesv)->Arg(50)->Arg(100)->Arg(200)->Arg(500)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_F90GesvPreallocatedIpiv(benchmark::State& state) {
+  // Variant with caller-provided IPIV: removes the wrapper's only
+  // allocation, isolating pure validation overhead.
+  const idx n = static_cast<idx>(state.range(0));
+  const idx nrhs = 2;
+  la::Matrix<float> b0;
+  const la::Matrix<float> a0 = make_system<float>(n, nrhs, b0);
+  la::Matrix<float> a(n, n);
+  la::Matrix<float> b(n, nrhs);
+  std::vector<idx> ipiv(n);
+  for (auto _ : state) {
+    state.PauseTiming();
+    a = a0;
+    b = b0;
+    state.ResumeTiming();
+    la::gesv(a, b, ipiv);
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_F90GesvPreallocatedIpiv)->Arg(50)->Arg(500)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_F90WrapperOnly(benchmark::State& state) {
+  // Wrapper anatomy (paper §4): validation + workspace handling on an
+  // n = 0-work path — call the wrapper on a 1x1 system so the LAPACK time
+  // is negligible and the fixed overhead dominates.
+  la::Matrix<float> a(1, 1);
+  la::Matrix<float> b(1, 1);
+  for (auto _ : state) {
+    a(0, 0) = 2.0f;
+    b(0, 0) = 4.0f;
+    la::gesv(a, b);
+    benchmark::DoNotOptimize(b.data());
+  }
+}
+BENCHMARK(BM_F90WrapperOnly);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Example 1 — the paper's Figure 1, translated line for line.
+//
+//   PROGRAM EXAMPLE                          | int main()
+//     USE LA_PRECISION, ONLY: WP => SP       | using WP = la::SP;
+//     USE F77_LAPACK, ONLY: LA_GESV          | using la::f77::la_gesv;
+//     ...
+//     CALL LA_GESV( N, NRHS, A, LDA, IPIV, B, LDB, INFO )
+//
+// Solves A X = B with random A and B built so the exact solution column j
+// is the constant vector j+... (FORTRAN: B(:,J) = SUM(A, DIM=2)*J).
+#include <cstdio>
+#include <vector>
+
+#include "lapack90/lapack90.hpp"
+
+int main() {
+  using WP = la::SP;  // the paper's WP => SP; swap for la::DP to run double
+  using la::idx;
+
+  const idx n = 5;
+  const idx nrhs = 2;
+  la::Matrix<WP> a(n, n);
+  la::Matrix<WP> b(n, nrhs);
+  std::vector<idx> ipiv(n);
+
+  la::Iseed seed = la::default_iseed();  // CALL RANDOM_NUMBER(A)
+  la::larnv(la::Dist::Uniform01, seed, n * n, a.data());
+  for (idx j = 0; j < nrhs; ++j) {  // B(:,J) = SUM(A, DIM=2)*J
+    for (idx i = 0; i < n; ++i) {
+      WP s = 0;
+      for (idx k = 0; k < n; ++k) {
+        s += a(i, k);
+      }
+      b(i, j) = s * WP(j + 1);
+    }
+  }
+  const idx lda = a.ld();
+  const idx ldb = b.ld();
+
+  idx info = 0;
+  la::f77::la_gesv(n, nrhs, a.data(), lda, ipiv.data(), b.data(), ldb, info);
+
+  std::printf(" INFO = %d\n", static_cast<int>(info));
+  if (nrhs < 6 && n < 11) {
+    std::printf(" The solution:\n");
+    for (idx j = 0; j < nrhs; ++j) {
+      for (idx i = 0; i < n; ++i) {
+        std::printf(" %9.3f", static_cast<double>(b(i, j)));
+      }
+      std::printf("\n");
+    }
+  }
+  return info == 0 ? 0 : 1;
+}

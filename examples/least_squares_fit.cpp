@@ -1,0 +1,98 @@
+// Domain example: polynomial data fitting three ways.
+//
+// Fits noisy samples of f(t) = 0.5 - 2 t + 0.25 t^3 with a degree-5
+// polynomial using (a) QR least squares (LA_GELS), (b) SVD minimum-norm
+// (LA_GELSS) on a deliberately rank-deficient basis with duplicated
+// columns, and (c) an equality-constrained fit (LA_GGLSE) that pins the
+// curve through a calibration point — the workflow the paper's least
+// squares catalog exists for.
+#include <cmath>
+#include <cstdio>
+
+#include "lapack90/lapack90.hpp"
+
+namespace {
+
+double truth(double t) { return 0.5 - 2.0 * t + 0.25 * t * t * t; }
+
+}  // namespace
+
+int main() {
+  using la::idx;
+  const idx m = 60;   // samples
+  const idx deg = 5;  // fitted degree (so n = deg + 1 coefficients)
+  const idx n = deg + 1;
+
+  // Sample points on [-2, 2] with deterministic "noise".
+  la::Iseed seed = la::default_iseed();
+  la::Vector<double> noise(m);
+  la::larnv(la::Dist::Uniform11, seed, m, noise.data());
+  la::Matrix<double> vand(m, n);
+  la::Matrix<double> y(m, 1);
+  for (idx i = 0; i < m; ++i) {
+    const double t = -2.0 + 4.0 * double(i) / double(m - 1);
+    double p = 1.0;
+    for (idx j = 0; j < n; ++j) {
+      vand(i, j) = p;
+      p *= t;
+    }
+    y(i, 0) = truth(t) + 0.01 * noise[i];
+  }
+
+  // (a) QR least squares.
+  la::Matrix<double> a1 = vand;
+  la::Matrix<double> c1 = y;
+  la::gels(a1, c1);
+  std::printf("gels coefficients:   ");
+  for (idx j = 0; j < n; ++j) {
+    std::printf(" % .4f", c1(j, 0));
+  }
+  std::printf("\n  (truth:  0.5000 -2.0000  0.0000  0.2500  0.0000  0.0000)\n");
+
+  // (b) Rank-deficient basis: duplicate the linear column, SVD solver
+  // still returns the minimum-norm coefficient vector.
+  la::Matrix<double> a2(m, n + 1);
+  for (idx i = 0; i < m; ++i) {
+    for (idx j = 0; j < n; ++j) {
+      a2(i, j) = vand(i, j);
+    }
+    a2(i, n) = vand(i, 1);  // duplicated column -> rank n
+  }
+  la::Matrix<double> c2(m, 1);
+  la::lapack::lacpy(la::lapack::Part::All, m, 1, y.data(), y.ld(), c2.data(),
+                    c2.ld());
+  idx rank = 0;
+  la::Vector<double> s(n + 1);
+  la::gelss(a2, c2, &rank, std::span<double>(s.data(), n + 1));
+  std::printf("gelss on duplicated basis: detected rank %d of %d;"
+              " split linear weight % .4f + % .4f = % .4f\n",
+              static_cast<int>(rank), static_cast<int>(n + 1), c2(1, 0),
+              c2(n, 0), c2(1, 0) + c2(n, 0));
+
+  // (c) Constrained fit: force the polynomial through (0, truth(0)) and
+  // (1, truth(1)) exactly.
+  la::Matrix<double> a3 = vand;
+  la::Matrix<double> bc(2, n);
+  la::Vector<double> d(2);
+  for (idx j = 0; j < n; ++j) {
+    bc(0, j) = j == 0 ? 1.0 : 0.0;  // p(0)
+    bc(1, j) = 1.0;                 // p(1): all powers of 1
+  }
+  d[0] = truth(0.0);
+  d[1] = truth(1.0);
+  la::Vector<double> cvec(m);
+  for (idx i = 0; i < m; ++i) {
+    cvec[i] = y(i, 0);
+  }
+  la::Vector<double> x(n);
+  la::gglse(a3, bc, cvec, d, x);
+  double p0 = x[0];
+  double p1 = 0.0;
+  for (idx j = 0; j < n; ++j) {
+    p1 += x[j];
+  }
+  std::printf("gglse constrained fit: p(0) = % .6f (target % .6f), "
+              "p(1) = % .6f (target % .6f)\n",
+              p0, truth(0.0), p1, truth(1.0));
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Domain example: low-rank compression with LA_GESVD.
+//
+// Builds a structured "image" (smooth ramp + stripes + a box), computes
+// its SVD, and reports the reconstruction error of the best rank-k
+// approximation for increasing k — the Eckart-Young story, driven
+// entirely through the generic interface.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "lapack90/lapack90.hpp"
+
+int main() {
+  using la::idx;
+  const idx m = 64;
+  const idx n = 48;
+
+  la::Matrix<double> img(m, n);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < m; ++i) {
+      double v = double(i) / m + 0.5 * std::sin(0.5 * j);  // ramp + stripes
+      if (i > 20 && i < 40 && j > 10 && j < 30) {
+        v += 1.0;  // a box
+      }
+      img(i, j) = v;
+    }
+  }
+
+  const idx kmax = std::min(m, n);
+  la::Matrix<double> a = img;
+  la::Vector<double> s(kmax);
+  la::Matrix<double> u(m, kmax);
+  la::Matrix<double> vt(kmax, n);
+  la::gesvd(a, s, &u, &vt);
+
+  const double fro =
+      la::lapack::lange(la::Norm::Frobenius, m, n, img.data(), img.ld());
+  std::printf("image %dx%d, ||A||_F = %.4f, sigma_1 = %.4f\n",
+              static_cast<int>(m), static_cast<int>(n), fro, s[0]);
+  std::printf("%6s %14s %14s %12s\n", "rank", "rel. error", "Eckart-Young",
+              "storage");
+  for (idx k : {idx(1), idx(2), idx(4), idx(8), idx(16), idx(32)}) {
+    // Rank-k reconstruction: U(:,0:k) diag(s) VT(0:k,:).
+    la::Matrix<double> us(m, k);
+    for (idx j = 0; j < k; ++j) {
+      for (idx i = 0; i < m; ++i) {
+        us(i, j) = u(i, j) * s[j];
+      }
+    }
+    la::Matrix<double> rec(m, n);
+    la::blas::gemm(la::Trans::NoTrans, la::Trans::NoTrans, m, n, k, 1.0,
+                   us.data(), us.ld(), vt.data(), vt.ld(), 0.0, rec.data(),
+                   rec.ld());
+    double err2 = 0;
+    for (idx j = 0; j < n; ++j) {
+      for (idx i = 0; i < m; ++i) {
+        const double dlt = rec(i, j) - img(i, j);
+        err2 += dlt * dlt;
+      }
+    }
+    // Eckart-Young: the optimal error is sqrt(sum of trailing sigma^2).
+    double opt2 = 0;
+    for (idx i = k; i < kmax; ++i) {
+      opt2 += s[i] * s[i];
+    }
+    const double storage =
+        double(k) * double(m + n + 1) / (double(m) * double(n));
+    std::printf("%6d %14.6e %14.6e %11.1f%%\n", static_cast<int>(k),
+                std::sqrt(err2) / fro, std::sqrt(opt2) / fro,
+                100.0 * storage);
+  }
+  std::printf("(the two error columns agree: gesvd attains the optimum)\n");
+  return 0;
+}

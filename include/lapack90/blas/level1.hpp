@@ -1,0 +1,234 @@
+// lapack90/blas/level1.hpp
+//
+// Templated Level-1 BLAS: vector-vector kernels. One template body per
+// operation replaces the S/D/C/Z quadruple of the reference BLAS; strides
+// (incx/incy) follow the F77 convention but must be positive or negative
+// with the usual "start at the other end when negative" semantics.
+#pragma once
+
+#include <cmath>
+#include <utility>
+
+#include "lapack90/core/precision.hpp"
+#include "lapack90/core/types.hpp"
+
+namespace la::blas {
+
+namespace detail {
+
+/// F77 negative-stride convention: element i of an n-vector with stride
+/// inc lives at offset i*inc when inc > 0, (i - n + 1)*inc when inc < 0.
+template <class T>
+[[nodiscard]] constexpr T* stride_base(T* x, idx n, idx inc) noexcept {
+  return inc >= 0 ? x : x - static_cast<std::ptrdiff_t>(n - 1) * inc;
+}
+
+}  // namespace detail
+
+/// x := alpha * x  (xSCAL).
+template <Scalar T, Scalar A>
+void scal(idx n, A alpha, T* x, idx incx) noexcept {
+  if (n <= 0 || incx <= 0) {
+    return;
+  }
+  for (idx i = 0; i < n; ++i) {
+    x[i * incx] = T(alpha * x[i * incx]);
+  }
+}
+
+/// y := alpha * x + y  (xAXPY).
+template <Scalar T>
+void axpy(idx n, T alpha, const T* x, idx incx, T* y, idx incy) noexcept {
+  if (n <= 0 || alpha == T(0)) {
+    return;
+  }
+  const T* xb = detail::stride_base(x, n, incx);
+  T* yb = detail::stride_base(y, n, incy);
+  if (incx == 1 && incy == 1) {
+    for (idx i = 0; i < n; ++i) {
+      y[i] += alpha * x[i];
+    }
+    return;
+  }
+  for (idx i = 0; i < n; ++i) {
+    yb[i * incy] += alpha * xb[i * incx];
+  }
+}
+
+/// y := x  (xCOPY).
+template <Scalar T>
+void copy(idx n, const T* x, idx incx, T* y, idx incy) noexcept {
+  if (n <= 0) {
+    return;
+  }
+  const T* xb = detail::stride_base(x, n, incx);
+  T* yb = detail::stride_base(y, n, incy);
+  for (idx i = 0; i < n; ++i) {
+    yb[i * incy] = xb[i * incx];
+  }
+}
+
+/// x <-> y  (xSWAP).
+template <Scalar T>
+void swap(idx n, T* x, idx incx, T* y, idx incy) noexcept {
+  if (n <= 0) {
+    return;
+  }
+  T* xb = detail::stride_base(x, n, incx);
+  T* yb = detail::stride_base(y, n, incy);
+  for (idx i = 0; i < n; ++i) {
+    std::swap(xb[i * incx], yb[i * incy]);
+  }
+}
+
+/// Unconjugated dot product x^T y  (xDOT / xDOTU).
+template <Scalar T>
+[[nodiscard]] T dotu(idx n, const T* x, idx incx, const T* y,
+                     idx incy) noexcept {
+  T s(0);
+  if (n <= 0) {
+    return s;
+  }
+  const T* xb = detail::stride_base(x, n, incx);
+  const T* yb = detail::stride_base(y, n, incy);
+  for (idx i = 0; i < n; ++i) {
+    s += xb[i * incx] * yb[i * incy];
+  }
+  return s;
+}
+
+/// Conjugated dot product x^H y  (xDOT / xDOTC).
+template <Scalar T>
+[[nodiscard]] T dotc(idx n, const T* x, idx incx, const T* y,
+                     idx incy) noexcept {
+  T s(0);
+  if (n <= 0) {
+    return s;
+  }
+  const T* xb = detail::stride_base(x, n, incx);
+  const T* yb = detail::stride_base(y, n, incy);
+  for (idx i = 0; i < n; ++i) {
+    s += conj_if(xb[i * incx]) * yb[i * incy];
+  }
+  return s;
+}
+
+/// Euclidean norm with overflow-safe scaling (xNRM2).
+template <Scalar T>
+[[nodiscard]] real_t<T> nrm2(idx n, const T* x, idx incx) noexcept {
+  using R = real_t<T>;
+  if (n <= 0 || incx <= 0) {
+    return R(0);
+  }
+  R scale(0);
+  R sumsq(1);
+  lassq(n, x, incx, scale, sumsq);
+  return scale * std::sqrt(sumsq);
+}
+
+/// Sum of |Re| + |Im| magnitudes (xASUM / xCASUM semantics).
+template <Scalar T>
+[[nodiscard]] real_t<T> asum(idx n, const T* x, idx incx) noexcept {
+  using R = real_t<T>;
+  R s(0);
+  if (n <= 0 || incx <= 0) {
+    return s;
+  }
+  for (idx i = 0; i < n; ++i) {
+    s += abs1(x[i * incx]);
+  }
+  return s;
+}
+
+/// Index (0-based) of the element with largest |Re| + |Im| (IxAMAX).
+/// Returns -1 for n <= 0.
+template <Scalar T>
+[[nodiscard]] idx iamax(idx n, const T* x, idx incx) noexcept {
+  if (n <= 0 || incx <= 0) {
+    return -1;
+  }
+  idx best = 0;
+  real_t<T> best_val = abs1(x[0]);
+  for (idx i = 1; i < n; ++i) {
+    const real_t<T> v = abs1(x[i * incx]);
+    if (v > best_val) {
+      best = i;
+      best_val = v;
+    }
+  }
+  return best;
+}
+
+/// Construct a Givens rotation (xROTG): given a, b computes c, s with
+///   [ c  s ] [a]   [r]
+///   [-s  c ] [b] = [0]
+/// and overwrites a := r. Real version (the eigensolvers use lartg below
+/// for the LAPACK-grade variant).
+template <RealScalar R>
+void rotg(R& a, R& b, R& c, R& s) noexcept {
+  R roe = std::abs(a) > std::abs(b) ? a : b;
+  const R scale = std::abs(a) + std::abs(b);
+  if (scale == R(0)) {
+    c = R(1);
+    s = R(0);
+    a = R(0);
+    b = R(0);
+    return;
+  }
+  const R qa = a / scale;
+  const R qb = b / scale;
+  R r = scale * std::sqrt(qa * qa + qb * qb);
+  r = (roe < R(0) ? -r : r);
+  c = a / r;
+  s = b / r;
+  R z = R(1);
+  if (std::abs(a) > std::abs(b)) {
+    z = s;
+  } else if (c != R(0)) {
+    z = R(1) / c;
+  }
+  a = r;
+  b = z;
+}
+
+/// Apply a plane rotation to vector pair (x, y)  (xROT):
+///   x_i :=  c*x_i + s*y_i,   y_i := -s*x_i + c*y_i.
+template <Scalar T>
+void rot(idx n, T* x, idx incx, T* y, idx incy, real_t<T> c,
+         real_t<T> s) noexcept {
+  if (n <= 0) {
+    return;
+  }
+  T* xb = detail::stride_base(x, n, incx);
+  T* yb = detail::stride_base(y, n, incy);
+  for (idx i = 0; i < n; ++i) {
+    const T xi = xb[i * incx];
+    const T yi = yb[i * incy];
+    xb[i * incx] = c * xi + s * yi;
+    yb[i * incy] = c * yi - s * xi;
+  }
+}
+
+/// LAPACK-grade Givens generation (xLARTG): c, s, r with f := r chosen so
+/// that c >= 0 is NOT enforced (we follow the LAPACK convention where r
+/// carries the sign of the larger input); safe against over/underflow for
+/// the magnitudes met inside the eigensolvers.
+template <RealScalar R>
+void lartg(R f, R g, R& c, R& s, R& r) noexcept {
+  if (g == R(0)) {
+    c = R(1);
+    s = R(0);
+    r = f;
+  } else if (f == R(0)) {
+    c = R(0);
+    s = R(1);
+    r = g;
+  } else {
+    const R d = lapy2(f, g);
+    c = std::abs(f) / d;
+    r = (f >= R(0) ? d : -d);
+    s = g / r;
+  }
+}
+
+}  // namespace la::blas

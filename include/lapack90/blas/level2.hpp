@@ -1,0 +1,854 @@
+// lapack90/blas/level2.hpp
+//
+// Templated Level-2 BLAS: matrix-vector kernels over column-major storage
+// with explicit leading dimensions. Each template serves the four LAPACK
+// element types; the Hermitian variants (hemv/her/...) are the same entry
+// points with conjugation selected by a flag, mirroring how the generic
+// interface in the paper erases the S/D/C/Z distinction.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+
+#include "lapack90/blas/level1.hpp"
+#include "lapack90/core/types.hpp"
+
+namespace la::blas {
+
+/// y := alpha * op(A) * x + beta * y  (xGEMV); A is m x n.
+template <Scalar T>
+void gemv(Trans trans, idx m, idx n, T alpha, const T* a, idx lda, const T* x,
+          idx incx, T beta, T* y, idx incy) noexcept {
+  const idx leny = trans == Trans::NoTrans ? m : n;
+  const idx lenx = trans == Trans::NoTrans ? n : m;
+  if (leny <= 0) {
+    return;
+  }
+  T* yb = detail::stride_base(y, leny, incy);
+  if (beta != T(1)) {
+    for (idx i = 0; i < leny; ++i) {
+      yb[i * incy] = beta == T(0) ? T(0) : beta * yb[i * incy];
+    }
+  }
+  if (lenx <= 0 || alpha == T(0)) {
+    return;
+  }
+  const T* xb = detail::stride_base(x, lenx, incx);
+  if (trans == Trans::NoTrans) {
+    // y += alpha * A * x: accumulate column-by-column (unit-stride in A).
+    for (idx j = 0; j < n; ++j) {
+      const T t = alpha * xb[j * incx];
+      if (t == T(0)) {
+        continue;
+      }
+      const T* col = a + static_cast<std::size_t>(j) * lda;
+      for (idx i = 0; i < m; ++i) {
+        yb[i * incy] += t * col[i];
+      }
+    }
+  } else {
+    const bool conj = trans == Trans::ConjTrans;
+    for (idx j = 0; j < n; ++j) {
+      const T* col = a + static_cast<std::size_t>(j) * lda;
+      T s(0);
+      if (conj) {
+        for (idx i = 0; i < m; ++i) {
+          s += conj_if(col[i]) * xb[i * incx];
+        }
+      } else {
+        for (idx i = 0; i < m; ++i) {
+          s += col[i] * xb[i * incx];
+        }
+      }
+      yb[j * incy] += alpha * s;
+    }
+  }
+}
+
+/// A := alpha * x * y^T + A  (xGER / xGERU); A is m x n.
+template <Scalar T>
+void geru(idx m, idx n, T alpha, const T* x, idx incx, const T* y, idx incy,
+          T* a, idx lda) noexcept {
+  if (m <= 0 || n <= 0 || alpha == T(0)) {
+    return;
+  }
+  const T* xb = detail::stride_base(x, m, incx);
+  const T* yb = detail::stride_base(y, n, incy);
+  for (idx j = 0; j < n; ++j) {
+    const T t = alpha * yb[j * incy];
+    if (t == T(0)) {
+      continue;
+    }
+    T* col = a + static_cast<std::size_t>(j) * lda;
+    for (idx i = 0; i < m; ++i) {
+      col[i] += xb[i * incx] * t;
+    }
+  }
+}
+
+/// A := alpha * x * y^H + A  (xGERC).
+template <Scalar T>
+void gerc(idx m, idx n, T alpha, const T* x, idx incx, const T* y, idx incy,
+          T* a, idx lda) noexcept {
+  if (m <= 0 || n <= 0 || alpha == T(0)) {
+    return;
+  }
+  const T* xb = detail::stride_base(x, m, incx);
+  const T* yb = detail::stride_base(y, n, incy);
+  for (idx j = 0; j < n; ++j) {
+    const T t = alpha * conj_if(yb[j * incy]);
+    if (t == T(0)) {
+      continue;
+    }
+    T* col = a + static_cast<std::size_t>(j) * lda;
+    for (idx i = 0; i < m; ++i) {
+      col[i] += xb[i * incx] * t;
+    }
+  }
+}
+
+/// ger: real alias matching the S/D name (same as geru).
+template <RealScalar T>
+void ger(idx m, idx n, T alpha, const T* x, idx incx, const T* y, idx incy,
+         T* a, idx lda) noexcept {
+  geru(m, n, alpha, x, incx, y, incy, a, lda);
+}
+
+namespace detail {
+
+/// Shared body of symv (conj=false) and hemv (conj=true):
+/// y := alpha * A * x + beta * y with A symmetric/Hermitian, one triangle
+/// stored.
+template <Scalar T, bool Conj>
+void symv_impl(Uplo uplo, idx n, T alpha, const T* a, idx lda, const T* x,
+               idx incx, T beta, T* y, idx incy) noexcept {
+  if (n <= 0) {
+    return;
+  }
+  T* yb = stride_base(y, n, incy);
+  const T* xb = stride_base(x, n, incx);
+  if (beta != T(1)) {
+    for (idx i = 0; i < n; ++i) {
+      yb[i * incy] = beta == T(0) ? T(0) : beta * yb[i * incy];
+    }
+  }
+  if (alpha == T(0)) {
+    return;
+  }
+  auto cj = [](const T& v) { return Conj ? conj_if(v) : v; };
+  if (uplo == Uplo::Upper) {
+    for (idx j = 0; j < n; ++j) {
+      const T* col = a + static_cast<std::size_t>(j) * lda;
+      const T t1 = alpha * xb[j * incx];
+      T t2(0);
+      for (idx i = 0; i < j; ++i) {
+        yb[i * incy] += t1 * col[i];
+        t2 += cj(col[i]) * xb[i * incx];
+      }
+      const T diag = Conj ? T(real_part(col[j])) : col[j];
+      yb[j * incy] += t1 * diag + alpha * t2;
+    }
+  } else {
+    for (idx j = 0; j < n; ++j) {
+      const T* col = a + static_cast<std::size_t>(j) * lda;
+      const T t1 = alpha * xb[j * incx];
+      T t2(0);
+      const T diag = Conj ? T(real_part(col[j])) : col[j];
+      yb[j * incy] += t1 * diag;
+      for (idx i = j + 1; i < n; ++i) {
+        yb[i * incy] += t1 * col[i];
+        t2 += cj(col[i]) * xb[i * incx];
+      }
+      yb[j * incy] += alpha * t2;
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Symmetric matrix-vector product (xSYMV), real or complex-symmetric.
+template <Scalar T>
+void symv(Uplo uplo, idx n, T alpha, const T* a, idx lda, const T* x, idx incx,
+          T beta, T* y, idx incy) noexcept {
+  detail::symv_impl<T, false>(uplo, n, alpha, a, lda, x, incx, beta, y, incy);
+}
+
+/// Hermitian matrix-vector product (xHEMV).
+template <Scalar T>
+void hemv(Uplo uplo, idx n, T alpha, const T* a, idx lda, const T* x, idx incx,
+          T beta, T* y, idx incy) noexcept {
+  detail::symv_impl<T, is_complex_v<T>>(uplo, n, alpha, a, lda, x, incx, beta,
+                                        y, incy);
+}
+
+/// Symmetric rank-1 update A := alpha * x * x^T + A  (xSYR).
+template <Scalar T>
+void syr(Uplo uplo, idx n, T alpha, const T* x, idx incx, T* a,
+         idx lda) noexcept {
+  if (n <= 0 || alpha == T(0)) {
+    return;
+  }
+  const T* xb = detail::stride_base(x, n, incx);
+  for (idx j = 0; j < n; ++j) {
+    const T t = alpha * xb[j * incx];
+    T* col = a + static_cast<std::size_t>(j) * lda;
+    if (uplo == Uplo::Upper) {
+      for (idx i = 0; i <= j; ++i) {
+        col[i] += xb[i * incx] * t;
+      }
+    } else {
+      for (idx i = j; i < n; ++i) {
+        col[i] += xb[i * incx] * t;
+      }
+    }
+  }
+}
+
+/// Hermitian rank-1 update A := alpha * x * x^H + A  (xHER); alpha real.
+template <Scalar T>
+void her(Uplo uplo, idx n, real_t<T> alpha, const T* x, idx incx, T* a,
+         idx lda) noexcept {
+  if (n <= 0 || alpha == real_t<T>(0)) {
+    return;
+  }
+  const T* xb = detail::stride_base(x, n, incx);
+  for (idx j = 0; j < n; ++j) {
+    const T t = T(alpha) * conj_if(xb[j * incx]);
+    T* col = a + static_cast<std::size_t>(j) * lda;
+    if (uplo == Uplo::Upper) {
+      for (idx i = 0; i < j; ++i) {
+        col[i] += xb[i * incx] * t;
+      }
+      col[j] = make_scalar<T>(real_part(col[j]) + real_part(xb[j * incx] * t));
+    } else {
+      col[j] = make_scalar<T>(real_part(col[j]) + real_part(xb[j * incx] * t));
+      for (idx i = j + 1; i < n; ++i) {
+        col[i] += xb[i * incx] * t;
+      }
+    }
+  }
+}
+
+/// Symmetric rank-2 update A := alpha*x*y^T + alpha*y*x^T + A  (xSYR2).
+template <Scalar T>
+void syr2(Uplo uplo, idx n, T alpha, const T* x, idx incx, const T* y,
+          idx incy, T* a, idx lda) noexcept {
+  if (n <= 0 || alpha == T(0)) {
+    return;
+  }
+  const T* xb = detail::stride_base(x, n, incx);
+  const T* yb = detail::stride_base(y, n, incy);
+  for (idx j = 0; j < n; ++j) {
+    const T t1 = alpha * yb[j * incy];
+    const T t2 = alpha * xb[j * incx];
+    T* col = a + static_cast<std::size_t>(j) * lda;
+    if (uplo == Uplo::Upper) {
+      for (idx i = 0; i <= j; ++i) {
+        col[i] += xb[i * incx] * t1 + yb[i * incy] * t2;
+      }
+    } else {
+      for (idx i = j; i < n; ++i) {
+        col[i] += xb[i * incx] * t1 + yb[i * incy] * t2;
+      }
+    }
+  }
+}
+
+/// Hermitian rank-2 update A := alpha*x*y^H + conj(alpha)*y*x^H + A (xHER2).
+template <Scalar T>
+void her2(Uplo uplo, idx n, T alpha, const T* x, idx incx, const T* y,
+          idx incy, T* a, idx lda) noexcept {
+  if (n <= 0 || alpha == T(0)) {
+    return;
+  }
+  const T* xb = detail::stride_base(x, n, incx);
+  const T* yb = detail::stride_base(y, n, incy);
+  for (idx j = 0; j < n; ++j) {
+    const T t1 = alpha * conj_if(yb[j * incy]);
+    const T t2 = conj_if(alpha * xb[j * incx]);
+    T* col = a + static_cast<std::size_t>(j) * lda;
+    if (uplo == Uplo::Upper) {
+      for (idx i = 0; i < j; ++i) {
+        col[i] += xb[i * incx] * t1 + yb[i * incy] * t2;
+      }
+      col[j] = make_scalar<T>(
+          real_part(col[j]) +
+          real_part(xb[j * incx] * t1 + yb[j * incy] * t2));
+    } else {
+      col[j] = make_scalar<T>(
+          real_part(col[j]) +
+          real_part(xb[j * incx] * t1 + yb[j * incy] * t2));
+      for (idx i = j + 1; i < n; ++i) {
+        col[i] += xb[i * incx] * t1 + yb[i * incy] * t2;
+      }
+    }
+  }
+}
+
+/// Triangular matrix-vector product x := op(A) * x  (xTRMV).
+template <Scalar T>
+void trmv(Uplo uplo, Trans trans, Diag diag, idx n, const T* a, idx lda, T* x,
+          idx incx) noexcept {
+  if (n <= 0) {
+    return;
+  }
+  T* xb = detail::stride_base(x, n, incx);
+  const bool unit = diag == Diag::Unit;
+  const bool conj = trans == Trans::ConjTrans;
+  if (trans == Trans::NoTrans) {
+    if (uplo == Uplo::Upper) {
+      for (idx j = 0; j < n; ++j) {
+        const T t = xb[j * incx];
+        if (t == T(0)) {
+          continue;
+        }
+        const T* col = a + static_cast<std::size_t>(j) * lda;
+        for (idx i = 0; i < j; ++i) {
+          xb[i * incx] += t * col[i];
+        }
+        if (!unit) {
+          xb[j * incx] = t * col[j];
+        }
+      }
+    } else {
+      for (idx j = n - 1; j >= 0; --j) {
+        const T t = xb[j * incx];
+        if (t == T(0)) {
+          continue;
+        }
+        const T* col = a + static_cast<std::size_t>(j) * lda;
+        for (idx i = n - 1; i > j; --i) {
+          xb[i * incx] += t * col[i];
+        }
+        if (!unit) {
+          xb[j * incx] = t * col[j];
+        }
+      }
+    }
+  } else {
+    auto cj = [conj](const T& v) { return conj ? conj_if(v) : v; };
+    if (uplo == Uplo::Upper) {
+      for (idx j = n - 1; j >= 0; --j) {
+        const T* col = a + static_cast<std::size_t>(j) * lda;
+        T t = unit ? xb[j * incx] : cj(col[j]) * xb[j * incx];
+        for (idx i = 0; i < j; ++i) {
+          t += cj(col[i]) * xb[i * incx];
+        }
+        xb[j * incx] = t;
+      }
+    } else {
+      for (idx j = 0; j < n; ++j) {
+        const T* col = a + static_cast<std::size_t>(j) * lda;
+        T t = unit ? xb[j * incx] : cj(col[j]) * xb[j * incx];
+        for (idx i = j + 1; i < n; ++i) {
+          t += cj(col[i]) * xb[i * incx];
+        }
+        xb[j * incx] = t;
+      }
+    }
+  }
+}
+
+/// Triangular solve op(A) * x = b, overwriting x  (xTRSV).
+template <Scalar T>
+void trsv(Uplo uplo, Trans trans, Diag diag, idx n, const T* a, idx lda, T* x,
+          idx incx) noexcept {
+  if (n <= 0) {
+    return;
+  }
+  T* xb = detail::stride_base(x, n, incx);
+  const bool unit = diag == Diag::Unit;
+  const bool conj = trans == Trans::ConjTrans;
+  auto cj = [conj](const T& v) { return conj ? conj_if(v) : v; };
+  if (trans == Trans::NoTrans) {
+    if (uplo == Uplo::Upper) {
+      for (idx j = n - 1; j >= 0; --j) {
+        const T* col = a + static_cast<std::size_t>(j) * lda;
+        if (!unit) {
+          xb[j * incx] /= col[j];
+        }
+        const T t = xb[j * incx];
+        for (idx i = 0; i < j; ++i) {
+          xb[i * incx] -= t * col[i];
+        }
+      }
+    } else {
+      for (idx j = 0; j < n; ++j) {
+        const T* col = a + static_cast<std::size_t>(j) * lda;
+        if (!unit) {
+          xb[j * incx] /= col[j];
+        }
+        const T t = xb[j * incx];
+        for (idx i = j + 1; i < n; ++i) {
+          xb[i * incx] -= t * col[i];
+        }
+      }
+    }
+  } else {
+    if (uplo == Uplo::Upper) {
+      for (idx j = 0; j < n; ++j) {
+        const T* col = a + static_cast<std::size_t>(j) * lda;
+        T t = xb[j * incx];
+        for (idx i = 0; i < j; ++i) {
+          t -= cj(col[i]) * xb[i * incx];
+        }
+        if (!unit) {
+          t /= cj(col[j]);
+        }
+        xb[j * incx] = t;
+      }
+    } else {
+      for (idx j = n - 1; j >= 0; --j) {
+        const T* col = a + static_cast<std::size_t>(j) * lda;
+        T t = xb[j * incx];
+        for (idx i = j + 1; i < n; ++i) {
+          t -= cj(col[i]) * xb[i * incx];
+        }
+        if (!unit) {
+          t /= cj(col[j]);
+        }
+        xb[j * incx] = t;
+      }
+    }
+  }
+}
+
+/// Band matrix-vector product y := alpha*op(A)*x + beta*y  (xGBMV);
+/// A is m x n with kl sub- and ku superdiagonals in GB storage (the band
+/// of column j occupies ab[ku + i - j, j]).
+template <Scalar T>
+void gbmv(Trans trans, idx m, idx n, idx kl, idx ku, T alpha, const T* ab,
+          idx ldab, const T* x, idx incx, T beta, T* y, idx incy) noexcept {
+  const idx leny = trans == Trans::NoTrans ? m : n;
+  const idx lenx = trans == Trans::NoTrans ? n : m;
+  if (leny <= 0) {
+    return;
+  }
+  T* yb = detail::stride_base(y, leny, incy);
+  if (beta != T(1)) {
+    for (idx i = 0; i < leny; ++i) {
+      yb[i * incy] = beta == T(0) ? T(0) : beta * yb[i * incy];
+    }
+  }
+  if (lenx <= 0 || alpha == T(0)) {
+    return;
+  }
+  const T* xb = detail::stride_base(x, lenx, incx);
+  const bool conj = trans == Trans::ConjTrans;
+  auto cj = [conj](const T& v) { return conj ? conj_if(v) : v; };
+  for (idx j = 0; j < n; ++j) {
+    const T* col = ab + static_cast<std::size_t>(j) * ldab;
+    const idx lo = std::max<idx>(0, j - ku);
+    const idx hi = std::min<idx>(m - 1, j + kl);
+    if (trans == Trans::NoTrans) {
+      const T t = alpha * xb[j * incx];
+      if (t == T(0)) {
+        continue;
+      }
+      for (idx i = lo; i <= hi; ++i) {
+        yb[i * incy] += t * col[ku + i - j];
+      }
+    } else {
+      T s(0);
+      for (idx i = lo; i <= hi; ++i) {
+        s += cj(col[ku + i - j]) * xb[i * incx];
+      }
+      yb[j * incy] += alpha * s;
+    }
+  }
+}
+
+namespace detail {
+
+template <Scalar T, bool Conj>
+void sbmv_impl(Uplo uplo, idx n, idx k, T alpha, const T* ab, idx ldab,
+               const T* x, idx incx, T beta, T* y, idx incy) noexcept {
+  if (n <= 0) {
+    return;
+  }
+  T* yb = stride_base(y, n, incy);
+  const T* xb = stride_base(x, n, incx);
+  if (beta != T(1)) {
+    for (idx i = 0; i < n; ++i) {
+      yb[i * incy] = beta == T(0) ? T(0) : beta * yb[i * incy];
+    }
+  }
+  if (alpha == T(0)) {
+    return;
+  }
+  auto cj = [](const T& v) { return Conj ? conj_if(v) : v; };
+  for (idx j = 0; j < n; ++j) {
+    const T* col = ab + static_cast<std::size_t>(j) * ldab;
+    const T t1 = alpha * xb[j * incx];
+    T t2(0);
+    if (uplo == Uplo::Upper) {
+      const idx lo = std::max<idx>(0, j - k);
+      for (idx i = lo; i < j; ++i) {
+        yb[i * incy] += t1 * col[k + i - j];
+        t2 += cj(col[k + i - j]) * xb[i * incx];
+      }
+      const T diag = Conj ? T(real_part(col[k])) : col[k];
+      yb[j * incy] += t1 * diag + alpha * t2;
+    } else {
+      const idx hi = std::min<idx>(n - 1, j + k);
+      const T diag = Conj ? T(real_part(col[0])) : col[0];
+      yb[j * incy] += t1 * diag;
+      for (idx i = j + 1; i <= hi; ++i) {
+        yb[i * incy] += t1 * col[i - j];
+        t2 += cj(col[i - j]) * xb[i * incx];
+      }
+      yb[j * incy] += alpha * t2;
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Symmetric band matrix-vector product (xSBMV).
+template <Scalar T>
+void sbmv(Uplo uplo, idx n, idx k, T alpha, const T* ab, idx ldab, const T* x,
+          idx incx, T beta, T* y, idx incy) noexcept {
+  detail::sbmv_impl<T, false>(uplo, n, k, alpha, ab, ldab, x, incx, beta, y,
+                              incy);
+}
+
+/// Hermitian band matrix-vector product (xHBMV).
+template <Scalar T>
+void hbmv(Uplo uplo, idx n, idx k, T alpha, const T* ab, idx ldab, const T* x,
+          idx incx, T beta, T* y, idx incy) noexcept {
+  detail::sbmv_impl<T, is_complex_v<T>>(uplo, n, k, alpha, ab, ldab, x, incx,
+                                        beta, y, incy);
+}
+
+namespace detail {
+
+template <Scalar T, bool Conj>
+void spmv_impl(Uplo uplo, idx n, T alpha, const T* ap, const T* x, idx incx,
+               T beta, T* y, idx incy) noexcept {
+  if (n <= 0) {
+    return;
+  }
+  T* yb = stride_base(y, n, incy);
+  const T* xb = stride_base(x, n, incx);
+  if (beta != T(1)) {
+    for (idx i = 0; i < n; ++i) {
+      yb[i * incy] = beta == T(0) ? T(0) : beta * yb[i * incy];
+    }
+  }
+  if (alpha == T(0)) {
+    return;
+  }
+  auto cj = [](const T& v) { return Conj ? conj_if(v) : v; };
+  std::size_t kk = 0;  // running offset of column j's packed start
+  if (uplo == Uplo::Upper) {
+    for (idx j = 0; j < n; ++j) {
+      const T t1 = alpha * xb[j * incx];
+      T t2(0);
+      for (idx i = 0; i < j; ++i) {
+        yb[i * incy] += t1 * ap[kk + i];
+        t2 += cj(ap[kk + i]) * xb[i * incx];
+      }
+      const T diag = Conj ? T(real_part(ap[kk + j])) : ap[kk + j];
+      yb[j * incy] += t1 * diag + alpha * t2;
+      kk += static_cast<std::size_t>(j) + 1;
+    }
+  } else {
+    for (idx j = 0; j < n; ++j) {
+      const T t1 = alpha * xb[j * incx];
+      T t2(0);
+      const T diag = Conj ? T(real_part(ap[kk])) : ap[kk];
+      yb[j * incy] += t1 * diag;
+      for (idx i = j + 1; i < n; ++i) {
+        yb[i * incy] += t1 * ap[kk + i - j];
+        t2 += cj(ap[kk + i - j]) * xb[i * incx];
+      }
+      yb[j * incy] += alpha * t2;
+      kk += static_cast<std::size_t>(n - j);
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Packed symmetric matrix-vector product (xSPMV).
+template <Scalar T>
+void spmv(Uplo uplo, idx n, T alpha, const T* ap, const T* x, idx incx, T beta,
+          T* y, idx incy) noexcept {
+  detail::spmv_impl<T, false>(uplo, n, alpha, ap, x, incx, beta, y, incy);
+}
+
+/// Packed Hermitian matrix-vector product (xHPMV).
+template <Scalar T>
+void hpmv(Uplo uplo, idx n, T alpha, const T* ap, const T* x, idx incx, T beta,
+          T* y, idx incy) noexcept {
+  detail::spmv_impl<T, is_complex_v<T>>(uplo, n, alpha, ap, x, incx, beta, y,
+                                        incy);
+}
+
+/// Triangular band matrix-vector product x := op(A) x  (xTBMV); A has k
+/// off-diagonals in SB-style storage.
+template <Scalar T>
+void tbmv(Uplo uplo, Trans trans, Diag diag, idx n, idx k, const T* ab,
+          idx ldab, T* x, idx incx) noexcept {
+  if (n <= 0) {
+    return;
+  }
+  T* xb = detail::stride_base(x, n, incx);
+  const bool unit = diag == Diag::Unit;
+  const bool conj = trans == Trans::ConjTrans;
+  auto cj = [conj](const T& v) { return conj ? conj_if(v) : v; };
+  if (trans == Trans::NoTrans) {
+    if (uplo == Uplo::Upper) {
+      for (idx j = 0; j < n; ++j) {
+        const T t = xb[j * incx];
+        const T* col = ab + static_cast<std::size_t>(j) * ldab;
+        const idx lo = std::max<idx>(0, j - k);
+        for (idx i = lo; i < j; ++i) {
+          xb[i * incx] += t * col[k + i - j];
+        }
+        if (!unit) {
+          xb[j * incx] = t * col[k];
+        }
+      }
+    } else {
+      for (idx j = n - 1; j >= 0; --j) {
+        const T t = xb[j * incx];
+        const T* col = ab + static_cast<std::size_t>(j) * ldab;
+        const idx hi = std::min<idx>(n - 1, j + k);
+        for (idx i = hi; i > j; --i) {
+          xb[i * incx] += t * col[i - j];
+        }
+        if (!unit) {
+          xb[j * incx] = t * col[0];
+        }
+      }
+    }
+  } else {
+    if (uplo == Uplo::Upper) {
+      for (idx j = n - 1; j >= 0; --j) {
+        const T* col = ab + static_cast<std::size_t>(j) * ldab;
+        T t = unit ? xb[j * incx] : cj(col[k]) * xb[j * incx];
+        const idx lo = std::max<idx>(0, j - k);
+        for (idx i = lo; i < j; ++i) {
+          t += cj(col[k + i - j]) * xb[i * incx];
+        }
+        xb[j * incx] = t;
+      }
+    } else {
+      for (idx j = 0; j < n; ++j) {
+        const T* col = ab + static_cast<std::size_t>(j) * ldab;
+        T t = unit ? xb[j * incx] : cj(col[0]) * xb[j * incx];
+        const idx hi = std::min<idx>(n - 1, j + k);
+        for (idx i = j + 1; i <= hi; ++i) {
+          t += cj(col[i - j]) * xb[i * incx];
+        }
+        xb[j * incx] = t;
+      }
+    }
+  }
+}
+
+/// Triangular band solve op(A) x = b  (xTBSV); A has k off-diagonals in
+/// SB-style storage.
+template <Scalar T>
+void tbsv(Uplo uplo, Trans trans, Diag diag, idx n, idx k, const T* ab,
+          idx ldab, T* x, idx incx) noexcept {
+  if (n <= 0) {
+    return;
+  }
+  T* xb = detail::stride_base(x, n, incx);
+  const bool unit = diag == Diag::Unit;
+  const bool conj = trans == Trans::ConjTrans;
+  auto cj = [conj](const T& v) { return conj ? conj_if(v) : v; };
+  if (trans == Trans::NoTrans) {
+    if (uplo == Uplo::Upper) {
+      for (idx j = n - 1; j >= 0; --j) {
+        const T* col = ab + static_cast<std::size_t>(j) * ldab;
+        if (!unit) {
+          xb[j * incx] /= col[k];
+        }
+        const T t = xb[j * incx];
+        const idx lo = std::max<idx>(0, j - k);
+        for (idx i = lo; i < j; ++i) {
+          xb[i * incx] -= t * col[k + i - j];
+        }
+      }
+    } else {
+      for (idx j = 0; j < n; ++j) {
+        const T* col = ab + static_cast<std::size_t>(j) * ldab;
+        if (!unit) {
+          xb[j * incx] /= col[0];
+        }
+        const T t = xb[j * incx];
+        const idx hi = std::min<idx>(n - 1, j + k);
+        for (idx i = j + 1; i <= hi; ++i) {
+          xb[i * incx] -= t * col[i - j];
+        }
+      }
+    }
+  } else {
+    if (uplo == Uplo::Upper) {
+      for (idx j = 0; j < n; ++j) {
+        const T* col = ab + static_cast<std::size_t>(j) * ldab;
+        T t = xb[j * incx];
+        const idx lo = std::max<idx>(0, j - k);
+        for (idx i = lo; i < j; ++i) {
+          t -= cj(col[k + i - j]) * xb[i * incx];
+        }
+        if (!unit) {
+          t /= cj(col[k]);
+        }
+        xb[j * incx] = t;
+      }
+    } else {
+      for (idx j = n - 1; j >= 0; --j) {
+        const T* col = ab + static_cast<std::size_t>(j) * ldab;
+        T t = xb[j * incx];
+        const idx hi = std::min<idx>(n - 1, j + k);
+        for (idx i = j + 1; i <= hi; ++i) {
+          t -= cj(col[i - j]) * xb[i * incx];
+        }
+        if (!unit) {
+          t /= cj(col[0]);
+        }
+        xb[j * incx] = t;
+      }
+    }
+  }
+}
+
+/// Packed triangular matrix-vector product x := op(A) x  (xTPMV).
+template <Scalar T>
+void tpmv(Uplo uplo, Trans trans, Diag diag, idx n, const T* ap, T* x,
+          idx incx) noexcept {
+  if (n <= 0) {
+    return;
+  }
+  T* xb = detail::stride_base(x, n, incx);
+  const bool unit = diag == Diag::Unit;
+  const bool conj = trans == Trans::ConjTrans;
+  auto cj = [conj](const T& v) { return conj ? conj_if(v) : v; };
+  auto at = [&](idx i, idx j) -> const T& {
+    if (uplo == Uplo::Upper) {
+      return ap[static_cast<std::size_t>(i) +
+                static_cast<std::size_t>(j) * (static_cast<std::size_t>(j) + 1) /
+                    2];
+    }
+    return ap[static_cast<std::size_t>(i) +
+              static_cast<std::size_t>(2 * n - j - 1) *
+                  static_cast<std::size_t>(j) / 2];
+  };
+  if (trans == Trans::NoTrans) {
+    if (uplo == Uplo::Upper) {
+      for (idx j = 0; j < n; ++j) {
+        const T t = xb[j * incx];
+        for (idx i = 0; i < j; ++i) {
+          xb[i * incx] += t * at(i, j);
+        }
+        if (!unit) {
+          xb[j * incx] = t * at(j, j);
+        }
+      }
+    } else {
+      for (idx j = n - 1; j >= 0; --j) {
+        const T t = xb[j * incx];
+        for (idx i = n - 1; i > j; --i) {
+          xb[i * incx] += t * at(i, j);
+        }
+        if (!unit) {
+          xb[j * incx] = t * at(j, j);
+        }
+      }
+    }
+  } else {
+    if (uplo == Uplo::Upper) {
+      for (idx j = n - 1; j >= 0; --j) {
+        T t = unit ? xb[j * incx] : cj(at(j, j)) * xb[j * incx];
+        for (idx i = 0; i < j; ++i) {
+          t += cj(at(i, j)) * xb[i * incx];
+        }
+        xb[j * incx] = t;
+      }
+    } else {
+      for (idx j = 0; j < n; ++j) {
+        T t = unit ? xb[j * incx] : cj(at(j, j)) * xb[j * incx];
+        for (idx i = j + 1; i < n; ++i) {
+          t += cj(at(i, j)) * xb[i * incx];
+        }
+        xb[j * incx] = t;
+      }
+    }
+  }
+}
+
+/// Packed triangular solve op(A) x = b  (xTPSV).
+template <Scalar T>
+void tpsv(Uplo uplo, Trans trans, Diag diag, idx n, const T* ap, T* x,
+          idx incx) noexcept {
+  if (n <= 0) {
+    return;
+  }
+  T* xb = detail::stride_base(x, n, incx);
+  const bool unit = diag == Diag::Unit;
+  const bool conj = trans == Trans::ConjTrans;
+  auto cj = [conj](const T& v) { return conj ? conj_if(v) : v; };
+  auto at = [&](idx i, idx j) -> const T& {
+    if (uplo == Uplo::Upper) {
+      return ap[static_cast<std::size_t>(i) +
+                static_cast<std::size_t>(j) * (static_cast<std::size_t>(j) + 1) /
+                    2];
+    }
+    return ap[static_cast<std::size_t>(i) +
+              static_cast<std::size_t>(2 * n - j - 1) *
+                  static_cast<std::size_t>(j) / 2];
+  };
+  if (trans == Trans::NoTrans) {
+    if (uplo == Uplo::Upper) {
+      for (idx j = n - 1; j >= 0; --j) {
+        if (!unit) {
+          xb[j * incx] /= at(j, j);
+        }
+        const T t = xb[j * incx];
+        for (idx i = 0; i < j; ++i) {
+          xb[i * incx] -= t * at(i, j);
+        }
+      }
+    } else {
+      for (idx j = 0; j < n; ++j) {
+        if (!unit) {
+          xb[j * incx] /= at(j, j);
+        }
+        const T t = xb[j * incx];
+        for (idx i = j + 1; i < n; ++i) {
+          xb[i * incx] -= t * at(i, j);
+        }
+      }
+    }
+  } else {
+    if (uplo == Uplo::Upper) {
+      for (idx j = 0; j < n; ++j) {
+        T t = xb[j * incx];
+        for (idx i = 0; i < j; ++i) {
+          t -= cj(at(i, j)) * xb[i * incx];
+        }
+        if (!unit) {
+          t /= cj(at(j, j));
+        }
+        xb[j * incx] = t;
+      }
+    } else {
+      for (idx j = n - 1; j >= 0; --j) {
+        T t = xb[j * incx];
+        for (idx i = j + 1; i < n; ++i) {
+          t -= cj(at(i, j)) * xb[i * incx];
+        }
+        if (!unit) {
+          t /= cj(at(j, j));
+        }
+        xb[j * incx] = t;
+      }
+    }
+  }
+}
+
+}  // namespace la::blas

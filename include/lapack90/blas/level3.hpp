@@ -1,0 +1,847 @@
+// lapack90/blas/level3.hpp
+//
+// Templated Level-3 BLAS. `gemm` is the performance core the paper's §1.1
+// leans on ("LAPACK ... use[s] block matrix operations, such as matrix
+// multiplication, in the innermost loops"): it is implemented with cache
+// blocking (KC x MC panel packing) and a register-tiled micro-kernel, with
+// optional OpenMP over the N-panel loop. A straightforward triple loop is
+// kept as `gemm_naive` for the bench_gemm ablation. The remaining routines
+// (symm/syrk/trmm/trsm/...) follow the reference-BLAS control structure.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "lapack90/blas/level1.hpp"
+#include "lapack90/core/types.hpp"
+
+#ifdef LAPACK90_HAVE_OPENMP
+#include <omp.h>
+#endif
+
+namespace la::blas {
+
+namespace detail {
+
+template <Scalar T>
+[[nodiscard]] inline T opval(const T* a, idx lda, Trans t, idx i,
+                             idx j) noexcept {
+  switch (t) {
+    case Trans::NoTrans:
+      return a[static_cast<std::size_t>(j) * lda + i];
+    case Trans::Trans:
+      return a[static_cast<std::size_t>(i) * lda + j];
+    case Trans::ConjTrans:
+      return conj_if(a[static_cast<std::size_t>(i) * lda + j]);
+  }
+  return T(0);
+}
+
+/// Scale C by beta (handles beta == 0 as an overwrite so NaNs don't leak).
+template <Scalar T>
+void scale_c(idx m, idx n, T beta, T* c, idx ldc) noexcept {
+  if (beta == T(1)) {
+    return;
+  }
+  for (idx j = 0; j < n; ++j) {
+    T* col = c + static_cast<std::size_t>(j) * ldc;
+    if (beta == T(0)) {
+      std::fill(col, col + m, T(0));
+    } else {
+      for (idx i = 0; i < m; ++i) {
+        col[i] *= beta;
+      }
+    }
+  }
+}
+
+// Cache-blocking parameters (elements). Tuned for a ~32 KiB L1 / 1 MiB L2;
+// conservative values that work across the four element widths.
+template <Scalar T>
+struct GemmBlocking {
+  static constexpr idx MR = 4;
+  static constexpr idx NR = 4;
+  static constexpr idx MC = 128;
+  static constexpr idx KC = 256;
+  static constexpr idx NC = 512;
+};
+
+/// Pack the MC x KC block of op(A) into column-panel-major order:
+/// consecutive MR-row strips, each strip KC columns deep.
+template <Scalar T>
+void pack_a(idx mc, idx kc, const T* a, idx lda, Trans ta, idx i0, idx k0,
+            T* buf) noexcept {
+  constexpr idx MR = GemmBlocking<T>::MR;
+  for (idx i = 0; i < mc; i += MR) {
+    const idx ib = std::min<idx>(MR, mc - i);
+    for (idx k = 0; k < kc; ++k) {
+      for (idx ii = 0; ii < ib; ++ii) {
+        *buf++ = opval(a, lda, ta, i0 + i + ii, k0 + k);
+      }
+      for (idx ii = ib; ii < MR; ++ii) {
+        *buf++ = T(0);
+      }
+    }
+  }
+}
+
+/// Pack the KC x NC block of op(B) into row-panel-major order:
+/// consecutive NR-column strips, each strip KC rows deep.
+template <Scalar T>
+void pack_b(idx kc, idx nc, const T* b, idx ldb, Trans tb, idx k0, idx j0,
+            T* buf) noexcept {
+  constexpr idx NR = GemmBlocking<T>::NR;
+  for (idx j = 0; j < nc; j += NR) {
+    const idx jb = std::min<idx>(NR, nc - j);
+    for (idx k = 0; k < kc; ++k) {
+      for (idx jj = 0; jj < jb; ++jj) {
+        *buf++ = opval(b, ldb, tb, k0 + k, j0 + j + jj);
+      }
+      for (idx jj = jb; jj < NR; ++jj) {
+        *buf++ = T(0);
+      }
+    }
+  }
+}
+
+/// MR x NR micro-kernel: C(0:mr,0:nr) += alpha * Ap * Bp over kc terms.
+/// Ap/Bp are packed strips; the accumulator block lives in registers.
+template <Scalar T>
+void micro_kernel(idx kc, T alpha, const T* ap, const T* bp, T* c, idx ldc,
+                  idx mr, idx nr) noexcept {
+  constexpr idx MR = GemmBlocking<T>::MR;
+  constexpr idx NR = GemmBlocking<T>::NR;
+  T acc[MR][NR] = {};
+  for (idx k = 0; k < kc; ++k) {
+    const T* arow = ap + static_cast<std::size_t>(k) * MR;
+    const T* brow = bp + static_cast<std::size_t>(k) * NR;
+    for (idx i = 0; i < MR; ++i) {
+      const T ai = arow[i];
+      for (idx j = 0; j < NR; ++j) {
+        acc[i][j] += ai * brow[j];
+      }
+    }
+  }
+  for (idx j = 0; j < nr; ++j) {
+    T* col = c + static_cast<std::size_t>(j) * ldc;
+    for (idx i = 0; i < mr; ++i) {
+      col[i] += alpha * acc[i][j];
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Reference three-loop GEMM: C := alpha*op(A)*op(B) + beta*C. Kept public
+/// for the blocked-vs-naive ablation benchmark; correctness baseline in
+/// the test suite.
+template <Scalar T>
+void gemm_naive(Trans ta, Trans tb, idx m, idx n, idx k, T alpha, const T* a,
+                idx lda, const T* b, idx ldb, T beta, T* c,
+                idx ldc) noexcept {
+  detail::scale_c(m, n, beta, c, ldc);
+  if (m <= 0 || n <= 0 || k <= 0 || alpha == T(0)) {
+    return;
+  }
+  for (idx j = 0; j < n; ++j) {
+    T* ccol = c + static_cast<std::size_t>(j) * ldc;
+    for (idx l = 0; l < k; ++l) {
+      const T t = alpha * detail::opval(b, ldb, tb, l, j);
+      if (t == T(0)) {
+        continue;
+      }
+      if (ta == Trans::NoTrans) {
+        const T* acol = a + static_cast<std::size_t>(l) * lda;
+        for (idx i = 0; i < m; ++i) {
+          ccol[i] += t * acol[i];
+        }
+      } else {
+        for (idx i = 0; i < m; ++i) {
+          ccol[i] += t * detail::opval(a, lda, ta, i, l);
+        }
+      }
+    }
+  }
+}
+
+/// Blocked, packed GEMM (xGEMM): C := alpha*op(A)*op(B) + beta*C with
+/// C m x n, op(A) m x k, op(B) k x n.
+template <Scalar T>
+void gemm(Trans ta, Trans tb, idx m, idx n, idx k, T alpha, const T* a,
+          idx lda, const T* b, idx ldb, T beta, T* c, idx ldc) {
+  using B = detail::GemmBlocking<T>;
+  detail::scale_c(m, n, beta, c, ldc);
+  if (m <= 0 || n <= 0 || k <= 0 || alpha == T(0)) {
+    return;
+  }
+  // Small problems: the packing overhead dominates; use the direct loops.
+  if (static_cast<long>(m) * n * k < 32L * 32L * 32L) {
+    gemm_naive(ta, tb, m, n, k, alpha, a, lda, b, ldb, T(1), c, ldc);
+    return;
+  }
+
+  std::vector<T> apack(static_cast<std::size_t>(B::MC + B::MR) * B::KC);
+  std::vector<T> bpack(static_cast<std::size_t>(B::KC) *
+                       (static_cast<std::size_t>(B::NC) + B::NR));
+
+  for (idx jc = 0; jc < n; jc += B::NC) {
+    const idx nc = std::min<idx>(B::NC, n - jc);
+    for (idx kc0 = 0; kc0 < k; kc0 += B::KC) {
+      const idx kc = std::min<idx>(B::KC, k - kc0);
+      detail::pack_b(kc, nc, b, ldb, tb, kc0, jc, bpack.data());
+      for (idx ic = 0; ic < m; ic += B::MC) {
+        const idx mc = std::min<idx>(B::MC, m - ic);
+        detail::pack_a(mc, kc, a, lda, ta, ic, kc0, apack.data());
+        const idx mstrips = (mc + B::MR - 1) / B::MR;
+        const idx nstrips = (nc + B::NR - 1) / B::NR;
+#ifdef LAPACK90_HAVE_OPENMP
+#pragma omp parallel for if (mstrips * nstrips > 16) schedule(static)
+#endif
+        for (idx js = 0; js < nstrips; ++js) {
+          const idx j = js * B::NR;
+          const idx nr = std::min<idx>(B::NR, nc - j);
+          const T* bp = bpack.data() + static_cast<std::size_t>(js) * kc * B::NR;
+          for (idx is = 0; is < mstrips; ++is) {
+            const idx i = is * B::MR;
+            const idx mr = std::min<idx>(B::MR, mc - i);
+            const T* ap =
+                apack.data() + static_cast<std::size_t>(is) * kc * B::MR;
+            detail::micro_kernel(kc, alpha, ap, bp,
+                                 c + static_cast<std::size_t>(jc + j) * ldc +
+                                     ic + i,
+                                 ldc, mr, nr);
+          }
+        }
+      }
+    }
+  }
+}
+
+namespace detail {
+
+template <Scalar T, bool Herm>
+void symm_impl(Side side, Uplo uplo, idx m, idx n, T alpha, const T* a,
+               idx lda, const T* b, idx ldb, T beta, T* c, idx ldc) noexcept {
+  scale_c(m, n, beta, c, ldc);
+  if (m <= 0 || n <= 0 || alpha == T(0)) {
+    return;
+  }
+  auto aval = [&](idx i, idx j) -> T {
+    // Logical A(i,j) with symmetric/Hermitian completion of the stored
+    // triangle.
+    const bool stored = uplo == Uplo::Upper ? (i <= j) : (i >= j);
+    const T v = stored ? a[static_cast<std::size_t>(j) * lda + i]
+                       : a[static_cast<std::size_t>(i) * lda + j];
+    if (stored) {
+      return (Herm && i == j) ? T(real_part(v)) : v;
+    }
+    if constexpr (Herm) {
+      return conj_if(v);
+    } else {
+      return v;
+    }
+  };
+  if (side == Side::Left) {
+    // C += alpha * A * B, A m x m symmetric.
+    for (idx j = 0; j < n; ++j) {
+      T* ccol = c + static_cast<std::size_t>(j) * ldc;
+      const T* bcol = b + static_cast<std::size_t>(j) * ldb;
+      for (idx l = 0; l < m; ++l) {
+        const T t = alpha * bcol[l];
+        if (t == T(0)) {
+          continue;
+        }
+        for (idx i = 0; i < m; ++i) {
+          ccol[i] += t * aval(i, l);
+        }
+      }
+    }
+  } else {
+    // C += alpha * B * A, A n x n symmetric.
+    for (idx j = 0; j < n; ++j) {
+      T* ccol = c + static_cast<std::size_t>(j) * ldc;
+      for (idx l = 0; l < n; ++l) {
+        const T t = alpha * aval(l, j);
+        if (t == T(0)) {
+          continue;
+        }
+        const T* bcol = b + static_cast<std::size_t>(l) * ldb;
+        for (idx i = 0; i < m; ++i) {
+          ccol[i] += t * bcol[i];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Symmetric matrix-matrix product (xSYMM).
+template <Scalar T>
+void symm(Side side, Uplo uplo, idx m, idx n, T alpha, const T* a, idx lda,
+          const T* b, idx ldb, T beta, T* c, idx ldc) noexcept {
+  detail::symm_impl<T, false>(side, uplo, m, n, alpha, a, lda, b, ldb, beta, c,
+                              ldc);
+}
+
+/// Hermitian matrix-matrix product (xHEMM).
+template <Scalar T>
+void hemm(Side side, Uplo uplo, idx m, idx n, T alpha, const T* a, idx lda,
+          const T* b, idx ldb, T beta, T* c, idx ldc) noexcept {
+  detail::symm_impl<T, is_complex_v<T>>(side, uplo, m, n, alpha, a, lda, b,
+                                        ldb, beta, c, ldc);
+}
+
+/// Symmetric rank-k update (xSYRK):
+///   C := alpha*A*A^T + beta*C   (trans == NoTrans, A n x k)
+///   C := alpha*A^T*A + beta*C   (trans == Trans,   A k x n)
+/// Only the `uplo` triangle of C is referenced/updated.
+template <Scalar T>
+void syrk(Uplo uplo, Trans trans, idx n, idx k, T alpha, const T* a, idx lda,
+          T beta, T* c, idx ldc) noexcept {
+  if (n <= 0) {
+    return;
+  }
+  for (idx j = 0; j < n; ++j) {
+    T* ccol = c + static_cast<std::size_t>(j) * ldc;
+    const idx lo = uplo == Uplo::Upper ? 0 : j;
+    const idx hi = uplo == Uplo::Upper ? j : n - 1;
+    if (beta != T(1)) {
+      for (idx i = lo; i <= hi; ++i) {
+        ccol[i] = beta == T(0) ? T(0) : beta * ccol[i];
+      }
+    }
+    if (alpha == T(0) || k <= 0) {
+      continue;
+    }
+    if (trans == Trans::NoTrans) {
+      for (idx l = 0; l < k; ++l) {
+        const T t = alpha * detail::opval(a, lda, Trans::Trans, l, j);
+        if (t == T(0)) {
+          continue;
+        }
+        const T* acol = a + static_cast<std::size_t>(l) * lda;
+        for (idx i = lo; i <= hi; ++i) {
+          ccol[i] += t * acol[i];
+        }
+      }
+    } else {
+      for (idx i = lo; i <= hi; ++i) {
+        const T* ai = a + static_cast<std::size_t>(i) * lda;
+        const T* aj = a + static_cast<std::size_t>(j) * lda;
+        T s(0);
+        for (idx l = 0; l < k; ++l) {
+          s += ai[l] * aj[l];
+        }
+        ccol[i] += alpha * s;
+      }
+    }
+  }
+}
+
+/// Hermitian rank-k update (xHERK); alpha/beta are real, trans is N or C.
+template <Scalar T>
+void herk(Uplo uplo, Trans trans, idx n, idx k, real_t<T> alpha, const T* a,
+          idx lda, real_t<T> beta, T* c, idx ldc) noexcept {
+  if constexpr (!is_complex_v<T>) {
+    syrk(uplo, trans == Trans::ConjTrans ? Trans::Trans : trans, n, k,
+         T(alpha), a, lda, T(beta), c, ldc);
+    return;
+  } else {
+    if (n <= 0) {
+      return;
+    }
+    for (idx j = 0; j < n; ++j) {
+      T* ccol = c + static_cast<std::size_t>(j) * ldc;
+      const idx lo = uplo == Uplo::Upper ? 0 : j;
+      const idx hi = uplo == Uplo::Upper ? j : n - 1;
+      for (idx i = lo; i <= hi; ++i) {
+        const T scaled = beta == real_t<T>(0) ? T(0) : T(beta) * ccol[i];
+        ccol[i] = (i == j) ? T(real_part(scaled)) : scaled;
+      }
+      if (alpha == real_t<T>(0) || k <= 0) {
+        continue;
+      }
+      if (trans == Trans::NoTrans) {
+        // C(i,j) += alpha * sum_l A(i,l) * conj(A(j,l))
+        for (idx l = 0; l < k; ++l) {
+          const T t =
+              T(alpha) * conj_if(a[static_cast<std::size_t>(l) * lda + j]);
+          if (t == T(0)) {
+            continue;
+          }
+          const T* acol = a + static_cast<std::size_t>(l) * lda;
+          for (idx i = lo; i <= hi; ++i) {
+            ccol[i] += t * acol[i];
+          }
+        }
+      } else {
+        // C(i,j) += alpha * sum_l conj(A(l,i)) * A(l,j)
+        for (idx i = lo; i <= hi; ++i) {
+          const T* ai = a + static_cast<std::size_t>(i) * lda;
+          const T* aj = a + static_cast<std::size_t>(j) * lda;
+          T s(0);
+          for (idx l = 0; l < k; ++l) {
+            s += conj_if(ai[l]) * aj[l];
+          }
+          ccol[i] += T(alpha) * s;
+        }
+      }
+      // Force an exactly-real diagonal, as xHERK guarantees.
+      ccol[j] = T(real_part(ccol[j]));
+    }
+  }
+}
+
+/// Symmetric rank-2k update (xSYR2K):
+///   C := alpha*A*B^T + alpha*B*A^T + beta*C  (NoTrans)
+///   C := alpha*A^T*B + alpha*B^T*A + beta*C  (Trans)
+template <Scalar T>
+void syr2k(Uplo uplo, Trans trans, idx n, idx k, T alpha, const T* a, idx lda,
+           const T* b, idx ldb, T beta, T* c, idx ldc) noexcept {
+  if (n <= 0) {
+    return;
+  }
+  for (idx j = 0; j < n; ++j) {
+    T* ccol = c + static_cast<std::size_t>(j) * ldc;
+    const idx lo = uplo == Uplo::Upper ? 0 : j;
+    const idx hi = uplo == Uplo::Upper ? j : n - 1;
+    if (beta != T(1)) {
+      for (idx i = lo; i <= hi; ++i) {
+        ccol[i] = beta == T(0) ? T(0) : beta * ccol[i];
+      }
+    }
+    if (alpha == T(0) || k <= 0) {
+      continue;
+    }
+    for (idx i = lo; i <= hi; ++i) {
+      T s(0);
+      if (trans == Trans::NoTrans) {
+        const T* arow = a;
+        const T* brow = b;
+        for (idx l = 0; l < k; ++l) {
+          s += arow[static_cast<std::size_t>(l) * lda + i] *
+                   brow[static_cast<std::size_t>(l) * ldb + j] +
+               brow[static_cast<std::size_t>(l) * ldb + i] *
+                   arow[static_cast<std::size_t>(l) * lda + j];
+        }
+      } else {
+        const T* ai = a + static_cast<std::size_t>(i) * lda;
+        const T* aj = a + static_cast<std::size_t>(j) * lda;
+        const T* bi = b + static_cast<std::size_t>(i) * ldb;
+        const T* bj = b + static_cast<std::size_t>(j) * ldb;
+        for (idx l = 0; l < k; ++l) {
+          s += ai[l] * bj[l] + bi[l] * aj[l];
+        }
+      }
+      ccol[i] += alpha * s;
+    }
+  }
+}
+
+/// Hermitian rank-2k update (xHER2K); beta real.
+template <Scalar T>
+void her2k(Uplo uplo, Trans trans, idx n, idx k, T alpha, const T* a, idx lda,
+           const T* b, idx ldb, real_t<T> beta, T* c, idx ldc) noexcept {
+  if constexpr (!is_complex_v<T>) {
+    syr2k(uplo, trans == Trans::ConjTrans ? Trans::Trans : trans, n, k, alpha,
+          a, lda, b, ldb, T(beta), c, ldc);
+    return;
+  } else {
+    if (n <= 0) {
+      return;
+    }
+    for (idx j = 0; j < n; ++j) {
+      T* ccol = c + static_cast<std::size_t>(j) * ldc;
+      const idx lo = uplo == Uplo::Upper ? 0 : j;
+      const idx hi = uplo == Uplo::Upper ? j : n - 1;
+      for (idx i = lo; i <= hi; ++i) {
+        const T scaled = beta == real_t<T>(0) ? T(0) : T(beta) * ccol[i];
+        ccol[i] = (i == j) ? T(real_part(scaled)) : scaled;
+      }
+      if (alpha == T(0) || k <= 0) {
+        continue;
+      }
+      for (idx i = lo; i <= hi; ++i) {
+        T s(0);
+        if (trans == Trans::NoTrans) {
+          // alpha*A*B^H + conj(alpha)*B*A^H
+          for (idx l = 0; l < k; ++l) {
+            s += alpha * a[static_cast<std::size_t>(l) * lda + i] *
+                     conj_if(b[static_cast<std::size_t>(l) * ldb + j]) +
+                 conj_if(alpha) * b[static_cast<std::size_t>(l) * ldb + i] *
+                     conj_if(a[static_cast<std::size_t>(l) * lda + j]);
+          }
+        } else {
+          // alpha*A^H*B + conj(alpha)*B^H*A
+          const T* ai = a + static_cast<std::size_t>(i) * lda;
+          const T* aj = a + static_cast<std::size_t>(j) * lda;
+          const T* bi = b + static_cast<std::size_t>(i) * ldb;
+          const T* bj = b + static_cast<std::size_t>(j) * ldb;
+          for (idx l = 0; l < k; ++l) {
+            s += alpha * conj_if(ai[l]) * bj[l] +
+                 conj_if(alpha) * conj_if(bi[l]) * aj[l];
+          }
+        }
+        ccol[i] += s;
+      }
+      ccol[j] = T(real_part(ccol[j]));
+    }
+  }
+}
+
+/// Triangular matrix-matrix multiply (xTRMM):
+///   B := alpha * op(A) * B  (Left)   or   B := alpha * B * op(A)  (Right).
+template <Scalar T>
+void trmm(Side side, Uplo uplo, Trans trans, Diag diag, idx m, idx n, T alpha,
+          const T* a, idx lda, T* b, idx ldb) noexcept {
+  if (m <= 0 || n <= 0) {
+    return;
+  }
+  if (alpha == T(0)) {
+    detail::scale_c(m, n, T(0), b, ldb);
+    return;
+  }
+  const bool unit = diag == Diag::Unit;
+  const bool upper = uplo == Uplo::Upper;
+  auto cj = [&](const T& v) {
+    return trans == Trans::ConjTrans ? conj_if(v) : v;
+  };
+  auto acol = [&](idx j) { return a + static_cast<std::size_t>(j) * lda; };
+
+  if (side == Side::Left) {
+    if (trans == Trans::NoTrans) {
+      // B := alpha * A * B
+      for (idx j = 0; j < n; ++j) {
+        T* bcol = b + static_cast<std::size_t>(j) * ldb;
+        if (upper) {
+          for (idx k = 0; k < m; ++k) {
+            const T t = alpha * bcol[k];
+            if (t == T(0)) {
+              continue;
+            }
+            for (idx i = 0; i < k; ++i) {
+              bcol[i] += t * acol(k)[i];
+            }
+            bcol[k] = unit ? t : t * acol(k)[k];
+          }
+        } else {
+          for (idx k = m - 1; k >= 0; --k) {
+            const T t = alpha * bcol[k];
+            if (t == T(0)) {
+              bcol[k] = T(0);
+              continue;
+            }
+            bcol[k] = unit ? t : t * acol(k)[k];
+            for (idx i = k + 1; i < m; ++i) {
+              bcol[i] += t * acol(k)[i];
+            }
+          }
+        }
+      }
+    } else {
+      // B := alpha * op(A)^{T/H} * B
+      for (idx j = 0; j < n; ++j) {
+        T* bcol = b + static_cast<std::size_t>(j) * ldb;
+        if (upper) {
+          for (idx i = m - 1; i >= 0; --i) {
+            T t = unit ? bcol[i] : cj(acol(i)[i]) * bcol[i];
+            for (idx k = 0; k < i; ++k) {
+              t += cj(acol(i)[k]) * bcol[k];
+            }
+            bcol[i] = alpha * t;
+          }
+        } else {
+          for (idx i = 0; i < m; ++i) {
+            T t = unit ? bcol[i] : cj(acol(i)[i]) * bcol[i];
+            for (idx k = i + 1; k < m; ++k) {
+              t += cj(acol(i)[k]) * bcol[k];
+            }
+            bcol[i] = alpha * t;
+          }
+        }
+      }
+    }
+  } else {
+    if (trans == Trans::NoTrans) {
+      // B := alpha * B * A
+      if (upper) {
+        for (idx j = n - 1; j >= 0; --j) {
+          T* bj = b + static_cast<std::size_t>(j) * ldb;
+          const T dj = unit ? T(1) : acol(j)[j];
+          for (idx i = 0; i < m; ++i) {
+            bj[i] *= alpha * dj;
+          }
+          for (idx k = 0; k < j; ++k) {
+            const T t = alpha * acol(j)[k];
+            if (t == T(0)) {
+              continue;
+            }
+            const T* bk = b + static_cast<std::size_t>(k) * ldb;
+            for (idx i = 0; i < m; ++i) {
+              bj[i] += t * bk[i];
+            }
+          }
+        }
+      } else {
+        for (idx j = 0; j < n; ++j) {
+          T* bj = b + static_cast<std::size_t>(j) * ldb;
+          const T dj = unit ? T(1) : acol(j)[j];
+          for (idx i = 0; i < m; ++i) {
+            bj[i] *= alpha * dj;
+          }
+          for (idx k = j + 1; k < n; ++k) {
+            const T t = alpha * acol(j)[k];
+            if (t == T(0)) {
+              continue;
+            }
+            const T* bk = b + static_cast<std::size_t>(k) * ldb;
+            for (idx i = 0; i < m; ++i) {
+              bj[i] += t * bk[i];
+            }
+          }
+        }
+      }
+    } else {
+      // B := alpha * B * op(A)^{T/H}
+      if (upper) {
+        for (idx k = 0; k < n; ++k) {
+          T* bk = b + static_cast<std::size_t>(k) * ldb;
+          for (idx j = 0; j < k; ++j) {
+            const T t = alpha * cj(acol(k)[j]);
+            if (t == T(0)) {
+              continue;
+            }
+            T* bj = b + static_cast<std::size_t>(j) * ldb;
+            for (idx i = 0; i < m; ++i) {
+              bj[i] += t * bk[i];
+            }
+          }
+          const T dk = alpha * (unit ? T(1) : cj(acol(k)[k]));
+          for (idx i = 0; i < m; ++i) {
+            bk[i] *= dk;
+          }
+        }
+      } else {
+        for (idx k = n - 1; k >= 0; --k) {
+          T* bk = b + static_cast<std::size_t>(k) * ldb;
+          for (idx j = k + 1; j < n; ++j) {
+            const T t = alpha * cj(acol(k)[j]);
+            if (t == T(0)) {
+              continue;
+            }
+            T* bj = b + static_cast<std::size_t>(j) * ldb;
+            for (idx i = 0; i < m; ++i) {
+              bj[i] += t * bk[i];
+            }
+          }
+          const T dk = alpha * (unit ? T(1) : cj(acol(k)[k]));
+          for (idx i = 0; i < m; ++i) {
+            bk[i] *= dk;
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Triangular solve with multiple right-hand sides (xTRSM):
+///   op(A) * X = alpha * B  (Left)   or   X * op(A) = alpha * B  (Right),
+/// X overwriting B.
+template <Scalar T>
+void trsm(Side side, Uplo uplo, Trans trans, Diag diag, idx m, idx n, T alpha,
+          const T* a, idx lda, T* b, idx ldb) noexcept {
+  if (m <= 0 || n <= 0) {
+    return;
+  }
+  if (alpha == T(0)) {
+    detail::scale_c(m, n, T(0), b, ldb);
+    return;
+  }
+  const bool unit = diag == Diag::Unit;
+  const bool upper = uplo == Uplo::Upper;
+  auto cj = [&](const T& v) {
+    return trans == Trans::ConjTrans ? conj_if(v) : v;
+  };
+  auto acol = [&](idx j) { return a + static_cast<std::size_t>(j) * lda; };
+
+  if (side == Side::Left) {
+    if (trans == Trans::NoTrans) {
+      // X := alpha * inv(A) * B
+      for (idx j = 0; j < n; ++j) {
+        T* bcol = b + static_cast<std::size_t>(j) * ldb;
+        if (alpha != T(1)) {
+          for (idx i = 0; i < m; ++i) {
+            bcol[i] *= alpha;
+          }
+        }
+        if (upper) {
+          for (idx k = m - 1; k >= 0; --k) {
+            if (bcol[k] == T(0)) {
+              continue;
+            }
+            if (!unit) {
+              bcol[k] /= acol(k)[k];
+            }
+            const T t = bcol[k];
+            for (idx i = 0; i < k; ++i) {
+              bcol[i] -= t * acol(k)[i];
+            }
+          }
+        } else {
+          for (idx k = 0; k < m; ++k) {
+            if (bcol[k] == T(0)) {
+              continue;
+            }
+            if (!unit) {
+              bcol[k] /= acol(k)[k];
+            }
+            const T t = bcol[k];
+            for (idx i = k + 1; i < m; ++i) {
+              bcol[i] -= t * acol(k)[i];
+            }
+          }
+        }
+      }
+    } else {
+      // X := alpha * inv(op(A)^{T/H}) * B
+      for (idx j = 0; j < n; ++j) {
+        T* bcol = b + static_cast<std::size_t>(j) * ldb;
+        if (upper) {
+          for (idx i = 0; i < m; ++i) {
+            T t = alpha * bcol[i];
+            for (idx k = 0; k < i; ++k) {
+              t -= cj(acol(i)[k]) * bcol[k];
+            }
+            if (!unit) {
+              t /= cj(acol(i)[i]);
+            }
+            bcol[i] = t;
+          }
+        } else {
+          for (idx i = m - 1; i >= 0; --i) {
+            T t = alpha * bcol[i];
+            for (idx k = i + 1; k < m; ++k) {
+              t -= cj(acol(i)[k]) * bcol[k];
+            }
+            if (!unit) {
+              t /= cj(acol(i)[i]);
+            }
+            bcol[i] = t;
+          }
+        }
+      }
+    }
+  } else {
+    if (trans == Trans::NoTrans) {
+      // X := alpha * B * inv(A)
+      if (upper) {
+        for (idx j = 0; j < n; ++j) {
+          T* bj = b + static_cast<std::size_t>(j) * ldb;
+          if (alpha != T(1)) {
+            for (idx i = 0; i < m; ++i) {
+              bj[i] *= alpha;
+            }
+          }
+          for (idx k = 0; k < j; ++k) {
+            const T t = acol(j)[k];
+            if (t == T(0)) {
+              continue;
+            }
+            const T* bk = b + static_cast<std::size_t>(k) * ldb;
+            for (idx i = 0; i < m; ++i) {
+              bj[i] -= t * bk[i];
+            }
+          }
+          if (!unit) {
+            const T d = T(1) / acol(j)[j];
+            for (idx i = 0; i < m; ++i) {
+              bj[i] *= d;
+            }
+          }
+        }
+      } else {
+        for (idx j = n - 1; j >= 0; --j) {
+          T* bj = b + static_cast<std::size_t>(j) * ldb;
+          if (alpha != T(1)) {
+            for (idx i = 0; i < m; ++i) {
+              bj[i] *= alpha;
+            }
+          }
+          for (idx k = j + 1; k < n; ++k) {
+            const T t = acol(j)[k];
+            if (t == T(0)) {
+              continue;
+            }
+            const T* bk = b + static_cast<std::size_t>(k) * ldb;
+            for (idx i = 0; i < m; ++i) {
+              bj[i] -= t * bk[i];
+            }
+          }
+          if (!unit) {
+            const T d = T(1) / acol(j)[j];
+            for (idx i = 0; i < m; ++i) {
+              bj[i] *= d;
+            }
+          }
+        }
+      }
+    } else {
+      // X := alpha * B * inv(op(A)^{T/H})
+      if (upper) {
+        for (idx k = n - 1; k >= 0; --k) {
+          T* bk = b + static_cast<std::size_t>(k) * ldb;
+          if (!unit) {
+            const T d = T(1) / cj(acol(k)[k]);
+            for (idx i = 0; i < m; ++i) {
+              bk[i] *= d;
+            }
+          }
+          for (idx j = 0; j < k; ++j) {
+            const T t = cj(acol(k)[j]);
+            if (t == T(0)) {
+              continue;
+            }
+            T* bj = b + static_cast<std::size_t>(j) * ldb;
+            for (idx i = 0; i < m; ++i) {
+              bj[i] -= t * bk[i];
+            }
+          }
+          if (alpha != T(1)) {
+            for (idx i = 0; i < m; ++i) {
+              bk[i] *= alpha;
+            }
+          }
+        }
+      } else {
+        for (idx k = 0; k < n; ++k) {
+          T* bk = b + static_cast<std::size_t>(k) * ldb;
+          if (!unit) {
+            const T d = T(1) / cj(acol(k)[k]);
+            for (idx i = 0; i < m; ++i) {
+              bk[i] *= d;
+            }
+          }
+          for (idx j = k + 1; j < n; ++j) {
+            const T t = cj(acol(k)[j]);
+            if (t == T(0)) {
+              continue;
+            }
+            T* bj = b + static_cast<std::size_t>(j) * ldb;
+            for (idx i = 0; i < m; ++i) {
+              bj[i] -= t * bk[i];
+            }
+          }
+          if (alpha != T(1)) {
+            for (idx i = 0; i < m; ++i) {
+              bk[i] *= alpha;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace la::blas

@@ -1,0 +1,190 @@
+// lapack90/core/banded.hpp
+//
+// LAPACK band storage containers.
+//
+// General band (GB): an n x n matrix with kl subdiagonals and ku
+// superdiagonals is stored column-by-column in an (ldab x n) array with
+// ab(ku + i - j, j) = A(i, j). The LU factorization (gbtrf) needs kl extra
+// superdiagonal rows for fill-in, so BandMatrix allocates
+// ldab = 2*kl + ku + 1 and exposes `factor_offset()` for the solver layer
+// (data rows [kl, 2*kl+ku] hold the matrix on entry, rows [0, kl) are
+// fill-in space — the same convention as the LAPACK AB argument of xGBSV).
+//
+// Symmetric/Hermitian band (SB/HB/PB): kd diagonals beside the main one,
+// stored with ab(kd + i - j, j) (Upper) or ab(i - j, j) (Lower).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "lapack90/core/matrix.hpp"
+#include "lapack90/core/types.hpp"
+
+namespace la {
+
+/// General band matrix in LAPACK GB storage with room for LU fill-in.
+template <Scalar T>
+class BandMatrix {
+ public:
+  BandMatrix() = default;
+
+  /// n x n band matrix with kl sub- and ku superdiagonals, zeroed.
+  BandMatrix(idx n, idx kl, idx ku)
+      : n_(n), kl_(kl), ku_(ku), ldab_(2 * kl + ku + 1),
+        data_(static_cast<std::size_t>(ldab_) * std::max<idx>(n, 1)) {
+    assert(n >= 0 && kl >= 0 && ku >= 0);
+  }
+
+  [[nodiscard]] idx n() const noexcept { return n_; }
+  [[nodiscard]] idx kl() const noexcept { return kl_; }
+  [[nodiscard]] idx ku() const noexcept { return ku_; }
+  [[nodiscard]] idx ldab() const noexcept { return ldab_; }
+  /// Row offset of the main diagonal inside the storage array.
+  [[nodiscard]] idx diag_row() const noexcept { return kl_ + ku_; }
+
+  [[nodiscard]] T* data() noexcept { return data_.data(); }
+  [[nodiscard]] const T* data() const noexcept { return data_.data(); }
+
+  /// True when (i, j) lies inside the band.
+  [[nodiscard]] bool in_band(idx i, idx j) const noexcept {
+    return i - j <= kl_ && j - i <= ku_;
+  }
+
+  /// Element access for in-band entries; (i, j) must satisfy in_band().
+  [[nodiscard]] T& operator()(idx i, idx j) noexcept {
+    assert(i >= 0 && i < n_ && j >= 0 && j < n_ && in_band(i, j));
+    return data_[static_cast<std::size_t>(j) * ldab_ + (kl_ + ku_ + i - j)];
+  }
+  [[nodiscard]] const T& operator()(idx i, idx j) const noexcept {
+    assert(i >= 0 && i < n_ && j >= 0 && j < n_ && in_band(i, j));
+    return data_[static_cast<std::size_t>(j) * ldab_ + (kl_ + ku_ + i - j)];
+  }
+
+  /// Value access with zero returned outside the band.
+  [[nodiscard]] T get(idx i, idx j) const noexcept {
+    return in_band(i, j) ? (*this)(i, j) : T(0);
+  }
+
+  /// Extract the band of a dense matrix.
+  [[nodiscard]] static BandMatrix from_dense(const Matrix<T>& a, idx kl,
+                                             idx ku) {
+    assert(a.rows() == a.cols());
+    BandMatrix b(a.rows(), kl, ku);
+    for (idx j = 0; j < b.n_; ++j) {
+      const idx lo = std::max<idx>(0, j - ku);
+      const idx hi = std::min<idx>(b.n_ - 1, j + kl);
+      for (idx i = lo; i <= hi; ++i) {
+        b(i, j) = a(i, j);
+      }
+    }
+    return b;
+  }
+
+  /// Expand to a dense matrix (test/debug helper).
+  [[nodiscard]] Matrix<T> to_dense() const {
+    Matrix<T> a(n_, n_);
+    for (idx j = 0; j < n_; ++j) {
+      const idx lo = std::max<idx>(0, j - ku_);
+      const idx hi = std::min<idx>(n_ - 1, j + kl_);
+      for (idx i = lo; i <= hi; ++i) {
+        a(i, j) = (*this)(i, j);
+      }
+    }
+    return a;
+  }
+
+ private:
+  idx n_ = 0;
+  idx kl_ = 0;
+  idx ku_ = 0;
+  idx ldab_ = 1;
+  std::vector<T> data_;
+};
+
+/// Symmetric/Hermitian band matrix in LAPACK SB/HB/PB storage.
+template <Scalar T>
+class SymBandMatrix {
+ public:
+  SymBandMatrix() = default;
+
+  SymBandMatrix(idx n, idx kd, Uplo uplo)
+      : n_(n), kd_(kd), uplo_(uplo), ldab_(kd + 1),
+        data_(static_cast<std::size_t>(ldab_) * std::max<idx>(n, 1)) {
+    assert(n >= 0 && kd >= 0);
+  }
+
+  [[nodiscard]] idx n() const noexcept { return n_; }
+  [[nodiscard]] idx kd() const noexcept { return kd_; }
+  [[nodiscard]] Uplo uplo() const noexcept { return uplo_; }
+  [[nodiscard]] idx ldab() const noexcept { return ldab_; }
+
+  [[nodiscard]] T* data() noexcept { return data_.data(); }
+  [[nodiscard]] const T* data() const noexcept { return data_.data(); }
+
+  /// Access the stored triangle: requires j >= i for Upper (i >= j for
+  /// Lower) and |i - j| <= kd.
+  [[nodiscard]] T& operator()(idx i, idx j) noexcept {
+    assert(i >= 0 && i < n_ && j >= 0 && j < n_);
+    if (uplo_ == Uplo::Upper) {
+      assert(j >= i && j - i <= kd_);
+      return data_[static_cast<std::size_t>(j) * ldab_ + (kd_ + i - j)];
+    }
+    assert(i >= j && i - j <= kd_);
+    return data_[static_cast<std::size_t>(j) * ldab_ + (i - j)];
+  }
+  [[nodiscard]] const T& operator()(idx i, idx j) const noexcept {
+    return const_cast<SymBandMatrix&>(*this)(i, j);
+  }
+
+  /// Logical element value (symmetric / Hermitian completion applied).
+  [[nodiscard]] T get(idx i, idx j) const noexcept {
+    if (std::abs(static_cast<long>(i) - static_cast<long>(j)) >
+        static_cast<long>(kd_)) {
+      return T(0);
+    }
+    const bool stored =
+        uplo_ == Uplo::Upper ? (j >= i) : (i >= j);
+    if (stored) {
+      return (*this)(i, j);
+    }
+    return conj_if((*this)(j, i));
+  }
+
+  [[nodiscard]] static SymBandMatrix from_dense(const Matrix<T>& a, idx kd,
+                                                Uplo uplo) {
+    assert(a.rows() == a.cols());
+    SymBandMatrix b(a.rows(), kd, uplo);
+    for (idx j = 0; j < b.n_; ++j) {
+      if (uplo == Uplo::Upper) {
+        for (idx i = std::max<idx>(0, j - kd); i <= j; ++i) {
+          b(i, j) = a(i, j);
+        }
+      } else {
+        for (idx i = j; i <= std::min<idx>(b.n_ - 1, j + kd); ++i) {
+          b(i, j) = a(i, j);
+        }
+      }
+    }
+    return b;
+  }
+
+  [[nodiscard]] Matrix<T> to_dense() const {
+    Matrix<T> a(n_, n_);
+    for (idx j = 0; j < n_; ++j) {
+      for (idx i = 0; i < n_; ++i) {
+        a(i, j) = get(i, j);
+      }
+    }
+    return a;
+  }
+
+ private:
+  idx n_ = 0;
+  idx kd_ = 0;
+  Uplo uplo_ = Uplo::Upper;
+  idx ldab_ = 1;
+  std::vector<T> data_;
+};
+
+}  // namespace la

@@ -1,0 +1,48 @@
+// lapack90/core/env.hpp
+//
+// The ILAENV analog: per-routine blocking parameters. LAPACK centralises
+// machine tuning in ILAENV; the F90 wrappers query it to size workspaces
+// (the paper's LA_GETRI listing calls ILAENV to pick NB). We keep the same
+// contract — a process-wide, overridable table keyed by routine family —
+// so benches can ablate block sizes and tests can force the unblocked path.
+#pragma once
+
+#include "lapack90/core/types.hpp"
+
+namespace la {
+
+/// Tuning query kinds, mirroring ILAENV's ISPEC values we use.
+enum class EnvSpec : int {
+  BlockSize = 1,       ///< optimal block size NB
+  MinBlockSize = 2,    ///< minimum block size for the blocked path
+  Crossover = 3,       ///< crossover point N below which unblocked is used
+};
+
+/// Routine families with distinct tuning entries.
+enum class EnvRoutine : int {
+  getrf = 0,
+  potrf,
+  geqrf,
+  gelqf,
+  ormqr,
+  getri,
+  sytrd,
+  gehrd,
+  gebrd,
+  gemm,
+  count_,  // sentinel
+};
+
+/// ILAENV equivalent: returns the tuning value for (spec, routine) given
+/// the problem size n. Never returns less than 1.
+[[nodiscard]] idx ilaenv(EnvSpec spec, EnvRoutine routine, idx n) noexcept;
+
+/// Override a tuning value for the whole process (0 restores the default).
+/// Returns the previous override (0 when none was set).
+idx set_env_override(EnvSpec spec, EnvRoutine routine, idx value) noexcept;
+
+/// Convenience: the block size actually used for `routine` at size n —
+/// applies the crossover rule (nb=1 below the crossover point).
+[[nodiscard]] idx block_size(EnvRoutine routine, idx n) noexcept;
+
+}  // namespace la

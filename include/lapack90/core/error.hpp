@@ -1,0 +1,89 @@
+// lapack90/core/error.hpp
+//
+// The C++ analog of the paper's ERINFO protocol (Appendix D).
+//
+// Every F90-layer routine validates its arguments, runs the computation,
+// and finishes with `erinfo(linfo, "LA_GESV", info, istat)`:
+//
+//   * linfo == 0            — success; *info = 0 if requested.
+//   * -200 < linfo < 0      — argument `-linfo` is illegal.
+//   * linfo > 0             — numerical failure (e.g. U(i,i) == 0).
+//   * linfo == -100         — internal workspace allocation failed
+//                             (ALLOCATE ... STAT /= 0 in the paper).
+//   * linfo <= -200         — warning only (e.g. -200: fell back to the
+//                             minimal workspace); never fatal.
+//
+// If the caller passed an `info` out-pointer the code is stored there, as
+// with the OPTIONAL INFO argument. If not, a fatal code terminates the call
+// by throwing la::Error carrying the same message the FORTRAN version
+// printed before STOP. Warnings without an `info` sink are forwarded to a
+// test-visible hook (default: counted, message recorded).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "lapack90/core/types.hpp"
+
+namespace la {
+
+/// Exception thrown when an F90-layer routine fails and the caller did not
+/// supply an `info` out-parameter — the analog of ERINFO's STOP.
+class Error : public std::runtime_error {
+ public:
+  Error(std::string routine, idx info_code, std::string message)
+      : std::runtime_error(std::move(message)),
+        routine_(std::move(routine)),
+        info_(info_code) {}
+
+  /// The LA_* routine name ("LA_GESV").
+  [[nodiscard]] const std::string& routine() const noexcept {
+    return routine_;
+  }
+  /// The INFO code that would have been returned.
+  [[nodiscard]] idx info() const noexcept { return info_; }
+
+ private:
+  std::string routine_;
+  idx info_;
+};
+
+namespace detail {
+
+/// Warning sink state, queryable from tests (see warning_count()).
+struct WarningLog {
+  unsigned long count = 0;
+  std::string last_routine;
+  idx last_code = 0;
+};
+
+WarningLog& warning_log() noexcept;
+
+}  // namespace detail
+
+/// Number of -200-class warnings emitted so far with no `info` sink.
+[[nodiscard]] unsigned long warning_count() noexcept;
+
+/// Reset the warning counter (test helper).
+void reset_warning_count() noexcept;
+
+/// Code and routine of the most recent warning.
+[[nodiscard]] idx last_warning_code() noexcept;
+[[nodiscard]] std::string last_warning_routine();
+
+/// The ERINFO routine itself. `linfo` is the local status computed by the
+/// wrapper, `srname` the user-facing routine name, `info` the caller's
+/// optional out-parameter (nullptr when absent), `istat` the allocation
+/// status when linfo == -100.
+void erinfo(idx linfo, const char* srname, idx* info = nullptr, idx istat = 0);
+
+/// Allocation-failure injection hook for tests of the -100 path: when set
+/// to a positive value, the next `n` internal workspace allocations in the
+/// F90 layer report failure. Returns the previous value.
+int inject_alloc_failures(int n) noexcept;
+
+/// Used by the F90 layer before each internal allocation; true means
+/// "pretend ALLOCATE failed".
+[[nodiscard]] bool alloc_should_fail() noexcept;
+
+}  // namespace la

@@ -1,0 +1,272 @@
+// lapack90/core/matrix.hpp
+//
+// Dense column-major containers used by the F90-style interface layer.
+//
+// `Matrix<T>` is the C++ analog of a FORTRAN 90 rank-2 allocatable array:
+// the high-level LA_* routines deduce problem dimensions from its shape
+// exactly as the FORTRAN interface does with SIZE(A,1)/SIZE(A,2).
+// `Vector<T>` is the rank-1 analog (the paper's B(:) overloads).
+//
+// The computational layer underneath (blas/, lapack/) works on raw
+// pointer + leading-dimension triples, mirroring LAPACK 77; `MatrixView`
+// provides a cheap non-owning bridge between the two worlds.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <initializer_list>
+#include <utility>
+#include <vector>
+
+#include "lapack90/core/types.hpp"
+
+namespace la {
+
+template <Scalar T>
+class MatrixView;
+template <Scalar T>
+class ConstMatrixView;
+
+/// Owning dense column-major matrix. Storage is contiguous with leading
+/// dimension equal to the row count, like a freshly ALLOCATEd FORTRAN array.
+template <Scalar T>
+class Matrix {
+ public:
+  using value_type = T;
+
+  Matrix() = default;
+
+  /// rows x cols matrix, zero initialised.
+  Matrix(idx rows, idx cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols)) {
+    assert(rows >= 0 && cols >= 0);
+  }
+
+  /// Build from rows of values (row-major initializer for readable tests):
+  ///   Matrix<double> a{{1,2},{3,4}};
+  Matrix(std::initializer_list<std::initializer_list<T>> rows_init) {
+    rows_ = static_cast<idx>(rows_init.size());
+    cols_ = rows_ == 0 ? 0 : static_cast<idx>(rows_init.begin()->size());
+    data_.assign(static_cast<std::size_t>(rows_) * cols_, T(0));
+    idx i = 0;
+    for (const auto& row : rows_init) {
+      assert(static_cast<idx>(row.size()) == cols_);
+      idx j = 0;
+      for (const T& v : row) {
+        (*this)(i, j) = v;
+        ++j;
+      }
+      ++i;
+    }
+  }
+
+  [[nodiscard]] idx rows() const noexcept { return rows_; }
+  [[nodiscard]] idx cols() const noexcept { return cols_; }
+  /// Leading dimension; equals rows() for an owning matrix but kept >= 1 so
+  /// the value is always legal to pass to an xGEMM-style kernel.
+  [[nodiscard]] idx ld() const noexcept { return std::max<idx>(rows_, 1); }
+  [[nodiscard]] bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+
+  [[nodiscard]] T* data() noexcept { return data_.data(); }
+  [[nodiscard]] const T* data() const noexcept { return data_.data(); }
+
+  [[nodiscard]] T& operator()(idx i, idx j) noexcept {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(j) * rows_ + i];
+  }
+  [[nodiscard]] const T& operator()(idx i, idx j) const noexcept {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(j) * rows_ + i];
+  }
+
+  /// Resize, discarding contents (REALLOCATE semantics).
+  void resize(idx rows, idx cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(static_cast<std::size_t>(rows) * cols, T(0));
+  }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  void set_identity() {
+    fill(T(0));
+    const idx n = std::min(rows_, cols_);
+    for (idx i = 0; i < n; ++i) {
+      (*this)(i, i) = T(1);
+    }
+  }
+
+  /// Pointer to column j (the &A(1,J) idiom).
+  [[nodiscard]] T* col(idx j) noexcept {
+    assert(j >= 0 && j < cols_);
+    return data_.data() + static_cast<std::size_t>(j) * rows_;
+  }
+  [[nodiscard]] const T* col(idx j) const noexcept {
+    assert(j >= 0 && j < cols_);
+    return data_.data() + static_cast<std::size_t>(j) * rows_;
+  }
+
+  /// Non-owning view of the block A(i0:i0+m-1, j0:j0+n-1).
+  [[nodiscard]] MatrixView<T> view(idx i0 = 0, idx j0 = 0, idx m = -1,
+                                   idx n = -1) noexcept;
+  [[nodiscard]] ConstMatrixView<T> view(idx i0 = 0, idx j0 = 0, idx m = -1,
+                                        idx n = -1) const noexcept;
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  idx rows_ = 0;
+  idx cols_ = 0;
+  std::vector<T> data_;
+};
+
+/// Owning dense vector (rank-1 FORTRAN array analog).
+template <Scalar T>
+class Vector {
+ public:
+  using value_type = T;
+
+  Vector() = default;
+  explicit Vector(idx n) : data_(static_cast<std::size_t>(n)) {
+    assert(n >= 0);
+  }
+  Vector(std::initializer_list<T> init) : data_(init) {}
+
+  [[nodiscard]] idx size() const noexcept {
+    return static_cast<idx>(data_.size());
+  }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] T* data() noexcept { return data_.data(); }
+  [[nodiscard]] const T* data() const noexcept { return data_.data(); }
+
+  [[nodiscard]] T& operator[](idx i) noexcept {
+    assert(i >= 0 && i < size());
+    return data_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] const T& operator[](idx i) const noexcept {
+    assert(i >= 0 && i < size());
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  void resize(idx n) { data_.assign(static_cast<std::size_t>(n), T(0)); }
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  [[nodiscard]] auto begin() noexcept { return data_.begin(); }
+  [[nodiscard]] auto end() noexcept { return data_.end(); }
+  [[nodiscard]] auto begin() const noexcept { return data_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return data_.end(); }
+
+  friend bool operator==(const Vector& a, const Vector& b) {
+    return a.data_ == b.data_;
+  }
+
+ private:
+  std::vector<T> data_;
+};
+
+/// Non-owning mutable view with an explicit leading dimension — the C++
+/// spelling of "A(LDA,*) with LDA >= M". All computational kernels accept
+/// raw (ptr, ld) pairs, so a view is just a convenience bundle.
+template <Scalar T>
+class MatrixView {
+ public:
+  MatrixView(T* data, idx rows, idx cols, idx ld) noexcept
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    assert(ld >= std::max<idx>(rows, 1));
+  }
+  explicit MatrixView(Matrix<T>& a) noexcept
+      : MatrixView(a.data(), a.rows(), a.cols(), a.ld()) {}
+
+  [[nodiscard]] idx rows() const noexcept { return rows_; }
+  [[nodiscard]] idx cols() const noexcept { return cols_; }
+  [[nodiscard]] idx ld() const noexcept { return ld_; }
+  [[nodiscard]] T* data() const noexcept { return data_; }
+
+  [[nodiscard]] T& operator()(idx i, idx j) const noexcept {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(j) * ld_ + i];
+  }
+
+  [[nodiscard]] MatrixView block(idx i0, idx j0, idx m, idx n) const noexcept {
+    assert(i0 + m <= rows_ && j0 + n <= cols_);
+    return MatrixView(data_ + static_cast<std::size_t>(j0) * ld_ + i0, m, n,
+                      ld_);
+  }
+
+ private:
+  T* data_;
+  idx rows_;
+  idx cols_;
+  idx ld_;
+};
+
+/// Non-owning read-only view.
+template <Scalar T>
+class ConstMatrixView {
+ public:
+  ConstMatrixView(const T* data, idx rows, idx cols, idx ld) noexcept
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    assert(ld >= std::max<idx>(rows, 1));
+  }
+  explicit ConstMatrixView(const Matrix<T>& a) noexcept
+      : ConstMatrixView(a.data(), a.rows(), a.cols(), a.ld()) {}
+  ConstMatrixView(MatrixView<T> v) noexcept  // NOLINT(google-explicit-constructor)
+      : ConstMatrixView(v.data(), v.rows(), v.cols(), v.ld()) {}
+
+  [[nodiscard]] idx rows() const noexcept { return rows_; }
+  [[nodiscard]] idx cols() const noexcept { return cols_; }
+  [[nodiscard]] idx ld() const noexcept { return ld_; }
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+
+  [[nodiscard]] const T& operator()(idx i, idx j) const noexcept {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(j) * ld_ + i];
+  }
+
+  [[nodiscard]] ConstMatrixView block(idx i0, idx j0, idx m,
+                                      idx n) const noexcept {
+    assert(i0 + m <= rows_ && j0 + n <= cols_);
+    return ConstMatrixView(data_ + static_cast<std::size_t>(j0) * ld_ + i0, m,
+                           n, ld_);
+  }
+
+ private:
+  const T* data_;
+  idx rows_;
+  idx cols_;
+  idx ld_;
+};
+
+template <Scalar T>
+MatrixView<T> Matrix<T>::view(idx i0, idx j0, idx m, idx n) noexcept {
+  if (m < 0) {
+    m = rows_ - i0;
+  }
+  if (n < 0) {
+    n = cols_ - j0;
+  }
+  assert(i0 >= 0 && j0 >= 0 && i0 + m <= rows_ && j0 + n <= cols_);
+  return MatrixView<T>(data() + static_cast<std::size_t>(j0) * ld() + i0, m, n,
+                       ld());
+}
+
+template <Scalar T>
+ConstMatrixView<T> Matrix<T>::view(idx i0, idx j0, idx m,
+                                   idx n) const noexcept {
+  if (m < 0) {
+    m = rows_ - i0;
+  }
+  if (n < 0) {
+    n = cols_ - j0;
+  }
+  assert(i0 >= 0 && j0 >= 0 && i0 + m <= rows_ && j0 + n <= cols_);
+  return ConstMatrixView<T>(data() + static_cast<std::size_t>(j0) * ld() + i0,
+                            m, n, ld());
+}
+
+}  // namespace la

@@ -1,0 +1,106 @@
+// lapack90/core/packed.hpp
+//
+// LAPACK packed triangular storage (the AP arrays of xPPSV / xSPSV /
+// LA_PPSV / LA_SPSV). The upper or lower triangle of an n x n symmetric /
+// Hermitian matrix is stored column-by-column in a length n(n+1)/2 vector:
+//
+//   Upper: A(i, j) for i <= j at ap[i + j(j+1)/2]
+//   Lower: A(i, j) for i >= j at ap[i + (2n - j - 1) j / 2]
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "lapack90/core/matrix.hpp"
+#include "lapack90/core/types.hpp"
+
+namespace la {
+
+/// Index into a packed triangle (0-based); usable directly on raw AP
+/// pointers in the computational layer.
+[[nodiscard]] constexpr std::size_t packed_index(Uplo uplo, idx n, idx i,
+                                                 idx j) noexcept {
+  if (uplo == Uplo::Upper) {
+    return static_cast<std::size_t>(i) +
+           static_cast<std::size_t>(j) * (static_cast<std::size_t>(j) + 1) / 2;
+  }
+  return static_cast<std::size_t>(i) +
+         static_cast<std::size_t>(2 * n - j - 1) * static_cast<std::size_t>(j) /
+             2;
+}
+
+/// Number of stored elements for an n x n packed triangle.
+[[nodiscard]] constexpr std::size_t packed_size(idx n) noexcept {
+  return static_cast<std::size_t>(n) * (static_cast<std::size_t>(n) + 1) / 2;
+}
+
+/// Owning packed symmetric/Hermitian matrix.
+template <Scalar T>
+class PackedMatrix {
+ public:
+  PackedMatrix() = default;
+
+  PackedMatrix(idx n, Uplo uplo)
+      : n_(n), uplo_(uplo), data_(packed_size(n)) {
+    assert(n >= 0);
+  }
+
+  [[nodiscard]] idx n() const noexcept { return n_; }
+  [[nodiscard]] Uplo uplo() const noexcept { return uplo_; }
+  [[nodiscard]] T* data() noexcept { return data_.data(); }
+  [[nodiscard]] const T* data() const noexcept { return data_.data(); }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+
+  /// Access a stored-triangle entry; requires i <= j (Upper) / i >= j (Lower).
+  [[nodiscard]] T& operator()(idx i, idx j) noexcept {
+    assert(i >= 0 && i < n_ && j >= 0 && j < n_);
+    assert(uplo_ == Uplo::Upper ? i <= j : i >= j);
+    return data_[packed_index(uplo_, n_, i, j)];
+  }
+  [[nodiscard]] const T& operator()(idx i, idx j) const noexcept {
+    return const_cast<PackedMatrix&>(*this)(i, j);
+  }
+
+  /// Logical element (symmetric/Hermitian completion applied).
+  [[nodiscard]] T get(idx i, idx j) const noexcept {
+    const bool stored = uplo_ == Uplo::Upper ? (i <= j) : (i >= j);
+    if (stored) {
+      return (*this)(i, j);
+    }
+    return conj_if((*this)(j, i));
+  }
+
+  [[nodiscard]] static PackedMatrix from_dense(const Matrix<T>& a, Uplo uplo) {
+    assert(a.rows() == a.cols());
+    PackedMatrix p(a.rows(), uplo);
+    for (idx j = 0; j < p.n_; ++j) {
+      if (uplo == Uplo::Upper) {
+        for (idx i = 0; i <= j; ++i) {
+          p(i, j) = a(i, j);
+        }
+      } else {
+        for (idx i = j; i < p.n_; ++i) {
+          p(i, j) = a(i, j);
+        }
+      }
+    }
+    return p;
+  }
+
+  [[nodiscard]] Matrix<T> to_dense() const {
+    Matrix<T> a(n_, n_);
+    for (idx j = 0; j < n_; ++j) {
+      for (idx i = 0; i < n_; ++i) {
+        a(i, j) = get(i, j);
+      }
+    }
+    return a;
+  }
+
+ private:
+  idx n_ = 0;
+  Uplo uplo_ = Uplo::Upper;
+  std::vector<T> data_;
+};
+
+}  // namespace la

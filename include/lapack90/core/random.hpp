@@ -1,0 +1,152 @@
+// lapack90/core/random.hpp
+//
+// Deterministic random number generation for test-matrix generators
+// (the xLARNV / ISEED machinery behind LA_LAGGE).
+//
+// LAPACK's xLARUV is a 48-bit multiplicative congruential generator seeded
+// by a 4-element ISEED array. We keep the same *interface* — an ISEED
+// four-vector, IDIST distribution codes, identical results for identical
+// seeds — on top of a 64-bit SplitMix/xorshift core (documented
+// substitution: any high-quality deterministic stream exercises the same
+// code paths; bit-exact parity with netlib streams is not required by any
+// experiment).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+#include "lapack90/core/types.hpp"
+
+namespace la {
+
+/// LARNV distribution selector.
+enum class Dist : int {
+  Uniform01 = 1,   ///< uniform on (0, 1)
+  Uniform11 = 2,   ///< uniform on (-1, 1)
+  Normal = 3,      ///< standard normal
+  UnitDisc = 4,    ///< complex: uniform in |z| < 1 (falls back to Normal for real)
+  UnitCircle = 5,  ///< complex: uniform on |z| = 1 (falls back to Uniform11 for real)
+};
+
+/// The ISEED analog: 4 integers, each in [0, 4095], last one odd — the
+/// LAPACK convention, preserved so call sites read like the originals.
+using Iseed = std::array<idx, 4>;
+
+/// Default seed used by the netlib test programs.
+[[nodiscard]] inline Iseed default_iseed() noexcept { return {0, 0, 0, 1}; }
+
+/// Deterministic stream with LAPACK-style ISEED state. The 4-vector is
+/// packed into 48 bits, advanced with a SplitMix64 step, and unpacked on
+/// the way out so the caller-visible contract ("pass ISEED on, it
+/// advances") matches xLARNV.
+class RandomStream {
+ public:
+  explicit RandomStream(Iseed& iseed) noexcept : iseed_(iseed) {
+    state_ = (static_cast<std::uint64_t>(iseed[0] & 4095) << 36) |
+             (static_cast<std::uint64_t>(iseed[1] & 4095) << 24) |
+             (static_cast<std::uint64_t>(iseed[2] & 4095) << 12) |
+             static_cast<std::uint64_t>(iseed[3] & 4095);
+    state_ ^= 0x9E3779B97F4A7C15ULL;
+  }
+
+  ~RandomStream() { writeback(); }
+
+  RandomStream(const RandomStream&) = delete;
+  RandomStream& operator=(const RandomStream&) = delete;
+
+  /// Next raw 64-bit value (SplitMix64).
+  [[nodiscard]] std::uint64_t next_bits() noexcept {
+    state_ += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform on (0, 1), never exactly 0 or 1.
+  template <RealScalar R>
+  [[nodiscard]] R uniform01() noexcept {
+    // 53 random bits -> (0,1); +0.5 offset keeps it strictly inside.
+    const double u =
+        (static_cast<double>(next_bits() >> 11) + 0.5) * 0x1.0p-53;
+    return static_cast<R>(u);
+  }
+
+  /// Uniform on (-1, 1).
+  template <RealScalar R>
+  [[nodiscard]] R uniform11() noexcept {
+    return R(2) * uniform01<R>() - R(1);
+  }
+
+  /// Standard normal via Box-Muller.
+  template <RealScalar R>
+  [[nodiscard]] R normal() noexcept {
+    const double u1 = uniform01<double>();
+    const double u2 = uniform01<double>();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    return static_cast<R>(r * std::cos(2.0 * std::numbers::pi * u2));
+  }
+
+  /// One scalar of type T from distribution `dist`.
+  template <Scalar T>
+  [[nodiscard]] T draw(Dist dist) noexcept {
+    using R = real_t<T>;
+    if constexpr (is_complex_v<T>) {
+      switch (dist) {
+        case Dist::Uniform01:
+          return T(uniform01<R>(), uniform01<R>());
+        case Dist::Uniform11:
+          return T(uniform11<R>(), uniform11<R>());
+        case Dist::Normal:
+          return T(normal<R>(), normal<R>());
+        case Dist::UnitDisc: {
+          const double r = std::sqrt(uniform01<double>());
+          const double t = 2.0 * std::numbers::pi * uniform01<double>();
+          return T(static_cast<R>(r * std::cos(t)),
+                   static_cast<R>(r * std::sin(t)));
+        }
+        case Dist::UnitCircle: {
+          const double t = 2.0 * std::numbers::pi * uniform01<double>();
+          return T(static_cast<R>(std::cos(t)), static_cast<R>(std::sin(t)));
+        }
+      }
+    } else {
+      switch (dist) {
+        case Dist::Uniform01:
+          return uniform01<T>();
+        case Dist::Uniform11:
+          return uniform11<T>();
+        case Dist::Normal:
+        case Dist::UnitDisc:
+          return normal<T>();
+        case Dist::UnitCircle:
+          return uniform11<T>();
+      }
+    }
+    return T(0);
+  }
+
+ private:
+  void writeback() noexcept {
+    iseed_[0] = static_cast<idx>((state_ >> 36) & 4095);
+    iseed_[1] = static_cast<idx>((state_ >> 24) & 4095);
+    iseed_[2] = static_cast<idx>((state_ >> 12) & 4095);
+    iseed_[3] = static_cast<idx>(((state_ & 4095) | 1));  // keep it odd
+  }
+
+  Iseed& iseed_;
+  std::uint64_t state_;
+};
+
+/// xLARNV: fill x[0..n) with n draws from `dist`, advancing iseed.
+template <Scalar T>
+void larnv(Dist dist, Iseed& iseed, idx n, T* x) noexcept {
+  RandomStream rng(iseed);
+  for (idx i = 0; i < n; ++i) {
+    x[i] = rng.draw<T>(dist);
+  }
+}
+
+}  // namespace la

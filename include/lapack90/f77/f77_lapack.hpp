@@ -1,0 +1,529 @@
+// lapack90/f77/f77_lapack.hpp
+//
+// The F77_LAPACK module analog (paper §2, Appendix A): generic *names*
+// with the explicit LAPACK 77 argument lists. In FORTRAN 90 this module
+// is a set of interface blocks mapping LA_GESV onto SGESV/DGESV/CGESV/
+// ZGESV; in C++ a single function template per routine achieves the same
+// compile-time resolution, which is exactly the repro hint of the paper.
+//
+//   CALL LA_GESV( N, NRHS, A, LDA, IPIV, B, LDB, INFO )
+//   ->  la::f77::la_gesv(n, nrhs, a, lda, ipiv, b, ldb, info);
+//
+// Departures from FORTRAN, documented once here:
+//   * pivot arrays are 0-based except the xSYTRF family, whose signed
+//     1-based encoding is semantic (see lapack/ldlt.hpp);
+//   * INFO is a reference out-parameter (no optional arguments at this
+//     layer — that is the F90 layer's job);
+//   * CHARACTER*1 options are scoped enums (Uplo, Trans, ...).
+#pragma once
+
+#include "lapack90/core/env.hpp"
+#include "lapack90/core/random.hpp"
+#include "lapack90/core/types.hpp"
+#include "lapack90/lapack/aux.hpp"
+#include "lapack90/lapack/banded_lu.hpp"
+#include "lapack90/lapack/cholesky.hpp"
+#include "lapack90/lapack/conest.hpp"
+#include "lapack90/lapack/eigcond.hpp"
+#include "lapack90/lapack/expert.hpp"
+#include "lapack90/lapack/geneig.hpp"
+#include "lapack90/lapack/ggsvd.hpp"
+#include "lapack90/lapack/glsq.hpp"
+#include "lapack90/lapack/ldlt.hpp"
+#include "lapack90/lapack/lls.hpp"
+#include "lapack90/lapack/lu.hpp"
+#include "lapack90/lapack/matgen.hpp"
+#include "lapack90/lapack/nonsymeig.hpp"
+#include "lapack90/lapack/norms.hpp"
+#include "lapack90/lapack/qr.hpp"
+#include "lapack90/lapack/svd.hpp"
+#include "lapack90/lapack/symeig.hpp"
+#include "lapack90/lapack/symeig_dc.hpp"
+#include "lapack90/lapack/symeig_x.hpp"
+#include "lapack90/lapack/tridiag.hpp"
+
+namespace la::f77 {
+
+// ---------------------------------------------------------------------------
+// Driver routines for linear equations
+// ---------------------------------------------------------------------------
+
+/// LA_GESV: solve A X = B by LU with partial pivoting.
+template <Scalar T>
+void la_gesv(idx n, idx nrhs, T* a, idx lda, idx* ipiv, T* b, idx ldb,
+             idx& info) {
+  info = lapack::gesv(n, nrhs, a, lda, ipiv, b, ldb);
+}
+
+/// LA_GBSV: band solve (factored-form AB layout, ldab >= 2*kl+ku+1).
+template <Scalar T>
+void la_gbsv(idx n, idx kl, idx ku, idx nrhs, T* ab, idx ldab, idx* ipiv,
+             T* b, idx ldb, idx& info) {
+  info = lapack::gbsv(n, kl, ku, nrhs, ab, ldab, ipiv, b, ldb);
+}
+
+/// LA_GTSV: general tridiagonal solve.
+template <Scalar T>
+void la_gtsv(idx n, idx nrhs, T* dl, T* d, T* du, T* b, idx ldb, idx& info) {
+  info = lapack::gtsv(n, nrhs, dl, d, du, b, ldb);
+}
+
+/// LA_POSV: symmetric/Hermitian positive definite solve.
+template <Scalar T>
+void la_posv(Uplo uplo, idx n, idx nrhs, T* a, idx lda, T* b, idx ldb,
+             idx& info) {
+  info = lapack::posv(uplo, n, nrhs, a, lda, b, ldb);
+}
+
+/// LA_PPSV: packed positive definite solve.
+template <Scalar T>
+void la_ppsv(Uplo uplo, idx n, idx nrhs, T* ap, T* b, idx ldb, idx& info) {
+  info = lapack::ppsv(uplo, n, nrhs, ap, b, ldb);
+}
+
+/// LA_PBSV: band positive definite solve.
+template <Scalar T>
+void la_pbsv(Uplo uplo, idx n, idx kd, idx nrhs, T* ab, idx ldab, T* b,
+             idx ldb, idx& info) {
+  info = lapack::pbsv(uplo, n, kd, nrhs, ab, ldab, b, ldb);
+}
+
+/// LA_PTSV: s.p.d. tridiagonal solve.
+template <Scalar T>
+void la_ptsv(idx n, idx nrhs, real_t<T>* d, T* e, T* b, idx ldb, idx& info) {
+  info = lapack::ptsv<T>(n, nrhs, d, e, b, ldb);
+}
+
+/// LA_SYSV: symmetric indefinite solve (Bunch-Kaufman).
+template <Scalar T>
+void la_sysv(Uplo uplo, idx n, idx nrhs, T* a, idx lda, idx* ipiv, T* b,
+             idx ldb, idx& info) {
+  info = lapack::sysv(uplo, n, nrhs, a, lda, ipiv, b, ldb);
+}
+
+/// LA_HESV: Hermitian indefinite solve.
+template <Scalar T>
+void la_hesv(Uplo uplo, idx n, idx nrhs, T* a, idx lda, idx* ipiv, T* b,
+             idx ldb, idx& info) {
+  info = lapack::hesv(uplo, n, nrhs, a, lda, ipiv, b, ldb);
+}
+
+/// LA_SPSV: packed symmetric indefinite solve.
+template <Scalar T>
+void la_spsv(Uplo uplo, idx n, idx nrhs, T* ap, idx* ipiv, T* b, idx ldb,
+             idx& info) {
+  info = lapack::spsv(uplo, n, nrhs, ap, ipiv, b, ldb);
+}
+
+/// LA_HPSV: packed Hermitian indefinite solve.
+template <Scalar T>
+void la_hpsv(Uplo uplo, idx n, idx nrhs, T* ap, idx* ipiv, T* b, idx ldb,
+             idx& info) {
+  info = lapack::hpsv(uplo, n, nrhs, ap, ipiv, b, ldb);
+}
+
+// ---------------------------------------------------------------------------
+// Expert drivers
+// ---------------------------------------------------------------------------
+
+/// LA_GESVX (FACT='E'/'N' via the equilibrate flag).
+template <Scalar T>
+void la_gesvx(bool equilibrate, Trans trans, idx n, idx nrhs, T* a, idx lda,
+              T* af, idx ldaf, idx* ipiv, real_t<T>* r, real_t<T>* c, T* b,
+              idx ldb, T* x, idx ldx, real_t<T>& rcond, real_t<T>* ferr,
+              real_t<T>* berr, real_t<T>* rpvgrw, idx& info) {
+  info = lapack::gesvx(equilibrate, trans, n, nrhs, a, lda, af, ldaf, ipiv, r,
+                       c, b, ldb, x, ldx, rcond, ferr, berr, rpvgrw);
+}
+
+/// LA_POSVX.
+template <Scalar T>
+void la_posvx(Uplo uplo, idx n, idx nrhs, T* a, idx lda, T* af, idx ldaf,
+              const T* b, idx ldb, T* x, idx ldx, real_t<T>& rcond, real_t<T>* ferr,
+              real_t<T>* berr, idx& info) {
+  info = lapack::posvx(uplo, n, nrhs, a, lda, af, ldaf, b, ldb, x, ldx, rcond,
+                       ferr, berr);
+}
+
+/// LA_SYSVX.
+template <Scalar T>
+void la_sysvx(Uplo uplo, idx n, idx nrhs, const T* a, idx lda, T* af,
+              idx ldaf, idx* ipiv, const T* b, idx ldb, T* x, idx ldx,
+              real_t<T>& rcond, real_t<T>* ferr, real_t<T>* berr, idx& info) {
+  info = lapack::sysvx(uplo, n, nrhs, a, lda, af, ldaf, ipiv, b, ldb, x, ldx,
+                       rcond, ferr, berr);
+}
+
+/// LA_HESVX.
+template <Scalar T>
+void la_hesvx(Uplo uplo, idx n, idx nrhs, const T* a, idx lda, T* af,
+              idx ldaf, idx* ipiv, const T* b, idx ldb, T* x, idx ldx,
+              real_t<T>& rcond, real_t<T>* ferr, real_t<T>* berr, idx& info) {
+  info = lapack::hesvx(uplo, n, nrhs, a, lda, af, ldaf, ipiv, b, ldb, x, ldx,
+                       rcond, ferr, berr);
+}
+
+/// LA_GBSVX.
+template <Scalar T>
+void la_gbsvx(Trans trans, idx n, idx kl, idx ku, idx nrhs, const T* ab,
+              idx ldab, T* afb, idx ldafb, idx* ipiv, const T* b, idx ldb,
+              T* x, idx ldx, real_t<T>& rcond, real_t<T>* ferr,
+              real_t<T>* berr, idx& info) {
+  info = lapack::gbsvx(trans, n, kl, ku, nrhs, ab, ldab, afb, ldafb, ipiv, b,
+                       ldb, x, ldx, rcond, ferr, berr);
+}
+
+/// LA_GTSVX.
+template <Scalar T>
+void la_gtsvx(Trans trans, idx n, idx nrhs, const T* dl, const T* d,
+              const T* du, T* dlf, T* df, T* duf, T* du2, idx* ipiv,
+              const T* b, idx ldb, T* x, idx ldx, real_t<T>& rcond,
+              real_t<T>* ferr, real_t<T>* berr, idx& info) {
+  info = lapack::gtsvx(trans, n, nrhs, dl, d, du, dlf, df, duf, du2, ipiv, b,
+                       ldb, x, ldx, rcond, ferr, berr);
+}
+
+/// LA_PTSVX.
+template <Scalar T>
+void la_ptsvx(idx n, idx nrhs, const real_t<T>* d, const T* e, real_t<T>* df,
+              T* ef, const T* b, idx ldb, T* x, idx ldx, real_t<T>& rcond,
+              real_t<T>* ferr, real_t<T>* berr, idx& info) {
+  info = lapack::ptsvx<T>(n, nrhs, d, e, df, ef, b, ldb, x, ldx, rcond, ferr,
+                          berr);
+}
+
+// ---------------------------------------------------------------------------
+// Least squares drivers
+// ---------------------------------------------------------------------------
+
+/// LA_GELS.
+template <Scalar T>
+void la_gels(Trans trans, idx m, idx n, idx nrhs, T* a, idx lda, T* b,
+             idx ldb, idx& info) {
+  info = lapack::gels(trans, m, n, nrhs, a, lda, b, ldb);
+}
+
+/// LA_GELSX (via the column-pivoted complete orthogonal factorization).
+template <Scalar T>
+void la_gelsx(idx m, idx n, idx nrhs, T* a, idx lda, T* b, idx ldb, idx* jpvt,
+              real_t<T> rcond, idx& rank, idx& info) {
+  info = lapack::gelsy(m, n, nrhs, a, lda, b, ldb, jpvt, rcond, rank);
+}
+
+/// LA_GELSS.
+template <Scalar T>
+void la_gelss(idx m, idx n, idx nrhs, T* a, idx lda, T* b, idx ldb,
+              real_t<T>* s, real_t<T> rcond, idx& rank, idx& info) {
+  info = lapack::gelss(m, n, nrhs, a, lda, b, ldb, s, rcond, rank);
+}
+
+/// LA_GGLSE.
+template <Scalar T>
+void la_gglse(idx m, idx n, idx p, T* a, idx lda, T* b, idx ldb, T* c, T* d,
+              T* x, idx& info) {
+  info = lapack::gglse(m, n, p, a, lda, b, ldb, c, d, x);
+}
+
+/// LA_GGGLM.
+template <Scalar T>
+void la_ggglm(idx n, idx m, idx p, T* a, idx lda, T* b, idx ldb, T* d, T* x,
+              T* y, idx& info) {
+  info = lapack::ggglm(n, m, p, a, lda, b, ldb, d, x, y);
+}
+
+// ---------------------------------------------------------------------------
+// Eigenvalue and singular value drivers
+// ---------------------------------------------------------------------------
+
+/// LA_SYEV / LA_HEEV.
+template <Scalar T>
+void la_syev(Job jobz, Uplo uplo, idx n, T* a, idx lda, real_t<T>* w,
+             idx& info) {
+  info = lapack::syev(jobz, uplo, n, a, lda, w);
+}
+
+/// LA_SYEVD / LA_HEEVD (divide and conquer).
+template <Scalar T>
+void la_syevd(Job jobz, Uplo uplo, idx n, T* a, idx lda, real_t<T>* w,
+              idx& info) {
+  info = lapack::syevd(jobz, uplo, n, a, lda, w);
+}
+
+/// LA_SYEVX / LA_HEEVX (selected eigenvalues).
+template <Scalar T>
+void la_syevx(Job jobz, lapack::Range range, Uplo uplo, idx n, T* a, idx lda,
+              real_t<T> vl, real_t<T> vu, idx il, idx iu, real_t<T> abstol,
+              idx& m, real_t<T>* w, T* z, idx ldz, idx* ifail, idx& info) {
+  info = lapack::syevx(jobz, range, uplo, n, a, lda, vl, vu, il, iu, abstol,
+                       m, w, z, ldz, ifail);
+}
+
+/// LA_STEV.
+template <RealScalar R>
+void la_stev(Job jobz, idx n, R* d, R* e, R* z, idx ldz, idx& info) {
+  info = lapack::stev(jobz, n, d, e, z, ldz);
+}
+
+/// LA_STEVD (divide and conquer).
+template <RealScalar R>
+void la_stevd(Job jobz, idx n, R* d, R* e, R* z, idx ldz, idx& info) {
+  info = lapack::stevd(jobz, n, d, e, z, ldz);
+}
+
+/// LA_SPEV / LA_HPEV.
+template <Scalar T>
+void la_spev(Job jobz, Uplo uplo, idx n, T* ap, real_t<T>* w, T* z, idx ldz,
+             idx& info) {
+  info = lapack::spev(jobz, uplo, n, ap, w, z, ldz);
+}
+
+/// LA_SBEV / LA_HBEV.
+template <Scalar T>
+void la_sbev(Job jobz, Uplo uplo, idx n, idx kd, T* ab, idx ldab,
+             real_t<T>* w, T* z, idx ldz, idx& info) {
+  info = lapack::sbev(jobz, uplo, n, kd, ab, ldab, w, z, ldz);
+}
+
+/// LA_GEEV (real: WR/WI pair convention).
+template <RealScalar R>
+void la_geev(Job jobvl, Job jobvr, idx n, R* a, idx lda, R* wr, R* wi, R* vl,
+             idx ldvl, R* vr, idx ldvr, idx& info) {
+  info = lapack::geev(jobvl, jobvr, n, a, lda, wr, wi, vl, ldvl, vr, ldvr);
+}
+
+/// LA_GEEV (complex: single W array).
+template <ComplexScalar T>
+void la_geev(Job jobvl, Job jobvr, idx n, T* a, idx lda, T* w, T* vl,
+             idx ldvl, T* vr, idx ldvr, idx& info) {
+  info = lapack::geev(jobvl, jobvr, n, a, lda, w, vl, ldvl, vr, ldvr);
+}
+
+/// LA_GEES (real).
+template <RealScalar R, class Select>
+void la_gees(Job jobvs, idx n, R* a, idx lda, idx& sdim, R* wr, R* wi, R* vs,
+             idx ldvs, Select&& select, bool do_sort, idx& info) {
+  info = lapack::gees(jobvs, n, a, lda, sdim, wr, wi, vs, ldvs,
+                      std::forward<Select>(select), do_sort);
+}
+
+/// LA_GEES (complex).
+template <ComplexScalar T, class Select>
+void la_gees(Job jobvs, idx n, T* a, idx lda, idx& sdim, T* w, T* vs,
+             idx ldvs, Select&& select, bool do_sort, idx& info) {
+  info = lapack::gees(jobvs, n, a, lda, sdim, w, vs, ldvs,
+                      std::forward<Select>(select), do_sort);
+}
+
+/// LA_GEEVX (real): expert eigendriver with balancing data and condition
+/// numbers.
+template <RealScalar R>
+void la_geevx(Job jobvl, Job jobvr, idx n, R* a, idx lda, R* wr, R* wi,
+              R* vl, idx ldvl, R* vr, idx ldvr, idx& ilo, idx& ihi, R* scale,
+              R& abnrm, R* rconde, R* rcondv, idx& info) {
+  info = lapack::geevx(jobvl, jobvr, n, a, lda, wr, wi, vl, ldvl, vr, ldvr,
+                       ilo, ihi, scale, abnrm, rconde, rcondv);
+}
+
+/// LA_GEEVX (complex).
+template <ComplexScalar T>
+void la_geevx(Job jobvl, Job jobvr, idx n, T* a, idx lda, T* w, T* vl,
+              idx ldvl, T* vr, idx ldvr, idx& ilo, idx& ihi, real_t<T>* scale,
+              real_t<T>& abnrm, real_t<T>* rconde, real_t<T>* rcondv,
+              idx& info) {
+  info = lapack::geevx(jobvl, jobvr, n, a, lda, w, vl, ldvl, vr, ldvr, ilo,
+                       ihi, scale, abnrm, rconde, rcondv);
+}
+
+/// LA_GEESX (real): expert Schur driver with cluster condition numbers.
+template <RealScalar R, class Select>
+void la_geesx(Job jobvs, idx n, R* a, idx lda, idx& sdim, R* wr, R* wi,
+              R* vs, idx ldvs, Select&& select, bool do_sort, R* rconde,
+              R* rcondv, idx& info) {
+  info = lapack::geesx(jobvs, n, a, lda, sdim, wr, wi, vs, ldvs,
+                       std::forward<Select>(select), do_sort, rconde, rcondv);
+}
+
+/// LA_GEESX (complex).
+template <ComplexScalar T, class Select>
+void la_geesx(Job jobvs, idx n, T* a, idx lda, idx& sdim, T* w, T* vs,
+              idx ldvs, Select&& select, bool do_sort, real_t<T>* rconde,
+              real_t<T>* rcondv, idx& info) {
+  info = lapack::geesx(jobvs, n, a, lda, sdim, w, vs, ldvs,
+                       std::forward<Select>(select), do_sort, rconde, rcondv);
+}
+
+/// LA_TRSYL: triangular Sylvester equation (computational routine backing
+/// the condition estimates above).
+template <Scalar T>
+void la_trsyl(Trans trana, Trans tranb, int isgn, idx m, idx n, const T* a,
+              idx lda, const T* b, idx ldb, T* c, idx ldc, real_t<T>& scale,
+              idx& info) {
+  info = lapack::trsyl(trana, tranb, isgn, m, n, a, lda, b, ldb, c, ldc,
+                       scale);
+}
+
+/// LA_GESVD.
+template <Scalar T>
+void la_gesvd(Job jobu, Job jobvt, idx m, idx n, T* a, idx lda, real_t<T>* s,
+              T* u, idx ldu, T* vt, idx ldvt, idx& info) {
+  info = lapack::gesvd(jobu, jobvt, m, n, a, lda, s, u, ldu, vt, ldvt);
+}
+
+/// LA_SYGV / LA_HEGV.
+template <Scalar T>
+void la_sygv(idx itype, Job jobz, Uplo uplo, idx n, T* a, idx lda, T* b,
+             idx ldb, real_t<T>* w, idx& info) {
+  info = lapack::sygv(itype, jobz, uplo, n, a, lda, b, ldb, w);
+}
+
+/// LA_SPGV / LA_HPGV.
+template <Scalar T>
+void la_spgv(idx itype, Job jobz, Uplo uplo, idx n, T* ap, T* bp,
+             real_t<T>* w, T* z, idx ldz, idx& info) {
+  info = lapack::spgv(itype, jobz, uplo, n, ap, bp, w, z, ldz);
+}
+
+/// LA_SBGV / LA_HBGV.
+template <Scalar T>
+void la_sbgv(Job jobz, Uplo uplo, idx n, idx ka, idx kb, T* ab, idx ldab,
+             T* bb, idx ldbb, real_t<T>* w, T* z, idx ldz, idx& info) {
+  info = lapack::sbgv(jobz, uplo, n, ka, kb, ab, ldab, bb, ldbb, w, z, ldz);
+}
+
+/// LA_GEGV (real).
+template <RealScalar R>
+void la_gegv(Job jobvl, Job jobvr, idx n, R* a, idx lda, R* b, idx ldb,
+             R* alphar, R* alphai, R* beta, R* vl, idx ldvl, R* vr, idx ldvr,
+             idx& info) {
+  info = lapack::gegv(jobvl, jobvr, n, a, lda, b, ldb, alphar, alphai, beta,
+                      vl, ldvl, vr, ldvr);
+}
+
+/// LA_GEGV (complex).
+template <ComplexScalar T>
+void la_gegv(Job jobvl, Job jobvr, idx n, T* a, idx lda, T* b, idx ldb,
+             T* alpha, T* beta, T* vl, idx ldvl, T* vr, idx ldvr, idx& info) {
+  info = lapack::gegv(jobvl, jobvr, n, a, lda, b, ldb, alpha, beta, vl, ldvl,
+                      vr, ldvr);
+}
+
+/// LA_GGSVD.
+template <Scalar T>
+void la_ggsvd(idx m, idx p, idx n, T* a, idx lda, T* b, idx ldb,
+              real_t<T>* alpha, real_t<T>* beta, T* u, idx ldu, T* v, idx ldv,
+              T* x, idx ldx, idx& info) {
+  info = lapack::ggsvd(m, p, n, a, lda, b, ldb, alpha, beta, u, ldu, v, ldv,
+                       x, ldx);
+}
+
+// ---------------------------------------------------------------------------
+// Computational routines
+// ---------------------------------------------------------------------------
+
+/// LA_GETRF.
+template <Scalar T>
+void la_getrf(idx m, idx n, T* a, idx lda, idx* ipiv, idx& info) {
+  info = lapack::getrf(m, n, a, lda, ipiv);
+}
+
+/// LA_GETRS.
+template <Scalar T>
+void la_getrs(Trans trans, idx n, idx nrhs, const T* a, idx lda,
+              const idx* ipiv, T* b, idx ldb, idx& info) {
+  info = lapack::getrs(trans, n, nrhs, a, lda, ipiv, b, ldb);
+}
+
+/// LA_GETRI (explicit workspace, as the F77 interface requires).
+template <Scalar T>
+void la_getri(idx n, T* a, idx lda, const idx* ipiv, T* work, idx lwork,
+              idx& info) {
+  info = lwork < std::max<idx>(1, n) ? -6 : lapack::getri(n, a, lda, ipiv,
+                                                          work);
+}
+
+/// LA_GECON.
+template <Scalar T>
+void la_gecon(Norm norm, idx n, const T* a, idx lda, const idx* ipiv,
+              real_t<T> anorm, real_t<T>& rcond, idx& info) {
+  info = lapack::gecon(norm, n, a, lda, ipiv, anorm, rcond);
+}
+
+/// LA_GERFS.
+template <Scalar T>
+void la_gerfs(Trans trans, idx n, idx nrhs, const T* a, idx lda, const T* af,
+              idx ldaf, const idx* ipiv, const T* b, idx ldb, T* x, idx ldx,
+              real_t<T>* ferr, real_t<T>* berr, idx& info) {
+  info = lapack::gerfs(trans, n, nrhs, a, lda, af, ldaf, ipiv, b, ldb, x, ldx,
+                       ferr, berr);
+}
+
+/// LA_GEEQU.
+template <Scalar T>
+void la_geequ(idx m, idx n, const T* a, idx lda, real_t<T>* r, real_t<T>* c,
+              real_t<T>& rowcnd, real_t<T>& colcnd, real_t<T>& amax,
+              idx& info) {
+  info = lapack::geequ(m, n, a, lda, r, c, rowcnd, colcnd, amax);
+}
+
+/// LA_POTRF.
+template <Scalar T>
+void la_potrf(Uplo uplo, idx n, T* a, idx lda, idx& info) {
+  info = lapack::potrf(uplo, n, a, lda);
+}
+
+/// LA_POTRS.
+template <Scalar T>
+void la_potrs(Uplo uplo, idx n, idx nrhs, const T* a, idx lda, T* b, idx ldb,
+              idx& info) {
+  info = lapack::potrs(uplo, n, nrhs, a, lda, b, ldb);
+}
+
+/// LA_SYGST / LA_HEGST.
+template <Scalar T>
+void la_sygst(idx itype, Uplo uplo, idx n, T* a, idx lda, const T* b, idx ldb,
+              idx& info) {
+  info = lapack::sygst(itype, uplo, n, a, lda, b, ldb);
+}
+
+/// LA_SYTRD / LA_HETRD.
+template <Scalar T>
+void la_sytrd(Uplo uplo, idx n, T* a, idx lda, real_t<T>* d, real_t<T>* e,
+              T* tau, idx& info) {
+  lapack::sytrd(uplo, n, a, lda, d, e, tau);
+  info = 0;
+}
+
+/// LA_ORGTR / LA_UNGTR.
+template <Scalar T>
+void la_orgtr(Uplo uplo, idx n, T* a, idx lda, const T* tau, idx& info) {
+  lapack::orgtr(uplo, n, a, lda, tau);
+  info = 0;
+}
+
+/// ILAENV analog exposed at this layer (the paper's LA_GETRI listing
+/// queries it for workspace sizing).
+[[nodiscard]] inline idx la_ilaenv(EnvSpec spec, EnvRoutine routine,
+                                   idx n) noexcept {
+  return ilaenv(spec, routine, n);
+}
+
+// ---------------------------------------------------------------------------
+// Matrix manipulation routines
+// ---------------------------------------------------------------------------
+
+/// LA_LANGE.
+template <Scalar T>
+[[nodiscard]] real_t<T> la_lange(Norm norm, idx m, idx n, const T* a,
+                                 idx lda) {
+  return lapack::lange(norm, m, n, a, lda);
+}
+
+/// LA_LAGGE.
+template <Scalar T>
+void la_lagge(idx m, idx n, const real_t<T>* d, T* a, idx lda, Iseed& iseed,
+              idx& info) {
+  lapack::lagge(m, n, d, a, lda, iseed);
+  info = 0;
+}
+
+}  // namespace la::f77

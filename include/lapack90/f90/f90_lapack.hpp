@@ -1,0 +1,85 @@
+// lapack90/f90/f90_lapack.hpp
+//
+// The F90_LAPACK module analog: umbrella for the generic high-level
+// interface and its export into namespace la, so user code reads exactly
+// like the paper's examples:
+//
+//   USE F90_LAPACK, ONLY: LA_GESV        |   #include <lapack90/f90/f90_lapack.hpp>
+//   CALL LA_GESV( A, B )                 |   la::gesv(A, B);
+#pragma once
+
+#include "lapack90/f90/computational.hpp"
+#include "lapack90/f90/eigen.hpp"
+#include "lapack90/f90/least_squares.hpp"
+#include "lapack90/f90/linear.hpp"
+
+namespace la {
+
+// Driver routines for linear equations.
+using f90::gbsv;
+using f90::gesv;
+using f90::gtsv;
+using f90::hesv;
+using f90::hpsv;
+using f90::pbsv;
+using f90::posv;
+using f90::ppsv;
+using f90::ptsv;
+using f90::spsv;
+using f90::sysv;
+
+// Expert drivers for linear equations.
+using f90::gbsvx;
+using f90::gesvx;
+using f90::gtsvx;
+using f90::hesvx;
+using f90::posvx;
+using f90::ptsvx;
+using f90::sysvx;
+
+// Least squares drivers.
+using f90::gels;
+using f90::gelss;
+using f90::gelsx;
+using f90::ggglm;
+using f90::gglse;
+
+// Eigenvalue / SVD drivers.
+using f90::gees;
+using f90::geesx;
+using f90::geev;
+using f90::geevx;
+using f90::gegv;
+using f90::gesvd;
+using f90::ggsvd;
+using f90::heev;
+using f90::heevd;
+using f90::hegv;
+using f90::sbev;
+using f90::sbevd;
+using f90::sbgv;
+using f90::spev;
+using f90::spevd;
+using f90::spgv;
+using f90::stev;
+using f90::stevx;
+using f90::stevd;
+using f90::syev;
+using f90::syevd;
+using f90::syevx;
+using f90::sygv;
+
+// Computational routines.
+using f90::geequ;
+using f90::gerfs;
+using f90::getrf;
+using f90::getri;
+using f90::getrs;
+using f90::lagge;
+using f90::lange;
+using f90::orgtr;
+using f90::potrf;
+using f90::sygst;
+using f90::sytrd;
+
+}  // namespace la

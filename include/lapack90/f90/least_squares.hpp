@@ -1,0 +1,159 @@
+// lapack90/f90/least_squares.hpp
+//
+// F90_LAPACK least squares drivers (paper Appendix G):
+//   LA_GELS, LA_GELSX, LA_GELSS, LA_GGLSE, LA_GGGLM.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "lapack90/core/error.hpp"
+#include "lapack90/core/matrix.hpp"
+#include "lapack90/f77/f77_lapack.hpp"
+#include "lapack90/f90/linear.hpp"
+
+namespace la::f90 {
+
+/// LA_GELS( A, B, TRANS=trans, INFO=info ): over/under-determined least
+/// squares. B must have max(m, n) rows; the solution occupies its leading
+/// rows on exit.
+template <Scalar T>
+void gels(Matrix<T>& a, Matrix<T>& b, Trans trans = Trans::NoTrans,
+          idx* info = nullptr) {
+  idx linfo = 0;
+  const idx m = a.rows();
+  const idx n = a.cols();
+  if (b.rows() != std::max(m, n)) {
+    linfo = -2;
+  } else {
+    f77::la_gels(trans, m, n, b.cols(), a.data(), a.ld(), b.data(), b.ld(),
+                 linfo);
+  }
+  erinfo(linfo, "LA_GELS", info);
+}
+
+/// LA_GELSX( A, B, RANK=rank, JPVT=jpvt, RCOND=rcond, INFO=info ):
+/// minimum-norm least squares by complete orthogonal factorization.
+template <Scalar T>
+void gelsx(Matrix<T>& a, Matrix<T>& b, idx* rank = nullptr,
+           std::span<idx> jpvt = {}, real_t<T> rcond = real_t<T>(-1),
+           idx* info = nullptr) {
+  idx linfo = 0;
+  const idx m = a.rows();
+  const idx n = a.cols();
+  std::vector<idx> jp_store;
+  idx* jp = jpvt.data();
+  idx lrank = 0;
+  if (b.rows() != std::max(m, n)) {
+    linfo = -2;
+  } else if (!jpvt.empty() && static_cast<idx>(jpvt.size()) != n) {
+    linfo = -4;
+  } else {
+    if (rcond < real_t<T>(0)) {
+      rcond = eps<T>() * real_t<T>(std::max(m, n));
+    }
+    if (jpvt.empty()) {
+      if (detail::allocate(jp_store, static_cast<std::size_t>(n), linfo)) {
+        jp = jp_store.data();
+      }
+    }
+    if (linfo == 0) {
+      f77::la_gelsx(m, n, b.cols(), a.data(), a.ld(), b.data(), b.ld(), jp,
+                    rcond, lrank, linfo);
+    }
+  }
+  if (rank != nullptr) {
+    *rank = lrank;
+  }
+  erinfo(linfo, "LA_GELSX", info);
+}
+
+/// LA_GELSS( A, B, RANK=rank, S=s, RCOND=rcond, INFO=info ): SVD-based
+/// minimum-norm least squares.
+template <Scalar T>
+void gelss(Matrix<T>& a, Matrix<T>& b, idx* rank = nullptr,
+           std::span<real_t<T>> s = {}, real_t<T> rcond = real_t<T>(-1),
+           idx* info = nullptr) {
+  idx linfo = 0;
+  const idx m = a.rows();
+  const idx n = a.cols();
+  const idx mn = std::min(m, n);
+  std::vector<real_t<T>> s_store;
+  real_t<T>* sv = s.data();
+  idx lrank = 0;
+  if (b.rows() != std::max(m, n)) {
+    linfo = -2;
+  } else if (!s.empty() && static_cast<idx>(s.size()) != mn) {
+    linfo = -4;
+  } else {
+    if (s.empty()) {
+      if (detail::allocate(s_store,
+                           static_cast<std::size_t>(std::max<idx>(mn, 1)),
+                           linfo)) {
+        sv = s_store.data();
+      }
+    }
+    if (linfo == 0) {
+      f77::la_gelss(m, n, b.cols(), a.data(), a.ld(), b.data(), b.ld(), sv,
+                    rcond, lrank, linfo);
+    }
+  }
+  if (rank != nullptr) {
+    *rank = lrank;
+  }
+  erinfo(linfo, "LA_GELSS", info);
+}
+
+/// LA_GGLSE( A, B, C, D, X, INFO=info ): equality-constrained least
+/// squares — minimize ||c - A x|| subject to B x = d.
+template <Scalar T>
+void gglse(Matrix<T>& a, Matrix<T>& b, Vector<T>& c, Vector<T>& d,
+           Vector<T>& x, idx* info = nullptr) {
+  idx linfo = 0;
+  const idx m = a.rows();
+  const idx n = a.cols();
+  const idx p = b.rows();
+  if (b.cols() != n) {
+    linfo = -2;
+  } else if (c.size() != m) {
+    linfo = -3;
+  } else if (d.size() != p) {
+    linfo = -4;
+  } else if (x.size() != n) {
+    linfo = -5;
+  } else if (p > n || n > m + p) {
+    linfo = -1;
+  } else {
+    f77::la_gglse(m, n, p, a.data(), a.ld(), b.data(), b.ld(), c.data(),
+                  d.data(), x.data(), linfo);
+  }
+  erinfo(linfo, "LA_GGLSE", info);
+}
+
+/// LA_GGGLM( A, B, D, X, Y, INFO=info ): Gauss-Markov linear model —
+/// minimize ||y|| subject to d = A x + B y.
+template <Scalar T>
+void ggglm(Matrix<T>& a, Matrix<T>& b, Vector<T>& d, Vector<T>& x,
+           Vector<T>& y, idx* info = nullptr) {
+  idx linfo = 0;
+  const idx n = a.rows();
+  const idx m = a.cols();
+  const idx p = b.cols();
+  if (b.rows() != n) {
+    linfo = -2;
+  } else if (d.size() != n) {
+    linfo = -3;
+  } else if (x.size() != m) {
+    linfo = -4;
+  } else if (y.size() != p) {
+    linfo = -5;
+  } else if (m > n || n > m + p) {
+    linfo = -1;
+  } else {
+    f77::la_ggglm(n, m, p, a.data(), a.ld(), b.data(), b.ld(), d.data(),
+                  x.data(), y.data(), linfo);
+  }
+  erinfo(linfo, "LA_GGGLM", info);
+}
+
+}  // namespace la::f90

@@ -1,0 +1,168 @@
+// lapack90/lapack/banded_lu.hpp
+//
+// Band LU with partial pivoting — the substrate under LA_GBSV / LA_GBSVX.
+//
+// Storage follows xGBTRF: the matrix occupies rows kl..2*kl+ku of an
+// (ldab x n) array with the diagonal at row kl+ku; rows 0..kl-1 are
+// fill-in space for the pivoting (they are zeroed here, so callers can
+// hand over a freshly-converted BandMatrix without ceremony).
+//
+//   gbtrf   band LU with partial pivoting (row interchanges stay banded)
+//   gbtrs   banded triangular solves
+//   gbsv    driver
+//   gbcon   reciprocal condition estimate
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "lapack90/blas/level1.hpp"
+#include "lapack90/blas/level2.hpp"
+#include "lapack90/core/precision.hpp"
+#include "lapack90/core/types.hpp"
+#include "lapack90/lapack/conest.hpp"
+
+namespace la::lapack {
+
+/// Band LU factorization (xGBTF2-style, unblocked). ldab >= 2*kl+ku+1.
+/// Returns 0 or the 1-based index of the first zero pivot.
+template <Scalar T>
+idx gbtrf(idx n, idx kl, idx ku, T* ab, idx ldab, idx* ipiv) noexcept {
+  idx info = 0;
+  if (n == 0) {
+    return 0;
+  }
+  const idx kv = kl + ku;  // superdiagonals in the factored form
+  // Zero the fill-in rows so pivot swaps can move data into them.
+  for (idx j = 0; j < n; ++j) {
+    T* col = ab + static_cast<std::size_t>(j) * ldab;
+    for (idx r = 0; r < kl; ++r) {
+      col[r] = T(0);
+    }
+  }
+  idx ju = 0;  // rightmost column touched so far
+  for (idx j = 0; j < n; ++j) {
+    T* col = ab + static_cast<std::size_t>(j) * ldab;
+    const idx km = std::min<idx>(kl, n - 1 - j);
+    // Partial pivot among the km+1 candidates in column j.
+    const idx jp = blas::iamax(km + 1, col + kv, 1);
+    ipiv[j] = jp + j;
+    if (col[kv + jp] != T(0)) {
+      ju = std::max(ju, std::min<idx>(j + ku + jp, n - 1));
+      if (jp != 0) {
+        // Swap rows j and j+jp across columns j..ju (stride ldab-1 walks
+        // along a row inside the band).
+        blas::swap(ju - j + 1, col + kv + jp, ldab - 1, col + kv, ldab - 1);
+      }
+      if (km > 0) {
+        blas::scal(km, T(1) / col[kv], col + kv + 1, 1);
+        if (ju > j) {
+          blas::geru(km, ju - j, T(-1), col + kv + 1, 1,
+                     ab + static_cast<std::size_t>(j + 1) * ldab + kv - 1,
+                     ldab - 1,
+                     ab + static_cast<std::size_t>(j + 1) * ldab + kv,
+                     ldab - 1);
+        }
+      }
+    } else if (info == 0) {
+      info = j + 1;
+    }
+  }
+  return info;
+}
+
+/// Solve op(A) X = B from gbtrf factors (xGBTRS).
+template <Scalar T>
+idx gbtrs(Trans trans, idx n, idx kl, idx ku, idx nrhs, const T* ab, idx ldab,
+          const idx* ipiv, T* b, idx ldb) noexcept {
+  if (n == 0 || nrhs == 0) {
+    return 0;
+  }
+  const idx kv = kl + ku;
+  if (trans == Trans::NoTrans) {
+    // Apply inv(L) with interchanges.
+    if (kl > 0) {
+      for (idx j = 0; j < n - 1; ++j) {
+        const idx lm = std::min<idx>(kl, n - 1 - j);
+        const idx l = ipiv[j];
+        if (l != j) {
+          blas::swap(nrhs, b + l, ldb, b + j, ldb);
+        }
+        blas::geru(lm, nrhs, T(-1),
+                   ab + static_cast<std::size_t>(j) * ldab + kv + 1, 1, b + j,
+                   ldb, b + j + 1, ldb);
+      }
+    }
+    // Back substitution with banded U (bandwidth kl+ku).
+    for (idx j = 0; j < nrhs; ++j) {
+      blas::tbsv(Uplo::Upper, Trans::NoTrans, Diag::NonUnit, n, kv, ab, ldab,
+                 b + static_cast<std::size_t>(j) * ldb, 1);
+    }
+  } else {
+    for (idx j = 0; j < nrhs; ++j) {
+      blas::tbsv(Uplo::Upper, trans, Diag::NonUnit, n, kv, ab, ldab,
+                 b + static_cast<std::size_t>(j) * ldb, 1);
+    }
+    if (kl > 0) {
+      const bool conj = trans == Trans::ConjTrans;
+      for (idx j = n - 2; j >= 0; --j) {
+        const idx lm = std::min<idx>(kl, n - 1 - j);
+        const T* mult = ab + static_cast<std::size_t>(j) * ldab + kv + 1;
+        for (idx r = 0; r < nrhs; ++r) {
+          T* x = b + static_cast<std::size_t>(r) * ldb;
+          const T s = conj ? blas::dotc(lm, mult, 1, x + j + 1, 1)
+                           : blas::dotu(lm, mult, 1, x + j + 1, 1);
+          x[j] -= s;
+        }
+        const idx l = ipiv[j];
+        if (l != j) {
+          blas::swap(nrhs, b + l, ldb, b + j, ldb);
+        }
+      }
+    }
+  }
+  return 0;
+}
+
+/// Driver: band solve (xGBSV). ab must carry the factored-form layout
+/// (ldab >= 2*kl+ku+1, matrix rows starting at kl) — BandMatrix provides
+/// exactly this.
+template <Scalar T>
+idx gbsv(idx n, idx kl, idx ku, idx nrhs, T* ab, idx ldab, idx* ipiv, T* b,
+         idx ldb) noexcept {
+  const idx info = gbtrf(n, kl, ku, ab, ldab, ipiv);
+  if (info != 0) {
+    return info;
+  }
+  return gbtrs(Trans::NoTrans, n, kl, ku, nrhs, ab, ldab, ipiv, b, ldb);
+}
+
+/// Reciprocal condition estimate from gbtrf factors (xGBCON).
+template <Scalar T>
+idx gbcon(Norm norm, idx n, idx kl, idx ku, const T* ab, idx ldab,
+          const idx* ipiv, real_t<T> anorm, real_t<T>& rcond) {
+  using R = real_t<T>;
+  rcond = R(0);
+  if (n == 0) {
+    rcond = R(1);
+    return 0;
+  }
+  if (anorm == R(0)) {
+    return 0;
+  }
+  auto solve_n = [&](T* v) {
+    gbtrs(Trans::NoTrans, n, kl, ku, 1, ab, ldab, ipiv, v, n);
+  };
+  auto solve_h = [&](T* v) {
+    gbtrs(conj_trans_for<T>(), n, kl, ku, 1, ab, ldab, ipiv, v, n);
+  };
+  const R ainv = norm == Norm::One
+                     ? norm1_estimate<T>(n, solve_n, solve_h)
+                     : norm1_estimate<T>(n, solve_h, solve_n);
+  if (ainv != R(0)) {
+    rcond = (R(1) / ainv) / anorm;
+  }
+  return 0;
+}
+
+}  // namespace la::lapack

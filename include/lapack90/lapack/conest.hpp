@@ -1,0 +1,116 @@
+// lapack90/lapack/conest.hpp
+//
+// Higham's 1-norm estimator (xLACN2 / SONEST), recast from reverse
+// communication into a callback interface: `norm1_estimate` receives two
+// functors that overwrite a vector with op·v and opᴴ·v and returns an
+// estimate of ‖op‖₁ (a lower bound, almost always within a factor of ~3).
+// Every xxCON routine builds on this with op = inv(A) applied via the
+// available factorization.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "lapack90/blas/level1.hpp"
+#include "lapack90/core/precision.hpp"
+#include "lapack90/core/types.hpp"
+
+namespace la::lapack {
+
+/// Estimate the 1-norm of a linear operator on R^n / C^n.
+///
+/// apply(v)  — overwrite v (length n) with op · v
+/// applyh(v) — overwrite v with opᵀ · v (real) or opᴴ · v (complex)
+template <Scalar T, class Apply, class ApplyH>
+[[nodiscard]] real_t<T> norm1_estimate(idx n, Apply&& apply,
+                                       ApplyH&& applyh) {
+  using R = real_t<T>;
+  constexpr int kItMax = 5;
+  if (n <= 0) {
+    return R(0);
+  }
+  std::vector<T> x(static_cast<std::size_t>(n));
+  std::vector<T> v(static_cast<std::size_t>(n));
+
+  // Start with the uniform probe x = e/n.
+  std::fill(x.begin(), x.end(), T(R(1) / R(n)));
+  apply(x.data());
+  if (n == 1) {
+    return std::abs(x[0]);
+  }
+  R est = blas::asum(n, x.data(), 1);
+
+  auto to_sign = [&](std::vector<T>& w) {
+    // Real: w_i := sign(w_i); complex: w_i := w_i / |w_i| (1 when 0).
+    for (idx i = 0; i < n; ++i) {
+      if constexpr (is_complex_v<T>) {
+        const R m = std::abs(w[i]);
+        w[i] = m == R(0) ? T(1) : w[i] / T(m);
+      } else {
+        w[i] = w[i] >= T(0) ? T(1) : T(-1);
+      }
+    }
+  };
+
+  std::vector<T> xsign;
+  if constexpr (!is_complex_v<T>) {
+    xsign = x;
+  }
+  to_sign(x);
+  if constexpr (!is_complex_v<T>) {
+    // Remember sign pattern for the convergence test.
+    xsign = x;
+  }
+  applyh(x.data());
+
+  idx jlast = -1;
+  for (int iter = 2; iter <= kItMax; ++iter) {
+    const idx j = blas::iamax(n, x.data(), 1);
+    if (j == jlast) {
+      break;
+    }
+    jlast = j;
+    std::fill(x.begin(), x.end(), T(0));
+    x[static_cast<std::size_t>(j)] = T(1);
+    apply(x.data());
+    blas::copy(n, x.data(), 1, v.data(), 1);
+    const R est_old = est;
+    est = blas::asum(n, v.data(), 1);
+    if constexpr (!is_complex_v<T>) {
+      // Repeated sign vector => converged (the dlacn2 test).
+      bool same = true;
+      for (idx i = 0; i < n; ++i) {
+        const T s = v[i] >= T(0) ? T(1) : T(-1);
+        if (s != xsign[static_cast<std::size_t>(i)]) {
+          same = false;
+          break;
+        }
+      }
+      if (same) {
+        break;
+      }
+    }
+    if (est <= est_old) {
+      est = est_old;
+      break;
+    }
+    blas::copy(n, v.data(), 1, x.data(), 1);
+    to_sign(x);
+    if constexpr (!is_complex_v<T>) {
+      xsign = x;
+    }
+    applyh(x.data());
+  }
+
+  // Hager's alternative probe guards against systematic underestimation.
+  for (idx i = 0; i < n; ++i) {
+    const R mag = R(1) + R(i) / R(n - 1);
+    x[static_cast<std::size_t>(i)] = (i % 2 == 0) ? T(mag) : T(-mag);
+  }
+  apply(x.data());
+  const R alt = R(2) * blas::asum(n, x.data(), 1) / R(3 * n);
+  return std::max(est, alt);
+}
+
+}  // namespace la::lapack

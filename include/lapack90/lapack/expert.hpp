@@ -1,0 +1,522 @@
+// lapack90/lapack/expert.hpp
+//
+// Expert drivers — the substrate under LA_GESVX / LA_GBSVX / LA_GTSVX /
+// LA_POSVX / LA_PBSVX / LA_PPSVX / LA_PTSVX / LA_SYSVX / LA_HESVX.
+//
+// Each expert driver factors (optionally equilibrating), solves, runs
+// iterative refinement, and reports forward/backward error bounds plus a
+// reciprocal condition estimate. The refinement/error machinery is shared
+// through `refine_generic`, parameterized over the family's matvec and
+// solve; this one template replaces the per-family xxRFS routines.
+//
+// info convention: 0 success; 1..n singular/not-positive-definite factor;
+// n+1: the matrix is singular to working precision (rcond < eps) — the
+// solution was still computed, treat with caution (exactly the xGESVX
+// contract).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "lapack90/blas/level1.hpp"
+#include "lapack90/blas/level2.hpp"
+#include "lapack90/core/precision.hpp"
+#include "lapack90/core/types.hpp"
+#include "lapack90/lapack/aux.hpp"
+#include "lapack90/lapack/banded_lu.hpp"
+#include "lapack90/lapack/cholesky.hpp"
+#include "lapack90/lapack/conest.hpp"
+#include "lapack90/lapack/ldlt.hpp"
+#include "lapack90/lapack/lu.hpp"
+#include "lapack90/lapack/norms.hpp"
+#include "lapack90/lapack/qr.hpp"
+#include "lapack90/lapack/tridiag.hpp"
+
+namespace la::lapack {
+
+/// Generic iterative refinement with componentwise backward error and an
+/// estimator-based forward error bound (the shared body of the xxRFS
+/// family). Callbacks:
+///   residual(xj, rj)    — r := b_j - op(A) x  (rj preloaded with b_j)
+///   absrow(xj, bj, w)   — w_i := (|op(A)| |x|)_i + |b_i|
+///   solve(v)            — v := inv(op(A)) v
+///   solveh(v)           — v := inv(op(A))^H v
+template <Scalar T, class Residual, class AbsRow, class Solve, class SolveH>
+void refine_generic(idx n, idx nrhs, const T* b, idx ldb, T* x, idx ldx,
+                    real_t<T>* ferr, real_t<T>* berr, Residual&& residual,
+                    AbsRow&& absrow, Solve&& solve, SolveH&& solveh) {
+  using R = real_t<T>;
+  constexpr int kItMax = 5;
+  if (n == 0) {
+    for (idx j = 0; j < nrhs; ++j) {
+      ferr[j] = R(0);
+      berr[j] = R(0);
+    }
+    return;
+  }
+  const R epsv = eps<T>();
+  const R safe1 = R(n + 1) * safmin<T>();
+  std::vector<T> r(static_cast<std::size_t>(n));
+  std::vector<R> w(static_cast<std::size_t>(n));
+
+  for (idx j = 0; j < nrhs; ++j) {
+    T* xj = x + static_cast<std::size_t>(j) * ldx;
+    const T* bj = b + static_cast<std::size_t>(j) * ldb;
+    R lstres = R(3);
+    for (int iter = 0; iter < kItMax; ++iter) {
+      blas::copy(n, bj, 1, r.data(), 1);
+      residual(xj, r.data());
+      absrow(xj, bj, w.data());
+      R berr_j(0);
+      for (idx i = 0; i < n; ++i) {
+        if (w[i] > safe1) {
+          berr_j = std::max(berr_j, abs1(r[i]) / w[i]);
+        } else {
+          berr_j = std::max(berr_j, (abs1(r[i]) + safe1) / (w[i] + safe1));
+        }
+      }
+      berr[j] = berr_j;
+      const bool done =
+          berr_j <= epsv || berr_j >= lstres / R(2) || iter == kItMax - 1;
+      if (!done) {
+        lstres = berr_j;
+      }
+      solve(r.data());
+      blas::axpy(n, T(1), r.data(), 1, xj, 1);
+      if (done) {
+        break;
+      }
+    }
+    // Forward error bound via the 1-norm estimator on inv(op(A)) diag(w').
+    blas::copy(n, bj, 1, r.data(), 1);
+    residual(xj, r.data());
+    absrow(xj, bj, w.data());
+    for (idx i = 0; i < n; ++i) {
+      w[i] = abs1(r[i]) + R(n + 1) * epsv * w[i];
+      if (w[i] <= safe1) {
+        w[i] += safe1;
+      }
+    }
+    auto apply = [&](T* v) {
+      for (idx i = 0; i < n; ++i) {
+        v[i] *= T(w[i]);
+      }
+      solve(v);
+    };
+    auto applyh = [&](T* v) {
+      solveh(v);
+      for (idx i = 0; i < n; ++i) {
+        v[i] *= T(w[i]);
+      }
+    };
+    const R est = norm1_estimate<T>(n, applyh, apply);
+    const R xnorm = max_abs1(n, xj);
+    ferr[j] = xnorm > R(0) ? est / xnorm : R(0);
+  }
+}
+
+/// Expert driver for general systems (xGESVX). When `equilibrate` is set
+/// the system is row/column scaled before factoring (geequ); r/c (size n)
+/// receive the scalings. a is overwritten by the equilibrated matrix, af
+/// by its LU factors; the solution X is unscaled. rpvgrw, when non-null,
+/// receives the reciprocal pivot growth factor.
+template <Scalar T>
+idx gesvx(bool equilibrate, Trans trans, idx n, idx nrhs, T* a, idx lda,
+          T* af, idx ldaf, idx* ipiv, real_t<T>* r, real_t<T>* c, T* b,
+          idx ldb, T* x, idx ldx, real_t<T>& rcond, real_t<T>* ferr,
+          real_t<T>* berr, real_t<T>* rpvgrw = nullptr) {
+  using R = real_t<T>;
+  rcond = R(0);
+  bool rowequ = false;
+  bool colequ = false;
+  for (idx i = 0; i < n; ++i) {
+    r[i] = R(1);
+    c[i] = R(1);
+  }
+  if (equilibrate && n > 0) {
+    R rowcnd;
+    R colcnd;
+    R amax;
+    if (geequ(n, n, a, lda, r, c, rowcnd, colcnd, amax) == 0) {
+      const R small = safmin<T>() / eps<T>();
+      const R large = R(1) / small;
+      rowequ = rowcnd < R(0.1) || amax < small || amax > large;
+      colequ = colcnd < R(0.1) || amax < small || amax > large;
+      if (rowequ || colequ) {
+        for (idx j = 0; j < n; ++j) {
+          T* col = a + static_cast<std::size_t>(j) * lda;
+          for (idx i = 0; i < n; ++i) {
+            col[i] = T((rowequ ? r[i] : R(1)) * (colequ ? c[j] : R(1))) *
+                     col[i];
+          }
+        }
+      } else {
+        for (idx i = 0; i < n; ++i) {
+          r[i] = R(1);
+          c[i] = R(1);
+        }
+      }
+    }
+  }
+  // Scale the right-hand sides to match.
+  const bool notran = trans == Trans::NoTrans;
+  if ((notran && rowequ) || (!notran && colequ)) {
+    const R* s = notran ? r : c;
+    for (idx j = 0; j < nrhs; ++j) {
+      T* bj = b + static_cast<std::size_t>(j) * ldb;
+      for (idx i = 0; i < n; ++i) {
+        bj[i] *= T(s[i]);
+      }
+    }
+  }
+  lacpy(Part::All, n, n, a, lda, af, ldaf);
+  const idx finfo = getrf(n, n, af, ldaf, ipiv);
+  if (rpvgrw != nullptr) {
+    // Reciprocal pivot growth: max|A| / max|U|.
+    const R amax = lange(Norm::Max, n, n, a, lda);
+    const R umax = lantr(Norm::Max, Uplo::Upper, Diag::NonUnit, n, n, af,
+                         ldaf);
+    *rpvgrw = umax > R(0) ? amax / umax : R(1);
+  }
+  if (finfo != 0) {
+    return finfo;
+  }
+  const Norm cnorm = notran ? Norm::One : Norm::Inf;
+  const R anorm = lange(cnorm, n, n, a, lda);
+  gecon(cnorm, n, af, ldaf, ipiv, anorm, rcond);
+  lacpy(Part::All, n, nrhs, b, ldb, x, ldx);
+  getrs(trans, n, nrhs, af, ldaf, ipiv, x, ldx);
+  gerfs(trans, n, nrhs, a, lda, af, ldaf, ipiv, b, ldb, x, ldx, ferr, berr);
+  // Unscale the solution.
+  if ((notran && colequ) || (!notran && rowequ)) {
+    const R* s = notran ? c : r;
+    for (idx j = 0; j < nrhs; ++j) {
+      T* xj = x + static_cast<std::size_t>(j) * ldx;
+      for (idx i = 0; i < n; ++i) {
+        xj[i] *= T(s[i]);
+      }
+    }
+  }
+  if (rcond < eps<T>()) {
+    return n + 1;
+  }
+  return 0;
+}
+
+/// Expert driver for positive definite systems (xPOSVX, FACT='N').
+template <Scalar T>
+idx posvx(Uplo uplo, idx n, idx nrhs, T* a, idx lda, T* af, idx ldaf,
+          const T* b, idx ldb, T* x, idx ldx, real_t<T>& rcond, real_t<T>* ferr,
+          real_t<T>* berr) {
+  using R = real_t<T>;
+  rcond = R(0);
+  lacpy(Part::All, n, n, a, lda, af, ldaf);
+  const idx finfo = potrf(uplo, n, af, ldaf);
+  if (finfo != 0) {
+    return finfo;
+  }
+  const R anorm = lanhe(Norm::One, uplo, n, a, lda);
+  pocon(uplo, n, af, ldaf, anorm, rcond);
+  lacpy(Part::All, n, nrhs, b, ldb, x, ldx);
+  potrs(uplo, n, nrhs, af, ldaf, x, ldx);
+  porfs(uplo, n, nrhs, a, lda, af, ldaf, b, ldb, x, ldx, ferr, berr);
+  if (rcond < eps<T>()) {
+    return n + 1;
+  }
+  return 0;
+}
+
+/// Expert driver for symmetric indefinite systems (xSYSVX, FACT='N').
+template <Scalar T>
+idx sysvx(Uplo uplo, idx n, idx nrhs, const T* a, idx lda, T* af, idx ldaf,
+          idx* ipiv, const T* b, idx ldb, T* x, idx ldx, real_t<T>& rcond,
+          real_t<T>* ferr, real_t<T>* berr) {
+  using R = real_t<T>;
+  rcond = R(0);
+  lacpy(Part::All, n, n, a, lda, af, ldaf);
+  const idx finfo = sytrf(uplo, n, af, ldaf, ipiv);
+  if (finfo != 0) {
+    return finfo;
+  }
+  const R anorm = lansy(Norm::One, uplo, n, a, lda);
+  sycon(uplo, n, af, ldaf, ipiv, anorm, rcond);
+  lacpy(Part::All, n, nrhs, b, ldb, x, ldx);
+  sytrs(uplo, n, nrhs, af, ldaf, ipiv, x, ldx);
+  auto abs_a = [&](idx i, idx k) -> R {
+    const bool stored = uplo == Uplo::Upper ? (i <= k) : (i >= k);
+    return stored ? abs1(a[static_cast<std::size_t>(k) * lda + i])
+                  : abs1(a[static_cast<std::size_t>(i) * lda + k]);
+  };
+  refine_generic(
+      n, nrhs, b, ldb, x, ldx, ferr, berr,
+      [&](const T* xj, T* rj) {
+        blas::symv(uplo, n, T(-1), a, lda, xj, 1, T(1), rj, 1);
+      },
+      [&](const T* xj, const T* bj, R* w) {
+        for (idx i = 0; i < n; ++i) {
+          R s = abs1(bj[i]);
+          for (idx k = 0; k < n; ++k) {
+            s += abs_a(i, k) * abs1(xj[k]);
+          }
+          w[i] = s;
+        }
+      },
+      [&](T* v) { sytrs(uplo, n, 1, af, ldaf, ipiv, v, n); },
+      [&](T* v) {
+        if constexpr (is_complex_v<T>) {
+          lacgv(n, v, 1);
+          sytrs(uplo, n, 1, af, ldaf, ipiv, v, n);
+          lacgv(n, v, 1);
+        } else {
+          sytrs(uplo, n, 1, af, ldaf, ipiv, v, n);
+        }
+      });
+  if (rcond < eps<T>()) {
+    return n + 1;
+  }
+  return 0;
+}
+
+/// Expert driver for Hermitian indefinite systems (xHESVX, FACT='N').
+template <Scalar T>
+idx hesvx(Uplo uplo, idx n, idx nrhs, const T* a, idx lda, T* af, idx ldaf,
+          idx* ipiv, const T* b, idx ldb, T* x, idx ldx, real_t<T>& rcond,
+          real_t<T>* ferr, real_t<T>* berr) {
+  using R = real_t<T>;
+  rcond = R(0);
+  lacpy(Part::All, n, n, a, lda, af, ldaf);
+  const idx finfo = hetrf(uplo, n, af, ldaf, ipiv);
+  if (finfo != 0) {
+    return finfo;
+  }
+  const R anorm = lanhe(Norm::One, uplo, n, a, lda);
+  hecon(uplo, n, af, ldaf, ipiv, anorm, rcond);
+  lacpy(Part::All, n, nrhs, b, ldb, x, ldx);
+  hetrs(uplo, n, nrhs, af, ldaf, ipiv, x, ldx);
+  auto abs_a = [&](idx i, idx k) -> R {
+    const bool stored = uplo == Uplo::Upper ? (i <= k) : (i >= k);
+    return stored ? abs1(a[static_cast<std::size_t>(k) * lda + i])
+                  : abs1(a[static_cast<std::size_t>(i) * lda + k]);
+  };
+  refine_generic(
+      n, nrhs, b, ldb, x, ldx, ferr, berr,
+      [&](const T* xj, T* rj) {
+        blas::hemv(uplo, n, T(-1), a, lda, xj, 1, T(1), rj, 1);
+      },
+      [&](const T* xj, const T* bj, R* w) {
+        for (idx i = 0; i < n; ++i) {
+          R s = abs1(bj[i]);
+          for (idx k = 0; k < n; ++k) {
+            s += abs_a(i, k) * abs1(xj[k]);
+          }
+          w[i] = s;
+        }
+      },
+      [&](T* v) { hetrs(uplo, n, 1, af, ldaf, ipiv, v, n); },
+      [&](T* v) { hetrs(uplo, n, 1, af, ldaf, ipiv, v, n); });
+  if (rcond < eps<T>()) {
+    return n + 1;
+  }
+  return 0;
+}
+
+/// Expert driver for band systems (xGBSVX, FACT='N', no equilibration).
+/// ab holds the band in factored-form layout (ldab >= 2*kl+ku+1); afb
+/// (same layout) receives the factors.
+template <Scalar T>
+idx gbsvx(Trans trans, idx n, idx kl, idx ku, idx nrhs, const T* ab, idx ldab,
+          T* afb, idx ldafb, idx* ipiv, const T* b, idx ldb, T* x, idx ldx,
+          real_t<T>& rcond, real_t<T>* ferr, real_t<T>* berr) {
+  using R = real_t<T>;
+  rcond = R(0);
+  lacpy(Part::All, 2 * kl + ku + 1, n, ab, ldab, afb, ldafb);
+  const idx finfo = gbtrf(n, kl, ku, afb, ldafb, ipiv);
+  if (finfo != 0) {
+    return finfo;
+  }
+  // Norm of the original band (stored rows kl..2kl+ku of ab).
+  const R anorm = langb(trans == Trans::NoTrans ? Norm::One : Norm::Inf, n,
+                        kl, ku, ab + kl, ldab);
+  gbcon(trans == Trans::NoTrans ? Norm::One : Norm::Inf, n, kl, ku, afb,
+        ldafb, ipiv, anorm, rcond);
+  lacpy(Part::All, n, nrhs, b, ldb, x, ldx);
+  gbtrs(trans, n, kl, ku, nrhs, afb, ldafb, ipiv, x, ldx);
+  const Trans transh =
+      trans == Trans::NoTrans ? conj_trans_for<T>() : Trans::NoTrans;
+  auto band_at = [&](idx i, idx j) -> T {
+    if (i - j > kl || j - i > ku) {
+      return T(0);
+    }
+    return ab[static_cast<std::size_t>(j) * ldab + (kl + ku + i - j)];
+  };
+  refine_generic(
+      n, nrhs, b, ldb, x, ldx, ferr, berr,
+      [&](const T* xj, T* rj) {
+        blas::gbmv(trans, n, n, kl, ku, T(-1), ab + kl, ldab, xj, 1, T(1), rj,
+                   1);
+      },
+      [&](const T* xj, const T* bj, R* w) {
+        for (idx i = 0; i < n; ++i) {
+          R s = abs1(bj[i]);
+          for (idx k = std::max<idx>(0, i - (trans == Trans::NoTrans
+                                                 ? kl
+                                                 : ku));
+               k <= std::min<idx>(n - 1, i + (trans == Trans::NoTrans ? ku
+                                                                      : kl));
+               ++k) {
+            const T v = trans == Trans::NoTrans ? band_at(i, k)
+                                                : band_at(k, i);
+            s += abs1(v) * abs1(xj[k]);
+          }
+          w[i] = s;
+        }
+      },
+      [&](T* v) { gbtrs(trans, n, kl, ku, 1, afb, ldafb, ipiv, v, n); },
+      [&](T* v) { gbtrs(transh, n, kl, ku, 1, afb, ldafb, ipiv, v, n); });
+  if (rcond < eps<T>()) {
+    return n + 1;
+  }
+  return 0;
+}
+
+/// Expert driver for general tridiagonal systems (xGTSVX, FACT='N').
+template <Scalar T>
+idx gtsvx(Trans trans, idx n, idx nrhs, const T* dl, const T* d, const T* du,
+          T* dlf, T* df, T* duf, T* du2, idx* ipiv, const T* b, idx ldb, T* x,
+          idx ldx, real_t<T>& rcond, real_t<T>* ferr, real_t<T>* berr) {
+  using R = real_t<T>;
+  rcond = R(0);
+  if (n > 1) {
+    blas::copy(n - 1, dl, 1, dlf, 1);
+    blas::copy(n - 1, du, 1, duf, 1);
+  }
+  blas::copy(n, d, 1, df, 1);
+  const idx finfo = gttrf(n, dlf, df, duf, du2, ipiv);
+  if (finfo != 0) {
+    return finfo;
+  }
+  const R anorm = langt(trans == Trans::NoTrans ? Norm::One : Norm::Inf, n,
+                        dl, d, du);
+  gtcon(trans == Trans::NoTrans ? Norm::One : Norm::Inf, n, dlf, df, duf, du2,
+        ipiv, anorm, rcond);
+  lacpy(Part::All, n, nrhs, b, ldb, x, ldx);
+  gttrs(trans, n, nrhs, dlf, df, duf, du2, ipiv, x, ldx);
+  const Trans transh =
+      trans == Trans::NoTrans ? conj_trans_for<T>() : Trans::NoTrans;
+  const bool conj = trans == Trans::ConjTrans;
+  auto cj = [conj](const T& v) { return conj ? conj_if(v) : v; };
+  refine_generic(
+      n, nrhs, b, ldb, x, ldx, ferr, berr,
+      [&](const T* xj, T* rj) {
+        // r -= op(A) x for tridiagonal A.
+        for (idx i = 0; i < n; ++i) {
+          T s(0);
+          if (trans == Trans::NoTrans) {
+            if (i > 0) {
+              s += dl[i - 1] * xj[i - 1];
+            }
+            s += d[i] * xj[i];
+            if (i < n - 1) {
+              s += du[i] * xj[i + 1];
+            }
+          } else {
+            if (i > 0) {
+              s += cj(du[i - 1]) * xj[i - 1];
+            }
+            s += cj(d[i]) * xj[i];
+            if (i < n - 1) {
+              s += cj(dl[i]) * xj[i + 1];
+            }
+          }
+          rj[i] -= s;
+        }
+      },
+      [&](const T* xj, const T* bj, R* w) {
+        for (idx i = 0; i < n; ++i) {
+          R s = abs1(bj[i]);
+          if (i > 0) {
+            s += abs1(trans == Trans::NoTrans ? dl[i - 1] : du[i - 1]) *
+                 abs1(xj[i - 1]);
+          }
+          s += abs1(d[i]) * abs1(xj[i]);
+          if (i < n - 1) {
+            s += abs1(trans == Trans::NoTrans ? du[i] : dl[i]) *
+                 abs1(xj[i + 1]);
+          }
+          w[i] = s;
+        }
+      },
+      [&](T* v) { gttrs(trans, n, 1, dlf, df, duf, du2, ipiv, v, n); },
+      [&](T* v) { gttrs(transh, n, 1, dlf, df, duf, du2, ipiv, v, n); });
+  if (rcond < eps<T>()) {
+    return n + 1;
+  }
+  return 0;
+}
+
+/// Expert driver for s.p.d. tridiagonal systems (xPTSVX, FACT='N').
+template <Scalar T>
+idx ptsvx(idx n, idx nrhs, const real_t<T>* d, const T* e, real_t<T>* df,
+          T* ef, const T* b, idx ldb, T* x, idx ldx, real_t<T>& rcond,
+          real_t<T>* ferr, real_t<T>* berr) {
+  using R = real_t<T>;
+  rcond = R(0);
+  std::copy(d, d + n, df);
+  if (n > 1) {
+    blas::copy(n - 1, e, 1, ef, 1);
+  }
+  const idx finfo = pttrf<T>(n, df, ef);
+  if (finfo != 0) {
+    return finfo;
+  }
+  // 1-norm of the Hermitian tridiagonal.
+  R anorm(0);
+  for (idx i = 0; i < n; ++i) {
+    R s = std::abs(d[i]);
+    if (i > 0) {
+      s += abs1(e[i - 1]);
+    }
+    if (i < n - 1) {
+      s += abs1(e[i]);
+    }
+    anorm = std::max(anorm, s);
+  }
+  ptcon<T>(n, df, ef, anorm, rcond);
+  lacpy(Part::All, n, nrhs, b, ldb, x, ldx);
+  pttrs(n, nrhs, df, ef, x, ldx);
+  refine_generic(
+      n, nrhs, b, ldb, x, ldx, ferr, berr,
+      [&](const T* xj, T* rj) {
+        for (idx i = 0; i < n; ++i) {
+          T s = T(d[i]) * xj[i];
+          if (i > 0) {
+            s += e[i - 1] * xj[i - 1];
+          }
+          if (i < n - 1) {
+            s += conj_if(e[i]) * xj[i + 1];
+          }
+          rj[i] -= s;
+        }
+      },
+      [&](const T* xj, const T* bj, R* w) {
+        for (idx i = 0; i < n; ++i) {
+          R s = abs1(bj[i]) + std::abs(d[i]) * abs1(xj[i]);
+          if (i > 0) {
+            s += abs1(e[i - 1]) * abs1(xj[i - 1]);
+          }
+          if (i < n - 1) {
+            s += abs1(e[i]) * abs1(xj[i + 1]);
+          }
+          w[i] = s;
+        }
+      },
+      [&](T* v) { pttrs(n, 1, df, ef, v, n); },
+      [&](T* v) { pttrs(n, 1, df, ef, v, n); });
+  if (rcond < eps<T>()) {
+    return n + 1;
+  }
+  return 0;
+}
+
+}  // namespace la::lapack

@@ -1,0 +1,289 @@
+// lapack90/lapack/geneig.hpp
+//
+// Generalized eigenproblems — the substrate under LA_SYGV / LA_HEGV /
+// LA_SPGV / LA_SBGV and LA_GEGV / LA_GEGS:
+//
+//   sygst / hegst    reduce a symmetric-definite generalized problem to
+//                    standard form using the Cholesky factor of B
+//   sygv / hegv      driver for A x = lambda B x (itype 1/2/3)
+//   spgv / sbgv      packed / band variants (dense scratch, see DESIGN.md)
+//   gegv             general A x = lambda B x via inv(B) reduction
+//                    (documented substitution for the QZ iteration)
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "lapack90/blas/level3.hpp"
+#include "lapack90/core/banded.hpp"
+#include "lapack90/core/packed.hpp"
+#include "lapack90/core/precision.hpp"
+#include "lapack90/core/types.hpp"
+#include "lapack90/lapack/cholesky.hpp"
+#include "lapack90/lapack/lu.hpp"
+#include "lapack90/lapack/nonsymeig.hpp"
+#include "lapack90/lapack/symeig.hpp"
+
+namespace la::lapack {
+
+/// Reduce a symmetric/Hermitian-definite generalized eigenproblem to
+/// standard form (xSYGST / xHEGST). b holds the Cholesky factor from
+/// potrf(uplo). itype 1: A := inv(U^H) A inv(U) or inv(L) A inv(L^H);
+/// itype 2/3: A := U A U^H or L^H A L.
+template <Scalar T>
+idx sygst(idx itype, Uplo uplo, idx n, T* a, idx lda, const T* b, idx ldb) {
+  const Trans ct = conj_trans_for<T>();
+  if (n == 0) {
+    return 0;
+  }
+  // Complete A to a full Hermitian matrix: the two-sided transforms below
+  // operate on the whole array (unlike the triangle-only xSYGS2 kernels).
+  for (idx j = 0; j < n; ++j) {
+    if constexpr (is_complex_v<T>) {
+      T& d = a[static_cast<std::size_t>(j) * lda + j];
+      d = T(real_part(d));
+    }
+    for (idx i = 0; i < j; ++i) {
+      if (uplo == Uplo::Upper) {
+        a[static_cast<std::size_t>(i) * lda + j] =
+            conj_if(a[static_cast<std::size_t>(j) * lda + i]);
+      } else {
+        a[static_cast<std::size_t>(j) * lda + i] =
+            conj_if(a[static_cast<std::size_t>(i) * lda + j]);
+      }
+    }
+  }
+  if (itype == 1) {
+    if (uplo == Uplo::Upper) {
+      // A := inv(U^H) A inv(U).
+      blas::trsm(Side::Left, Uplo::Upper, ct, Diag::NonUnit, n, n, T(1), b,
+                 ldb, a, lda);
+      blas::trsm(Side::Right, Uplo::Upper, Trans::NoTrans, Diag::NonUnit, n,
+                 n, T(1), b, ldb, a, lda);
+    } else {
+      // A := inv(L) A inv(L^H).
+      blas::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, n, n,
+                 T(1), b, ldb, a, lda);
+      blas::trsm(Side::Right, Uplo::Lower, ct, Diag::NonUnit, n, n, T(1), b,
+                 ldb, a, lda);
+    }
+  } else {
+    if (uplo == Uplo::Upper) {
+      // A := U A U^H.
+      blas::trmm(Side::Left, Uplo::Upper, Trans::NoTrans, Diag::NonUnit, n, n,
+                 T(1), b, ldb, a, lda);
+      blas::trmm(Side::Right, Uplo::Upper, ct, Diag::NonUnit, n, n, T(1), b,
+                 ldb, a, lda);
+    } else {
+      // A := L^H A L.
+      blas::trmm(Side::Left, Uplo::Lower, ct, Diag::NonUnit, n, n, T(1), b,
+                 ldb, a, lda);
+      blas::trmm(Side::Right, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, n,
+                 n, T(1), b, ldb, a, lda);
+    }
+  }
+  // Re-symmetrize the stored triangle (full-matrix updates above fill both
+  // triangles; keep them consistent for the caller).
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < j; ++i) {
+      if (uplo == Uplo::Upper) {
+        a[static_cast<std::size_t>(i) * lda + j] =
+            conj_if(a[static_cast<std::size_t>(j) * lda + i]);
+      } else {
+        a[static_cast<std::size_t>(j) * lda + i] =
+            conj_if(a[static_cast<std::size_t>(i) * lda + j]);
+      }
+    }
+  }
+  return 0;
+}
+
+/// Hermitian alias.
+template <Scalar T>
+idx hegst(idx itype, Uplo uplo, idx n, T* a, idx lda, const T* b, idx ldb) {
+  return sygst(itype, uplo, n, a, lda, b, ldb);
+}
+
+/// Driver: symmetric/Hermitian-definite generalized eigenproblem
+/// (xSYGV / xHEGV). itype 1: A x = l B x; 2: A B x = l x; 3: B A x = l x.
+/// On exit with jobz == Vec, A holds the B-orthonormal eigenvectors.
+/// Returns 0; 1..n if syev failed; n+i if the leading minor of order i of
+/// B is not positive definite.
+template <Scalar T>
+idx sygv(idx itype, Job jobz, Uplo uplo, idx n, T* a, idx lda, T* b, idx ldb,
+         real_t<T>* w) {
+  const Trans ct = conj_trans_for<T>();
+  idx info = potrf(uplo, n, b, ldb);
+  if (info != 0) {
+    return n + info;
+  }
+  sygst(itype, uplo, n, a, lda, b, ldb);
+  info = syev(jobz, uplo, n, a, lda, w);
+  if (info != 0) {
+    return info;
+  }
+  if (jobz == Job::Vec) {
+    // Back-transform eigenvectors.
+    if (itype == 1 || itype == 2) {
+      // x = inv(U) y or inv(L^H) y.
+      if (uplo == Uplo::Upper) {
+        blas::trsm(Side::Left, Uplo::Upper, Trans::NoTrans, Diag::NonUnit, n,
+                   n, T(1), b, ldb, a, lda);
+      } else {
+        blas::trsm(Side::Left, Uplo::Lower, ct, Diag::NonUnit, n, n, T(1), b,
+                   ldb, a, lda);
+      }
+    } else {
+      // itype 3: x = U^H y or L y.
+      if (uplo == Uplo::Upper) {
+        blas::trmm(Side::Left, Uplo::Upper, ct, Diag::NonUnit, n, n, T(1), b,
+                   ldb, a, lda);
+      } else {
+        blas::trmm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, n,
+                   n, T(1), b, ldb, a, lda);
+      }
+    }
+  }
+  return 0;
+}
+
+/// Hermitian alias.
+template <Scalar T>
+idx hegv(idx itype, Job jobz, Uplo uplo, idx n, T* a, idx lda, T* b, idx ldb,
+         real_t<T>* w) {
+  return sygv(itype, jobz, uplo, n, a, lda, b, ldb, w);
+}
+
+/// Driver: packed symmetric-definite generalized eigenproblem (xSPGV /
+/// xHPGV), via dense scratch. z is n x n when jobz == Vec.
+template <Scalar T>
+idx spgv(idx itype, Job jobz, Uplo uplo, idx n, T* ap, T* bp, real_t<T>* w,
+         T* z, idx ldz) {
+  if (n == 0) {
+    return 0;
+  }
+  const idx ld = std::max<idx>(n, 1);
+  std::vector<T> a(static_cast<std::size_t>(n) * n);
+  std::vector<T> b(static_cast<std::size_t>(n) * n);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < n; ++i) {
+      const bool stored = uplo == Uplo::Upper ? i <= j : i >= j;
+      if (stored) {
+        a[static_cast<std::size_t>(j) * ld + i] =
+            ap[packed_index(uplo, n, i, j)];
+        b[static_cast<std::size_t>(j) * ld + i] =
+            bp[packed_index(uplo, n, i, j)];
+      }
+    }
+  }
+  const idx info = sygv(itype, jobz, uplo, n, a.data(), ld, b.data(), ld, w);
+  if (jobz == Job::Vec && info == 0) {
+    lacpy(Part::All, n, n, a.data(), ld, z, ldz);
+  }
+  return info;
+}
+
+/// Driver: band symmetric-definite generalized eigenproblem (xSBGV /
+/// xHBGV), via dense scratch.
+template <Scalar T>
+idx sbgv(Job jobz, Uplo uplo, idx n, idx ka, idx kb, T* ab, idx ldab, T* bb,
+         idx ldbb, real_t<T>* w, T* z, idx ldz) {
+  if (n == 0) {
+    return 0;
+  }
+  const idx ld = std::max<idx>(n, 1);
+  auto expand = [&](const T* band, idx ldband, idx kd, std::vector<T>& out) {
+    out.assign(static_cast<std::size_t>(n) * n, T(0));
+    for (idx j = 0; j < n; ++j) {
+      if (uplo == Uplo::Upper) {
+        for (idx i = std::max<idx>(0, j - kd); i <= j; ++i) {
+          out[static_cast<std::size_t>(j) * ld + i] =
+              band[static_cast<std::size_t>(j) * ldband + (kd + i - j)];
+        }
+      } else {
+        for (idx i = j; i <= std::min<idx>(n - 1, j + kd); ++i) {
+          out[static_cast<std::size_t>(j) * ld + i] =
+              band[static_cast<std::size_t>(j) * ldband + (i - j)];
+        }
+      }
+    }
+  };
+  std::vector<T> a;
+  std::vector<T> b;
+  expand(ab, ldab, ka, a);
+  expand(bb, ldbb, kb, b);
+  const idx info = sygv(1, jobz, uplo, n, a.data(), ld, b.data(), ld, w);
+  if (jobz == Job::Vec && info == 0) {
+    lacpy(Part::All, n, n, a.data(), ld, z, ldz);
+  }
+  return info;
+}
+
+/// Driver: general (nonsymmetric) generalized eigenproblem A x = l B x
+/// (the LA_GEGV contract). Implemented by reducing to the standard
+/// problem inv(B) A when B is well conditioned — a documented substitution
+/// for the QZ iteration (see DESIGN.md); returns alpha/beta so callers
+/// keep the (alpha, beta) interface. Returns 0, >0 on eigen-iteration
+/// failure, or n+1 when B is singular to working precision (the QZ
+/// algorithm would still produce output; this reduction cannot).
+template <RealScalar R>
+idx gegv(Job jobvl, Job jobvr, idx n, R* a, idx lda, R* b, idx ldb, R* alphar,
+         R* alphai, R* beta, R* vl, idx ldvl, R* vr, idx ldvr) {
+  if (n == 0) {
+    return 0;
+  }
+  // Factor B and form inv(B) A.
+  std::vector<idx> ipiv(static_cast<std::size_t>(n));
+  const R bnorm = lange(Norm::One, n, n, b, ldb);
+  idx info = getrf(n, n, b, ldb, ipiv.data());
+  if (info != 0) {
+    return n + 1;
+  }
+  R rcond(0);
+  gecon(Norm::One, n, b, ldb, ipiv.data(), bnorm, rcond);
+  if (rcond < eps<R>()) {
+    return n + 1;
+  }
+  getrs(Trans::NoTrans, n, n, b, ldb, ipiv.data(), a, lda);
+  info = geev(jobvl, jobvr, n, a, lda, alphar, alphai, vl, ldvl, vr, ldvr);
+  if (info != 0) {
+    return info;
+  }
+  for (idx i = 0; i < n; ++i) {
+    beta[i] = R(1);
+  }
+  return 0;
+}
+
+/// Complex overload of gegv.
+template <ComplexScalar T>
+idx gegv(Job jobvl, Job jobvr, idx n, T* a, idx lda, T* b, idx ldb, T* alpha,
+         T* beta, T* vl, idx ldvl, T* vr, idx ldvr) {
+  using R = real_t<T>;
+  if (n == 0) {
+    return 0;
+  }
+  std::vector<idx> ipiv(static_cast<std::size_t>(n));
+  const R bnorm = lange(Norm::One, n, n, b, ldb);
+  idx info = getrf(n, n, b, ldb, ipiv.data());
+  if (info != 0) {
+    return n + 1;
+  }
+  R rcond(0);
+  gecon(Norm::One, n, b, ldb, ipiv.data(), bnorm, rcond);
+  if (rcond < eps<T>()) {
+    return n + 1;
+  }
+  getrs(Trans::NoTrans, n, n, b, ldb, ipiv.data(), a, lda);
+  info = geev(jobvl, jobvr, n, a, lda, alpha, vl, ldvl, vr, ldvr);
+  if (info != 0) {
+    return info;
+  }
+  for (idx i = 0; i < n; ++i) {
+    beta[i] = T(1);
+  }
+  return 0;
+}
+
+}  // namespace la::lapack

@@ -1,0 +1,97 @@
+// lapack90/lapack/ggsvd.hpp
+//
+// Generalized singular value decomposition — the substrate under
+// LA_GGSVD. Implemented via the QR + CS-decomposition route:
+//
+//   [A; B] = Q R,  Q = [Q1; Q2],  Q1 = U C W^H  (SVD)
+//   =>  A = U diag(alpha) X,  B = V diag(beta) X,  X = W^H R
+//
+// with alpha_i = c_i, beta_i = ||(Q2 W)_i||, alpha^2 + beta^2 = 1 and V
+// the normalized columns of Q2 W (orthonormal because Q has orthonormal
+// columns). This produces the same (alpha, beta, U, V) as xGGSVD with the
+// triangular factor delivered as an explicit n x n matrix X instead of
+// packed inside A/B — a documented interface simplification (DESIGN.md).
+// Requires m >= n and rank([A; B]) = n (the generic case exercised by the
+// tests and benches).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "lapack90/blas/level3.hpp"
+#include "lapack90/core/precision.hpp"
+#include "lapack90/core/types.hpp"
+#include "lapack90/lapack/aux.hpp"
+#include "lapack90/lapack/qr.hpp"
+#include "lapack90/lapack/svd.hpp"
+
+namespace la::lapack {
+
+/// Generalized SVD (xGGSVD semantics, explicit-X layout): A (m x n),
+/// B (p x n) with m >= n. Outputs alpha/beta (n), U (m x n), V (p x n,
+/// columns beyond rank of B zero), X (n x n). A and B are destroyed.
+/// Returns 0, -1 for unsupported shapes, or >0 if the inner SVD failed.
+template <Scalar T>
+idx ggsvd(idx m, idx p, idx n, T* a, idx lda, T* b, idx ldb,
+          real_t<T>* alpha, real_t<T>* beta, T* u, idx ldu, T* v, idx ldv,
+          T* x, idx ldx) {
+  using R = real_t<T>;
+  if (m < n || n == 0) {
+    return -1;
+  }
+  const idx mp = m + p;
+  // Stack S = [A; B] and factor S = Q R.
+  std::vector<T> s(static_cast<std::size_t>(mp) * n);
+  lacpy(Part::All, m, n, a, lda, s.data(), mp);
+  lacpy(Part::All, p, n, b, ldb, s.data() + m, mp);
+  std::vector<T> tau(static_cast<std::size_t>(n));
+  geqrf(mp, n, s.data(), mp, tau.data());
+  std::vector<T> r(static_cast<std::size_t>(n) * n, T(0));
+  lacpy(Part::Upper, n, n, s.data(), mp, r.data(), n);
+  orgqr(mp, n, n, s.data(), mp, tau.data());
+
+  // SVD of Q1: Q1 = U C W^H.
+  std::vector<T> q1(static_cast<std::size_t>(m) * n);
+  lacpy(Part::All, m, n, s.data(), mp, q1.data(), m);
+  std::vector<T> wt(static_cast<std::size_t>(n) * n);
+  const idx info = gesvd(Job::Vec, Job::Vec, m, n, q1.data(), m, alpha, u,
+                         ldu, wt.data(), n);
+  if (info != 0) {
+    return info;
+  }
+  for (idx i = 0; i < n; ++i) {
+    alpha[i] = std::min(alpha[i], R(1));
+  }
+  // V from Q2 W: columns have norm beta_i.
+  std::vector<T> q2w(static_cast<std::size_t>(std::max<idx>(p, 1)) * n);
+  if (p > 0) {
+    blas::gemm(Trans::NoTrans, conj_trans_for<T>(), p, n, n, T(1),
+               s.data() + m, mp, wt.data(), n, T(0), q2w.data(), p);
+  }
+  for (idx j = 0; j < n; ++j) {
+    const R bj = p > 0 ? blas::nrm2(p, q2w.data() +
+                                           static_cast<std::size_t>(j) * p,
+                                    1)
+                       : R(0);
+    beta[j] = bj;
+    if (p > 0) {
+      T* vj = v + static_cast<std::size_t>(j) * ldv;
+      if (bj > R(0)) {
+        for (idx i = 0; i < p; ++i) {
+          vj[i] = q2w[static_cast<std::size_t>(j) * p + i] / T(bj);
+        }
+      } else {
+        for (idx i = 0; i < p; ++i) {
+          vj[i] = T(0);
+        }
+      }
+    }
+  }
+  // X = W^H R.
+  blas::gemm(Trans::NoTrans, Trans::NoTrans, n, n, n, T(1), wt.data(), n,
+             r.data(), n, T(0), x, ldx);
+  return 0;
+}
+
+}  // namespace la::lapack

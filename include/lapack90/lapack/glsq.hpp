@@ -1,0 +1,139 @@
+// lapack90/lapack/glsq.hpp
+//
+// Generalized least squares drivers — the substrate under LA_GGLSE and
+// LA_GGGLM. Both are implemented with orthogonal transformations only
+// (QR of the constraint/model matrix + a least-squares solve), which is
+// the same numerical recipe as the GRQ/GQR-based xGGLSE / xGGGLM up to
+// the order of factorizations (see DESIGN.md substitutions).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "lapack90/blas/level1.hpp"
+#include "lapack90/blas/level3.hpp"
+#include "lapack90/core/precision.hpp"
+#include "lapack90/core/types.hpp"
+#include "lapack90/lapack/aux.hpp"
+#include "lapack90/lapack/lls.hpp"
+#include "lapack90/lapack/qr.hpp"
+
+namespace la::lapack {
+
+/// Linear equality-constrained least squares (xGGLSE):
+///   minimize ||c - A x||_2  subject to  B x = d
+/// with A (m x n), B (p x n), assuming p <= n <= m + p and B full row
+/// rank, A full column rank on the constraint null space. A, B, c, d are
+/// destroyed; x (n) receives the solution. On exit c's tail holds the
+/// residual contribution, as in LAPACK. Returns 0, 1 if B is rank
+/// deficient, 2 if the reduced least squares problem is rank deficient.
+template <Scalar T>
+idx gglse(idx m, idx n, idx p, T* a, idx lda, T* b, idx ldb, T* c, T* d,
+          T* x) {
+  const Trans ct = conj_trans_for<T>();
+  // Factor B^H = Q [R; 0]  (n x p), so B = [R^H 0] Q^H.
+  std::vector<T> bh(static_cast<std::size_t>(n) *
+                    std::max<idx>(p, 1));
+  for (idx j = 0; j < p; ++j) {
+    for (idx i = 0; i < n; ++i) {
+      bh[static_cast<std::size_t>(j) * n + i] =
+          conj_if(b[static_cast<std::size_t>(i) * ldb + j]);
+    }
+  }
+  std::vector<T> tau(static_cast<std::size_t>(std::max<idx>(p, 1)));
+  geqrf(n, p, bh.data(), n, tau.data());
+  // Solve R^H y1 = d for the constrained coordinates.
+  for (idx i = 0; i < p; ++i) {
+    if (bh[static_cast<std::size_t>(i) * n + i] == T(0)) {
+      return 1;
+    }
+  }
+  blas::trsm(Side::Left, Uplo::Upper, ct, Diag::NonUnit, p, 1, T(1),
+             bh.data(), n, d, std::max<idx>(p, 1));
+  // A~ = A Q: apply Q from the right to A.
+  // (A Q)^H = Q^H A^H: work on columns of A directly via ormqr on A^H, or
+  // equivalently apply reflectors to A's rows; ormqr(Side::Right) does it.
+  ormqr(Side::Right, Trans::NoTrans, m, n, p, bh.data(), n, tau.data(), a,
+        lda);
+  // Residual objective: minimize ||(c - A~1 y1) - A~2 y2|| over y2.
+  blas::gemv(Trans::NoTrans, m, p, T(-1), a, lda, d, 1, T(1), c, 1);
+  const idx n2 = n - p;
+  idx info = 0;
+  std::vector<T> y2;
+  if (n2 > 0) {
+    // Copy the free-column block and the RHS so gels can overwrite them.
+    std::vector<T> a2(static_cast<std::size_t>(m) * n2);
+    lacpy(Part::All, m, n2, a + static_cast<std::size_t>(p) * lda, lda,
+          a2.data(), m);
+    std::vector<T> rhs(static_cast<std::size_t>(std::max(m, n2)));
+    blas::copy(m, c, 1, rhs.data(), 1);
+    info = gels(Trans::NoTrans, m, n2, 1, a2.data(), m, rhs.data(),
+                std::max(m, n2));
+    if (info != 0) {
+      return 2;
+    }
+    y2.assign(rhs.data(), rhs.data() + n2);
+    // c := c - A~2 y2 (the genuine residual vector).
+    blas::gemv(Trans::NoTrans, m, n2, T(-1),
+               a + static_cast<std::size_t>(p) * lda, lda, y2.data(), 1, T(1),
+               c, 1);
+  }
+  // x = Q [y1; y2].
+  std::vector<T> y(static_cast<std::size_t>(n), T(0));
+  blas::copy(p, d, 1, y.data(), 1);
+  if (n2 > 0) {
+    blas::copy(n2, y2.data(), 1, y.data() + p, 1);
+  }
+  ormqr(Side::Left, Trans::NoTrans, n, 1, p, bh.data(), n, tau.data(),
+        y.data(), n);
+  blas::copy(n, y.data(), 1, x, 1);
+  return 0;
+}
+
+/// General Gauss-Markov linear model (xGGGLM):
+///   minimize ||y||_2  subject to  d = A x + B y
+/// with A (n x m), B (n x p), m <= n <= m + p. A, B, d are destroyed;
+/// x (m) and y (p) receive the solution. Returns 0, 1 if A is rank
+/// deficient, 2 if the reduced system for y is rank deficient.
+template <Scalar T>
+idx ggglm(idx n, idx m, idx p, T* a, idx lda, T* b, idx ldb, T* d, T* x,
+          T* y) {
+  const Trans ct = conj_trans_for<T>();
+  // QR of A: A = Q [R; 0].
+  std::vector<T> tau(static_cast<std::size_t>(std::max<idx>(m, 1)));
+  geqrf(n, m, a, lda, tau.data());
+  for (idx i = 0; i < m; ++i) {
+    if (a[static_cast<std::size_t>(i) * lda + i] == T(0)) {
+      return 1;
+    }
+  }
+  // d := Q^H d;  B := Q^H B.
+  ormqr(Side::Left, ct, n, 1, m, a, lda, tau.data(), d, n);
+  ormqr(Side::Left, ct, n, p, m, a, lda, tau.data(), b, ldb);
+  // Rows m..n-1: d2 = B2 y with minimum ||y||: underdetermined solve.
+  const idx n2 = n - m;
+  if (p > 0) {
+    std::fill(y, y + p, T(0));
+  }
+  if (n2 > 0) {
+    std::vector<T> b2(static_cast<std::size_t>(n2) * std::max<idx>(p, 1));
+    lacpy(Part::All, n2, p, b + m, ldb, b2.data(), n2);
+    std::vector<T> rhs(static_cast<std::size_t>(std::max(n2, p)));
+    blas::copy(n2, d + m, 1, rhs.data(), 1);
+    const idx info = gels(Trans::NoTrans, n2, p, 1, b2.data(), n2, rhs.data(),
+                          std::max(n2, p));
+    if (info != 0) {
+      return 2;
+    }
+    blas::copy(p, rhs.data(), 1, y, 1);
+  }
+  // R x = d1 - B1 y.
+  blas::gemv(Trans::NoTrans, m, p, T(-1), b, ldb, y, 1, T(1), d, 1);
+  blas::trsm(Side::Left, Uplo::Upper, Trans::NoTrans, Diag::NonUnit, m, 1,
+             T(1), a, lda, d, std::max<idx>(m, 1));
+  blas::copy(m, d, 1, x, 1);
+  return 0;
+}
+
+}  // namespace la::lapack

@@ -1,0 +1,696 @@
+// lapack90/lapack/ldlt.hpp
+//
+// Bunch-Kaufman LDL^T / LDL^H factorization for symmetric and Hermitian
+// indefinite systems — the substrate under LA_SYSV / LA_HESV / LA_SYSVX /
+// LA_SPSV / LA_HPSV:
+//
+//   sytf2 / hetf2    unblocked diagonal-pivoting factorization
+//   sytrs / hetrs    solve from the factors
+//   sycon / hecon    reciprocal condition estimate
+//   sysv / hesv      drivers
+//   sptrf / sptrs / spsv / hpsv   packed variants
+//
+// Pivot bookkeeping follows LAPACK exactly: ipiv values are 1-based and
+// signed — ipiv[k] = p > 0 records a 1x1 pivot with row/column interchange
+// k <-> p-1; ipiv[k] = ipiv[k±1] = -p records a 2x2 pivot block. (This is
+// the one array in the library that keeps FORTRAN 1-based values, because
+// the sign encodes the block structure.)
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "lapack90/blas/level1.hpp"
+#include "lapack90/blas/level2.hpp"
+#include "lapack90/core/packed.hpp"
+#include "lapack90/core/precision.hpp"
+#include "lapack90/core/types.hpp"
+#include "lapack90/lapack/aux.hpp"
+#include "lapack90/lapack/conest.hpp"
+
+namespace la::lapack {
+
+namespace detail {
+
+template <Scalar T, bool Herm>
+idx sytf2_impl(Uplo uplo, idx n, T* a, idx lda, idx* ipiv) noexcept {
+  using R = real_t<T>;
+  const R alpha = (R(1) + std::sqrt(R(17))) / R(8);
+  idx info = 0;
+  auto at = [&](idx i, idx j) -> T& {
+    return a[static_cast<std::size_t>(j) * lda + i];
+  };
+  auto abs_diag = [&](idx i) -> R {
+    return Herm ? std::abs(real_part(at(i, i))) : abs1(at(i, i));
+  };
+
+  if (uplo == Uplo::Upper) {
+    idx k = n - 1;
+    while (k >= 0) {
+      idx kstep = 1;
+      idx kp = k;
+      const R absakk = abs_diag(k);
+      idx imax = 0;
+      R colmax(0);
+      if (k > 0) {
+        imax = blas::iamax(k, a + static_cast<std::size_t>(k) * lda, 1);
+        colmax = abs1(at(imax, k));
+      }
+      if (std::max(absakk, colmax) == R(0)) {
+        if (info == 0) {
+          info = k + 1;
+        }
+        kp = k;
+        if constexpr (Herm) {
+          at(k, k) = T(real_part(at(k, k)));
+        }
+      } else {
+        if (absakk >= alpha * colmax) {
+          kp = k;
+        } else {
+          // Scan row imax for its largest off-diagonal magnitude.
+          R rowmax(0);
+          for (idx j = imax + 1; j <= k; ++j) {
+            rowmax = std::max(rowmax, abs1(at(imax, j)));
+          }
+          if (imax > 0) {
+            const idx jmax =
+                blas::iamax(imax, a + static_cast<std::size_t>(imax) * lda, 1);
+            rowmax = std::max(rowmax, abs1(at(jmax, imax)));
+          }
+          if (absakk >= alpha * colmax * (colmax / rowmax)) {
+            kp = k;
+          } else if (abs_diag(imax) >= alpha * rowmax) {
+            kp = imax;
+          } else {
+            kp = imax;
+            kstep = 2;
+          }
+        }
+        const idx kk = k - kstep + 1;
+        if (kp != kk) {
+          // Interchange rows/columns kk and kp in the leading submatrix.
+          blas::swap(kp, a + static_cast<std::size_t>(kk) * lda, 1,
+                     a + static_cast<std::size_t>(kp) * lda, 1);
+          if constexpr (Herm) {
+            for (idx j = kp + 1; j < kk; ++j) {
+              const T t = std::conj(at(j, kk));
+              at(j, kk) = std::conj(at(kp, j));
+              at(kp, j) = t;
+            }
+            at(kp, kk) = std::conj(at(kp, kk));
+            const R t = real_part(at(kk, kk));
+            at(kk, kk) = T(real_part(at(kp, kp)));
+            at(kp, kp) = T(t);
+          } else {
+            blas::swap(kk - kp - 1,
+                       a + static_cast<std::size_t>(kk) * lda + kp + 1, 1,
+                       a + static_cast<std::size_t>(kp + 1) * lda + kp, lda);
+            std::swap(at(kk, kk), at(kp, kp));
+          }
+          if (kstep == 2) {
+            std::swap(at(k - 1, k), at(kp, k));
+          }
+        } else if constexpr (Herm) {
+          at(kk, kk) = T(real_part(at(kk, kk)));
+        }
+
+        if (kstep == 1) {
+          // A(0:k-1,0:k-1) -= v v^{T/H} / d,  v = A(0:k-1, k).
+          if constexpr (Herm) {
+            const R r1 = R(1) / real_part(at(k, k));
+            blas::her(Uplo::Upper, k, -r1,
+                      a + static_cast<std::size_t>(k) * lda, 1, a, lda);
+            blas::scal(k, r1, a + static_cast<std::size_t>(k) * lda, 1);
+          } else {
+            const T r1 = T(1) / at(k, k);
+            blas::syr(Uplo::Upper, k, -r1,
+                      a + static_cast<std::size_t>(k) * lda, 1, a, lda);
+            blas::scal(k, r1, a + static_cast<std::size_t>(k) * lda, 1);
+          }
+        } else if (k > 1) {
+          // 2x2 pivot: update the leading block and store the multipliers.
+          if constexpr (Herm) {
+            const R dnorm = std::abs(at(k - 1, k));
+            const R d11 = real_part(at(k, k)) / dnorm;
+            const R d22 = real_part(at(k - 1, k - 1)) / dnorm;
+            const R tt = R(1) / (d11 * d22 - R(1));
+            const T d12 = at(k - 1, k) / T(dnorm);
+            const R dd = tt / dnorm;
+            for (idx j = k - 2; j >= 0; --j) {
+              const T wkm1 =
+                  T(dd) * (T(d11) * at(j, k - 1) - std::conj(d12) * at(j, k));
+              const T wk = T(dd) * (T(d22) * at(j, k) - d12 * at(j, k - 1));
+              for (idx i = j; i >= 0; --i) {
+                at(i, j) -= at(i, k) * std::conj(wk) +
+                            at(i, k - 1) * std::conj(wkm1);
+              }
+              at(j, k) = wk;
+              at(j, k - 1) = wkm1;
+              at(j, j) = T(real_part(at(j, j)));
+            }
+          } else {
+            T d12 = at(k - 1, k);
+            const T d22 = at(k - 1, k - 1) / d12;
+            const T d11 = at(k, k) / d12;
+            const T t = T(1) / (d11 * d22 - T(1));
+            d12 = t / d12;
+            for (idx j = k - 2; j >= 0; --j) {
+              const T wkm1 = d12 * (d11 * at(j, k - 1) - at(j, k));
+              const T wk = d12 * (d22 * at(j, k) - at(j, k - 1));
+              for (idx i = j; i >= 0; --i) {
+                at(i, j) -= at(i, k) * wk + at(i, k - 1) * wkm1;
+              }
+              at(j, k) = wk;
+              at(j, k - 1) = wkm1;
+            }
+          }
+        }
+      }
+      if (kstep == 1) {
+        ipiv[k] = kp + 1;
+      } else {
+        ipiv[k] = -(kp + 1);
+        ipiv[k - 1] = -(kp + 1);
+      }
+      k -= kstep;
+    }
+  } else {  // Lower
+    idx k = 0;
+    while (k < n) {
+      idx kstep = 1;
+      idx kp = k;
+      const R absakk = abs_diag(k);
+      idx imax = 0;
+      R colmax(0);
+      if (k < n - 1) {
+        imax = k + 1 +
+               blas::iamax(n - k - 1,
+                           a + static_cast<std::size_t>(k) * lda + k + 1, 1);
+        colmax = abs1(at(imax, k));
+      }
+      if (std::max(absakk, colmax) == R(0)) {
+        if (info == 0) {
+          info = k + 1;
+        }
+        kp = k;
+        if constexpr (Herm) {
+          at(k, k) = T(real_part(at(k, k)));
+        }
+      } else {
+        if (absakk >= alpha * colmax) {
+          kp = k;
+        } else {
+          R rowmax(0);
+          for (idx j = k; j < imax; ++j) {
+            rowmax = std::max(rowmax, abs1(at(imax, j)));
+          }
+          if (imax < n - 1) {
+            const idx jmax =
+                imax + 1 +
+                blas::iamax(n - imax - 1,
+                            a + static_cast<std::size_t>(imax) * lda + imax +
+                                1,
+                            1);
+            rowmax = std::max(rowmax, abs1(at(jmax, imax)));
+          }
+          if (absakk >= alpha * colmax * (colmax / rowmax)) {
+            kp = k;
+          } else if (abs_diag(imax) >= alpha * rowmax) {
+            kp = imax;
+          } else {
+            kp = imax;
+            kstep = 2;
+          }
+        }
+        const idx kk = k + kstep - 1;
+        if (kp != kk) {
+          if (kp < n - 1) {
+            blas::swap(n - kp - 1,
+                       a + static_cast<std::size_t>(kk) * lda + kp + 1, 1,
+                       a + static_cast<std::size_t>(kp) * lda + kp + 1, 1);
+          }
+          if constexpr (Herm) {
+            for (idx j = kk + 1; j < kp; ++j) {
+              const T t = std::conj(at(j, kk));
+              at(j, kk) = std::conj(at(kp, j));
+              at(kp, j) = t;
+            }
+            at(kp, kk) = std::conj(at(kp, kk));
+            const R t = real_part(at(kk, kk));
+            at(kk, kk) = T(real_part(at(kp, kp)));
+            at(kp, kp) = T(t);
+          } else {
+            blas::swap(kp - kk - 1,
+                       a + static_cast<std::size_t>(kk) * lda + kk + 1, 1,
+                       a + static_cast<std::size_t>(kk + 1) * lda + kp, lda);
+            std::swap(at(kk, kk), at(kp, kp));
+          }
+          if (kstep == 2) {
+            std::swap(at(k + 1, k), at(kp, k));
+          }
+        } else if constexpr (Herm) {
+          at(kk, kk) = T(real_part(at(kk, kk)));
+        }
+
+        if (kstep == 1) {
+          if (k < n - 1) {
+            if constexpr (Herm) {
+              const R r1 = R(1) / real_part(at(k, k));
+              blas::her(Uplo::Lower, n - k - 1, -r1,
+                        a + static_cast<std::size_t>(k) * lda + k + 1, 1,
+                        a + static_cast<std::size_t>(k + 1) * lda + k + 1,
+                        lda);
+              blas::scal(n - k - 1, r1,
+                         a + static_cast<std::size_t>(k) * lda + k + 1, 1);
+            } else {
+              const T r1 = T(1) / at(k, k);
+              blas::syr(Uplo::Lower, n - k - 1, -r1,
+                        a + static_cast<std::size_t>(k) * lda + k + 1, 1,
+                        a + static_cast<std::size_t>(k + 1) * lda + k + 1,
+                        lda);
+              blas::scal(n - k - 1, r1,
+                         a + static_cast<std::size_t>(k) * lda + k + 1, 1);
+            }
+          }
+        } else if (k < n - 2) {
+          if constexpr (Herm) {
+            const R dnorm = std::abs(at(k + 1, k));
+            const R d11 = real_part(at(k + 1, k + 1)) / dnorm;
+            const R d22 = real_part(at(k, k)) / dnorm;
+            const R tt = R(1) / (d11 * d22 - R(1));
+            const T d21 = at(k + 1, k) / T(dnorm);
+            const R dd = tt / dnorm;
+            for (idx j = k + 2; j < n; ++j) {
+              const T wk = T(dd) * (T(d11) * at(j, k) - d21 * at(j, k + 1));
+              const T wkp1 =
+                  T(dd) * (T(d22) * at(j, k + 1) - std::conj(d21) * at(j, k));
+              for (idx i = j; i < n; ++i) {
+                at(i, j) -= at(i, k) * std::conj(wk) +
+                            at(i, k + 1) * std::conj(wkp1);
+              }
+              at(j, k) = wk;
+              at(j, k + 1) = wkp1;
+              at(j, j) = T(real_part(at(j, j)));
+            }
+          } else {
+            T d21 = at(k + 1, k);
+            const T d11 = at(k + 1, k + 1) / d21;
+            const T d22 = at(k, k) / d21;
+            const T t = T(1) / (d11 * d22 - T(1));
+            d21 = t / d21;
+            for (idx j = k + 2; j < n; ++j) {
+              const T wk = d21 * (d11 * at(j, k) - at(j, k + 1));
+              const T wkp1 = d21 * (d22 * at(j, k + 1) - at(j, k));
+              for (idx i = j; i < n; ++i) {
+                at(i, j) -= at(i, k) * wk + at(i, k + 1) * wkp1;
+              }
+              at(j, k) = wk;
+              at(j, k + 1) = wkp1;
+            }
+          }
+        }
+      }
+      if (kstep == 1) {
+        ipiv[k] = kp + 1;
+      } else {
+        ipiv[k] = -(kp + 1);
+        ipiv[k + 1] = -(kp + 1);
+      }
+      k += kstep;
+    }
+  }
+  return info;
+}
+
+template <Scalar T, bool Herm>
+idx sytrs_impl(Uplo uplo, idx n, idx nrhs, const T* a, idx lda,
+               const idx* ipiv, T* b, idx ldb) noexcept {
+  if (n == 0 || nrhs == 0) {
+    return 0;
+  }
+  auto at = [&](idx i, idx j) -> const T& {
+    return a[static_cast<std::size_t>(j) * lda + i];
+  };
+  auto cj = [](const T& v) -> T {
+    if constexpr (Herm) {
+      return conj_if(v);
+    } else {
+      return v;
+    }
+  };
+
+  if (uplo == Uplo::Upper) {
+    // B := inv(D) inv(U) P^T B.
+    idx k = n - 1;
+    while (k >= 0) {
+      if (ipiv[k] > 0) {
+        const idx kp = ipiv[k] - 1;
+        if (kp != k) {
+          blas::swap(nrhs, b + k, ldb, b + kp, ldb);
+        }
+        blas::geru(k, nrhs, T(-1), a + static_cast<std::size_t>(k) * lda, 1,
+                   b + k, ldb, b, ldb);
+        if constexpr (Herm) {
+          blas::scal(nrhs, real_t<T>(1) / real_part(at(k, k)), b + k, ldb);
+        } else {
+          blas::scal(nrhs, T(1) / at(k, k), b + k, ldb);
+        }
+        --k;
+      } else {
+        const idx kp = -ipiv[k] - 1;
+        if (kp != k - 1) {
+          blas::swap(nrhs, b + k - 1, ldb, b + kp, ldb);
+        }
+        blas::geru(k - 1, nrhs, T(-1), a + static_cast<std::size_t>(k) * lda,
+                   1, b + k, ldb, b, ldb);
+        blas::geru(k - 1, nrhs, T(-1),
+                   a + static_cast<std::size_t>(k - 1) * lda, 1, b + k - 1,
+                   ldb, b, ldb);
+        const T akm1k = at(k - 1, k);
+        const T akm1 = at(k - 1, k - 1) / akm1k;
+        const T ak = at(k, k) / cj(akm1k);
+        const T denom = akm1 * ak - T(1);
+        for (idx j = 0; j < nrhs; ++j) {
+          T* bj = b + static_cast<std::size_t>(j) * ldb;
+          const T bkm1 = bj[k - 1] / akm1k;
+          const T bk = bj[k] / cj(akm1k);
+          bj[k - 1] = (ak * bkm1 - bk) / denom;
+          bj[k] = (akm1 * bk - bkm1) / denom;
+        }
+        k -= 2;
+      }
+    }
+    // B := P inv(U^{T/H}) B.
+    k = 0;
+    while (k < n) {
+      const idx kstep = ipiv[k] > 0 ? 1 : 2;
+      for (idx col = k; col < k + kstep; ++col) {
+        for (idx j = 0; j < nrhs; ++j) {
+          T* bj = b + static_cast<std::size_t>(j) * ldb;
+          T s(0);
+          for (idx i = 0; i < k; ++i) {
+            s += cj(at(i, col)) * bj[i];
+          }
+          bj[col] -= s;
+        }
+      }
+      const idx kp = std::abs(ipiv[k]) - 1;
+      if (kp != k) {
+        blas::swap(nrhs, b + k, ldb, b + kp, ldb);
+      }
+      k += kstep;
+    }
+  } else {  // Lower
+    // B := inv(D) inv(L) P^T B.
+    idx k = 0;
+    while (k < n) {
+      if (ipiv[k] > 0) {
+        const idx kp = ipiv[k] - 1;
+        if (kp != k) {
+          blas::swap(nrhs, b + k, ldb, b + kp, ldb);
+        }
+        if (k < n - 1) {
+          blas::geru(n - k - 1, nrhs, T(-1),
+                     a + static_cast<std::size_t>(k) * lda + k + 1, 1, b + k,
+                     ldb, b + k + 1, ldb);
+        }
+        if constexpr (Herm) {
+          blas::scal(nrhs, real_t<T>(1) / real_part(at(k, k)), b + k, ldb);
+        } else {
+          blas::scal(nrhs, T(1) / at(k, k), b + k, ldb);
+        }
+        ++k;
+      } else {
+        const idx kp = -ipiv[k] - 1;
+        if (kp != k + 1) {
+          blas::swap(nrhs, b + k + 1, ldb, b + kp, ldb);
+        }
+        if (k < n - 2) {
+          blas::geru(n - k - 2, nrhs, T(-1),
+                     a + static_cast<std::size_t>(k) * lda + k + 2, 1, b + k,
+                     ldb, b + k + 2, ldb);
+          blas::geru(n - k - 2, nrhs, T(-1),
+                     a + static_cast<std::size_t>(k + 1) * lda + k + 2, 1,
+                     b + k + 1, ldb, b + k + 2, ldb);
+        }
+        const T akm1k = at(k + 1, k);
+        const T akm1 = at(k, k) / cj(akm1k);
+        const T ak = at(k + 1, k + 1) / akm1k;
+        const T denom = akm1 * ak - T(1);
+        for (idx j = 0; j < nrhs; ++j) {
+          T* bj = b + static_cast<std::size_t>(j) * ldb;
+          const T bkm1 = bj[k] / cj(akm1k);
+          const T bk = bj[k + 1] / akm1k;
+          bj[k] = (ak * bkm1 - bk) / denom;
+          bj[k + 1] = (akm1 * bk - bkm1) / denom;
+        }
+        k += 2;
+      }
+    }
+    // B := P inv(L^{T/H}) B.
+    k = n - 1;
+    while (k >= 0) {
+      const idx kstep = ipiv[k] > 0 ? 1 : 2;
+      const idx kfirst = k - kstep + 1;
+      for (idx col = kfirst; col <= k; ++col) {
+        for (idx j = 0; j < nrhs; ++j) {
+          T* bj = b + static_cast<std::size_t>(j) * ldb;
+          T s(0);
+          for (idx i = k + 1; i < n; ++i) {
+            s += cj(at(i, col)) * bj[i];
+          }
+          bj[col] -= s;
+        }
+      }
+      const idx kp = std::abs(ipiv[k]) - 1;
+      if (kp != k) {
+        blas::swap(nrhs, b + k, ldb, b + kp, ldb);
+      }
+      k -= kstep;
+    }
+  }
+  return 0;
+}
+
+}  // namespace detail
+
+/// Symmetric indefinite factorization (xSYTF2/xSYTRF semantics); works for
+/// real symmetric and complex symmetric matrices.
+template <Scalar T>
+idx sytrf(Uplo uplo, idx n, T* a, idx lda, idx* ipiv) noexcept {
+  return detail::sytf2_impl<T, false>(uplo, n, a, lda, ipiv);
+}
+
+/// Hermitian indefinite factorization (xHETF2/xHETRF semantics).
+template <Scalar T>
+idx hetrf(Uplo uplo, idx n, T* a, idx lda, idx* ipiv) noexcept {
+  return detail::sytf2_impl<T, is_complex_v<T>>(uplo, n, a, lda, ipiv);
+}
+
+/// Solve from sytrf factors (xSYTRS).
+template <Scalar T>
+idx sytrs(Uplo uplo, idx n, idx nrhs, const T* a, idx lda, const idx* ipiv,
+          T* b, idx ldb) noexcept {
+  return detail::sytrs_impl<T, false>(uplo, n, nrhs, a, lda, ipiv, b, ldb);
+}
+
+/// Solve from hetrf factors (xHETRS).
+template <Scalar T>
+idx hetrs(Uplo uplo, idx n, idx nrhs, const T* a, idx lda, const idx* ipiv,
+          T* b, idx ldb) noexcept {
+  return detail::sytrs_impl<T, is_complex_v<T>>(uplo, n, nrhs, a, lda, ipiv, b,
+                                                ldb);
+}
+
+/// Reciprocal condition estimate from sytrf factors (xSYCON).
+template <Scalar T>
+idx sycon(Uplo uplo, idx n, const T* a, idx lda, const idx* ipiv,
+          real_t<T> anorm, real_t<T>& rcond) {
+  using R = real_t<T>;
+  rcond = R(0);
+  if (n == 0) {
+    rcond = R(1);
+    return 0;
+  }
+  if (anorm == R(0)) {
+    return 0;
+  }
+  auto solve = [&](T* v) { sytrs(uplo, n, 1, a, lda, ipiv, v, n); };
+  auto solveh = [&](T* v) {
+    // A symmetric: A^H = conj(A), so A^H x = b <=> A conj(x) = conj(b).
+    if constexpr (is_complex_v<T>) {
+      for (idx i = 0; i < n; ++i) {
+        v[i] = std::conj(v[i]);
+      }
+      sytrs(uplo, n, 1, a, lda, ipiv, v, n);
+      for (idx i = 0; i < n; ++i) {
+        v[i] = std::conj(v[i]);
+      }
+    } else {
+      sytrs(uplo, n, 1, a, lda, ipiv, v, n);
+    }
+  };
+  const R ainv = norm1_estimate<T>(n, solve, solveh);
+  if (ainv != R(0)) {
+    rcond = (R(1) / ainv) / anorm;
+  }
+  return 0;
+}
+
+/// Reciprocal condition estimate from hetrf factors (xHECON).
+template <Scalar T>
+idx hecon(Uplo uplo, idx n, const T* a, idx lda, const idx* ipiv,
+          real_t<T> anorm, real_t<T>& rcond) {
+  using R = real_t<T>;
+  rcond = R(0);
+  if (n == 0) {
+    rcond = R(1);
+    return 0;
+  }
+  if (anorm == R(0)) {
+    return 0;
+  }
+  auto solve = [&](T* v) { hetrs(uplo, n, 1, a, lda, ipiv, v, n); };
+  const R ainv = norm1_estimate<T>(n, solve, solve);
+  if (ainv != R(0)) {
+    rcond = (R(1) / ainv) / anorm;
+  }
+  return 0;
+}
+
+/// Driver: symmetric indefinite solve (xSYSV).
+template <Scalar T>
+idx sysv(Uplo uplo, idx n, idx nrhs, T* a, idx lda, idx* ipiv, T* b,
+         idx ldb) noexcept {
+  const idx info = sytrf(uplo, n, a, lda, ipiv);
+  if (info != 0) {
+    return info;
+  }
+  return sytrs(uplo, n, nrhs, a, lda, ipiv, b, ldb);
+}
+
+/// Driver: Hermitian indefinite solve (xHESV).
+template <Scalar T>
+idx hesv(Uplo uplo, idx n, idx nrhs, T* a, idx lda, idx* ipiv, T* b,
+         idx ldb) noexcept {
+  const idx info = hetrf(uplo, n, a, lda, ipiv);
+  if (info != 0) {
+    return info;
+  }
+  return hetrs(uplo, n, nrhs, a, lda, ipiv, b, ldb);
+}
+
+// --------------------------------------------------------------------------
+// Packed variants. The factorization runs on a dense scratch triangle and
+// the result is repacked — same numerics and pivoting as xSPTRF, traded
+// against an O(n^2) scratch the F90 layer would allocate anyway (see
+// DESIGN.md, substitutions).
+// --------------------------------------------------------------------------
+
+namespace detail {
+
+template <Scalar T>
+void unpack(Uplo uplo, idx n, const T* ap, T* a, idx lda) noexcept {
+  for (idx j = 0; j < n; ++j) {
+    if (uplo == Uplo::Upper) {
+      for (idx i = 0; i <= j; ++i) {
+        a[static_cast<std::size_t>(j) * lda + i] =
+            ap[packed_index(uplo, n, i, j)];
+      }
+    } else {
+      for (idx i = j; i < n; ++i) {
+        a[static_cast<std::size_t>(j) * lda + i] =
+            ap[packed_index(uplo, n, i, j)];
+      }
+    }
+  }
+}
+
+template <Scalar T>
+void repack(Uplo uplo, idx n, const T* a, idx lda, T* ap) noexcept {
+  for (idx j = 0; j < n; ++j) {
+    if (uplo == Uplo::Upper) {
+      for (idx i = 0; i <= j; ++i) {
+        ap[packed_index(uplo, n, i, j)] =
+            a[static_cast<std::size_t>(j) * lda + i];
+      }
+    } else {
+      for (idx i = j; i < n; ++i) {
+        ap[packed_index(uplo, n, i, j)] =
+            a[static_cast<std::size_t>(j) * lda + i];
+      }
+    }
+  }
+}
+
+template <Scalar T, bool Herm>
+idx sptrf_impl(Uplo uplo, idx n, T* ap, idx* ipiv) {
+  std::vector<T> a(static_cast<std::size_t>(n) * std::max<idx>(n, 1));
+  unpack(uplo, n, ap, a.data(), std::max<idx>(n, 1));
+  const idx info = sytf2_impl<T, Herm>(uplo, n, a.data(), std::max<idx>(n, 1),
+                                       ipiv);
+  repack(uplo, n, a.data(), std::max<idx>(n, 1), ap);
+  return info;
+}
+
+template <Scalar T, bool Herm>
+idx sptrs_impl(Uplo uplo, idx n, idx nrhs, const T* ap, const idx* ipiv, T* b,
+               idx ldb) {
+  std::vector<T> a(static_cast<std::size_t>(n) * std::max<idx>(n, 1));
+  unpack(uplo, n, ap, a.data(), std::max<idx>(n, 1));
+  return sytrs_impl<T, Herm>(uplo, n, nrhs, a.data(), std::max<idx>(n, 1),
+                             ipiv, b, ldb);
+}
+
+}  // namespace detail
+
+/// Packed symmetric indefinite factorization (xSPTRF).
+template <Scalar T>
+idx sptrf(Uplo uplo, idx n, T* ap, idx* ipiv) {
+  return detail::sptrf_impl<T, false>(uplo, n, ap, ipiv);
+}
+
+/// Packed Hermitian indefinite factorization (xHPTRF).
+template <Scalar T>
+idx hptrf(Uplo uplo, idx n, T* ap, idx* ipiv) {
+  return detail::sptrf_impl<T, is_complex_v<T>>(uplo, n, ap, ipiv);
+}
+
+/// Solve from sptrf factors (xSPTRS).
+template <Scalar T>
+idx sptrs(Uplo uplo, idx n, idx nrhs, const T* ap, const idx* ipiv, T* b,
+          idx ldb) {
+  return detail::sptrs_impl<T, false>(uplo, n, nrhs, ap, ipiv, b, ldb);
+}
+
+/// Solve from hptrf factors (xHPTRS).
+template <Scalar T>
+idx hptrs(Uplo uplo, idx n, idx nrhs, const T* ap, const idx* ipiv, T* b,
+          idx ldb) {
+  return detail::sptrs_impl<T, is_complex_v<T>>(uplo, n, nrhs, ap, ipiv, b,
+                                                ldb);
+}
+
+/// Driver: packed symmetric indefinite solve (xSPSV).
+template <Scalar T>
+idx spsv(Uplo uplo, idx n, idx nrhs, T* ap, idx* ipiv, T* b, idx ldb) {
+  const idx info = sptrf(uplo, n, ap, ipiv);
+  if (info != 0) {
+    return info;
+  }
+  return sptrs(uplo, n, nrhs, ap, ipiv, b, ldb);
+}
+
+/// Driver: packed Hermitian indefinite solve (xHPSV).
+template <Scalar T>
+idx hpsv(Uplo uplo, idx n, idx nrhs, T* ap, idx* ipiv, T* b, idx ldb) {
+  const idx info = hptrf(uplo, n, ap, ipiv);
+  if (info != 0) {
+    return info;
+  }
+  return hptrs(uplo, n, nrhs, ap, ipiv, b, ldb);
+}
+
+}  // namespace la::lapack

@@ -1,0 +1,162 @@
+// lapack90/lapack/matgen.hpp
+//
+// Test-matrix generation — the substrate under LA_LAGGE and the netlib
+// test programs reproduced in tests/ and bench/bench_gesv_report:
+//
+//   laror      multiply by a random orthogonal/unitary matrix (Stewart)
+//   lagge      random general matrix with prescribed singular values
+//   lagsy      random symmetric matrix with prescribed eigenvalues
+//   laghe      random Hermitian matrix with prescribed eigenvalues
+//   latms      condition-controlled generator (xLATMS-lite: MODE 3/4
+//              geometric/arithmetic spectra with COND)
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "lapack90/blas/level1.hpp"
+#include "lapack90/blas/level2.hpp"
+#include "lapack90/core/precision.hpp"
+#include "lapack90/core/random.hpp"
+#include "lapack90/core/types.hpp"
+#include "lapack90/lapack/qr.hpp"
+
+namespace la::lapack {
+
+/// Which side(s) of A get multiplied by a random orthogonal matrix
+/// (xLAROR's SIDE argument).
+enum class RorSide : char {
+  Left = 'L',    ///< A := U A
+  Right = 'R',   ///< A := A V
+  Both = 'B',    ///< A := U A V^H (U, V independent)
+  Similarity = 'S',  ///< A := U A U^H
+};
+
+/// Multiply A by random Haar-distributed orthogonal/unitary matrices
+/// (xLAROR): applies Householder reflectors built from Gaussian vectors.
+template <Scalar T>
+void laror(RorSide side, idx m, idx n, T* a, idx lda, Iseed& iseed) {
+  const idx kl = (side == RorSide::Left || side == RorSide::Both ||
+                  side == RorSide::Similarity)
+                     ? m
+                     : 0;
+  const idx kr = (side == RorSide::Right || side == RorSide::Both) ? n : 0;
+  std::vector<T> v(static_cast<std::size_t>(std::max(m, n)));
+  std::vector<T> work(static_cast<std::size_t>(std::max(m, n)));
+  // Left factor: U = H(1) H(2) ... applied progressively (Stewart 1980).
+  for (idx i = 0; kl > 0 && i < kl - 1; ++i) {
+    const idx len = m - i;
+    larnv(Dist::Normal, iseed, len, v.data());
+    T tau;
+    larfg(len, v[0], v.data() + 1, 1, tau);
+    v[0] = T(1);
+    larf(Side::Left, len, n, v.data(), 1, conj_if(tau), a + i, lda,
+         work.data());
+    if (side == RorSide::Similarity) {
+      larf(Side::Right, m, len, v.data(), 1, tau,
+           a + static_cast<std::size_t>(i) * lda, lda, work.data());
+    }
+  }
+  for (idx i = 0; kr > 0 && i < kr - 1; ++i) {
+    const idx len = n - i;
+    larnv(Dist::Normal, iseed, len, v.data());
+    T tau;
+    larfg(len, v[0], v.data() + 1, 1, tau);
+    v[0] = T(1);
+    larf(Side::Right, m, len, v.data(), 1, tau,
+         a + static_cast<std::size_t>(i) * lda, lda, work.data());
+  }
+}
+
+/// Random m x n general matrix A = U D V with prescribed singular values
+/// d (min(m,n) entries) and random orthogonal U, V (xLAGGE with full
+/// bandwidth; the band-limiting kl/ku reduction of netlib LAGGE is not
+/// needed by any reproduced experiment).
+template <Scalar T>
+void lagge(idx m, idx n, const real_t<T>* d, T* a, idx lda, Iseed& iseed) {
+  laset(Part::All, m, n, T(0), T(0), a, lda);
+  const idx k = std::min(m, n);
+  for (idx i = 0; i < k; ++i) {
+    a[static_cast<std::size_t>(i) * lda + i] = T(d[i]);
+  }
+  laror(RorSide::Both, m, n, a, lda, iseed);
+}
+
+/// Random symmetric matrix with prescribed eigenvalues (xLAGSY):
+/// A = U D U^T with random orthogonal U. For complex T this produces a
+/// complex symmetric matrix only when used with real U; we generate the
+/// Hermitian version in laghe and keep lagsy for real types.
+template <RealScalar R>
+void lagsy(idx n, const R* d, R* a, idx lda, Iseed& iseed) {
+  laset(Part::All, n, n, R(0), R(0), a, lda);
+  for (idx i = 0; i < n; ++i) {
+    a[static_cast<std::size_t>(i) * lda + i] = d[i];
+  }
+  laror(RorSide::Similarity, n, n, a, lda, iseed);
+  // Enforce exact symmetry (rounding breaks it slightly).
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < j; ++i) {
+      const R v = (a[static_cast<std::size_t>(j) * lda + i] +
+                   a[static_cast<std::size_t>(i) * lda + j]) /
+                  R(2);
+      a[static_cast<std::size_t>(j) * lda + i] = v;
+      a[static_cast<std::size_t>(i) * lda + j] = v;
+    }
+  }
+}
+
+/// Random Hermitian matrix with prescribed (real) eigenvalues (xLAGHE).
+template <Scalar T>
+void laghe(idx n, const real_t<T>* d, T* a, idx lda, Iseed& iseed) {
+  laset(Part::All, n, n, T(0), T(0), a, lda);
+  for (idx i = 0; i < n; ++i) {
+    a[static_cast<std::size_t>(i) * lda + i] = T(d[i]);
+  }
+  laror(RorSide::Similarity, n, n, a, lda, iseed);
+  for (idx j = 0; j < n; ++j) {
+    T& diag = a[static_cast<std::size_t>(j) * lda + j];
+    diag = T(real_part(diag));
+    for (idx i = 0; i < j; ++i) {
+      const T v = (a[static_cast<std::size_t>(j) * lda + i] +
+                   conj_if(a[static_cast<std::size_t>(i) * lda + j])) /
+                  T(2);
+      a[static_cast<std::size_t>(j) * lda + i] = v;
+      a[static_cast<std::size_t>(i) * lda + j] = conj_if(v);
+    }
+  }
+}
+
+/// Spectrum shapes for latms (xLATMS MODE argument, the two used modes).
+enum class SpectrumMode : int {
+  Geometric = 3,   ///< d(i) = cond^{-(i-1)/(n-1)}
+  Arithmetic = 4,  ///< d(i) = 1 - (i-1)/(n-1) (1 - 1/cond)
+};
+
+/// Condition-controlled random matrix (xLATMS-lite): generates an m x n
+/// matrix with singular values following `mode` at condition number
+/// `cond`, scaled so the largest is `dmax`, then rotated by random
+/// orthogonal factors. The workhorse behind the "hard" matrices of the
+/// Appendix F test transcript.
+template <Scalar T>
+void latms(idx m, idx n, SpectrumMode mode, real_t<T> cond, real_t<T> dmax,
+           T* a, idx lda, Iseed& iseed) {
+  using R = real_t<T>;
+  const idx k = std::min(m, n);
+  std::vector<R> d(static_cast<std::size_t>(std::max<idx>(k, 1)));
+  for (idx i = 0; i < k; ++i) {
+    if (k == 1) {
+      d[i] = R(1);
+    } else if (mode == SpectrumMode::Geometric) {
+      d[i] = std::pow(cond, -R(i) / R(k - 1));
+    } else {
+      d[i] = R(1) - (R(i) / R(k - 1)) * (R(1) - R(1) / cond);
+    }
+  }
+  for (idx i = 0; i < k; ++i) {
+    d[i] *= dmax;
+  }
+  lagge(m, n, d.data(), a, lda, iseed);
+}
+
+}  // namespace la::lapack

@@ -1,0 +1,539 @@
+// lapack90/lapack/norms.hpp
+//
+// Matrix norm computations — the engines behind LA_LANGE and the internal
+// norm queries of the condition estimators and drivers. Each follows the
+// corresponding xLAN** routine: One ('1'), Inf ('I'), Frobenius ('F') and
+// Max ('M') variants, with xLASSQ-style safe accumulation for 'F'.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "lapack90/core/precision.hpp"
+#include "lapack90/core/types.hpp"
+
+namespace la::lapack {
+
+/// General m x n matrix norm (xLANGE).
+template <Scalar T>
+[[nodiscard]] real_t<T> lange(Norm norm, idx m, idx n, const T* a,
+                              idx lda) noexcept {
+  using R = real_t<T>;
+  if (m <= 0 || n <= 0) {
+    return R(0);
+  }
+  switch (norm) {
+    case Norm::Max: {
+      R v(0);
+      for (idx j = 0; j < n; ++j) {
+        const T* col = a + static_cast<std::size_t>(j) * lda;
+        for (idx i = 0; i < m; ++i) {
+          v = std::max(v, R(std::abs(col[i])));
+        }
+      }
+      return v;
+    }
+    case Norm::One: {
+      R v(0);
+      for (idx j = 0; j < n; ++j) {
+        const T* col = a + static_cast<std::size_t>(j) * lda;
+        R s(0);
+        for (idx i = 0; i < m; ++i) {
+          s += std::abs(col[i]);
+        }
+        v = std::max(v, s);
+      }
+      return v;
+    }
+    case Norm::Inf: {
+      R v(0);
+      for (idx i = 0; i < m; ++i) {
+        R s(0);
+        for (idx j = 0; j < n; ++j) {
+          s += std::abs(a[static_cast<std::size_t>(j) * lda + i]);
+        }
+        v = std::max(v, s);
+      }
+      return v;
+    }
+    case Norm::Frobenius: {
+      R scale(0);
+      R sumsq(1);
+      for (idx j = 0; j < n; ++j) {
+        lassq(m, a + static_cast<std::size_t>(j) * lda, 1, scale, sumsq);
+      }
+      return scale * std::sqrt(sumsq);
+    }
+  }
+  return R(0);
+}
+
+namespace detail {
+
+template <Scalar T, bool Herm>
+[[nodiscard]] real_t<T> lansy_impl(Norm norm, Uplo uplo, idx n, const T* a,
+                                   idx lda) noexcept {
+  using R = real_t<T>;
+  if (n <= 0) {
+    return R(0);
+  }
+  auto val = [&](idx i, idx j) -> R {
+    const bool stored = uplo == Uplo::Upper ? (i <= j) : (i >= j);
+    const T v = stored ? a[static_cast<std::size_t>(j) * lda + i]
+                       : a[static_cast<std::size_t>(i) * lda + j];
+    if (Herm && i == j) {
+      return std::abs(real_part(v));
+    }
+    return std::abs(v);
+  };
+  switch (norm) {
+    case Norm::Max: {
+      R m(0);
+      for (idx j = 0; j < n; ++j) {
+        const idx lo = uplo == Uplo::Upper ? 0 : j;
+        const idx hi = uplo == Uplo::Upper ? j : n - 1;
+        for (idx i = lo; i <= hi; ++i) {
+          m = std::max(m, val(i, j));
+        }
+      }
+      return m;
+    }
+    case Norm::One:
+    case Norm::Inf: {
+      // Row and column sums coincide for symmetric/Hermitian matrices.
+      R m(0);
+      for (idx j = 0; j < n; ++j) {
+        R s(0);
+        for (idx i = 0; i < n; ++i) {
+          s += val(i, j);
+        }
+        m = std::max(m, s);
+      }
+      return m;
+    }
+    case Norm::Frobenius: {
+      R scale(0);
+      R sumsq(1);
+      for (idx j = 0; j < n; ++j) {
+        // Off-diagonal entries count twice.
+        if (uplo == Uplo::Upper) {
+          lassq(j, a + static_cast<std::size_t>(j) * lda, 1, scale, sumsq);
+        } else {
+          lassq(n - j - 1, a + static_cast<std::size_t>(j) * lda + j + 1, 1,
+                scale, sumsq);
+        }
+      }
+      sumsq *= R(2);
+      for (idx j = 0; j < n; ++j) {
+        const T d = a[static_cast<std::size_t>(j) * lda + j];
+        const T dd = Herm ? T(real_part(d)) : d;
+        lassq(1, &dd, 1, scale, sumsq);
+      }
+      return scale * std::sqrt(sumsq);
+    }
+  }
+  return R(0);
+}
+
+}  // namespace detail
+
+/// Symmetric matrix norm, one triangle stored (xLANSY).
+template <Scalar T>
+[[nodiscard]] real_t<T> lansy(Norm norm, Uplo uplo, idx n, const T* a,
+                              idx lda) noexcept {
+  return detail::lansy_impl<T, false>(norm, uplo, n, a, lda);
+}
+
+/// Hermitian matrix norm (xLANHE).
+template <Scalar T>
+[[nodiscard]] real_t<T> lanhe(Norm norm, Uplo uplo, idx n, const T* a,
+                              idx lda) noexcept {
+  return detail::lansy_impl<T, is_complex_v<T>>(norm, uplo, n, a, lda);
+}
+
+/// Triangular matrix norm (xLANTR).
+template <Scalar T>
+[[nodiscard]] real_t<T> lantr(Norm norm, Uplo uplo, Diag diag, idx m, idx n,
+                              const T* a, idx lda) noexcept {
+  using R = real_t<T>;
+  if (m <= 0 || n <= 0) {
+    return R(0);
+  }
+  auto val = [&](idx i, idx j) -> R {
+    if (diag == Diag::Unit && i == j) {
+      return R(1);
+    }
+    const bool inside = uplo == Uplo::Upper ? (i <= j) : (i >= j);
+    if (!inside) {
+      return R(0);
+    }
+    return std::abs(a[static_cast<std::size_t>(j) * lda + i]);
+  };
+  switch (norm) {
+    case Norm::Max: {
+      R v(0);
+      for (idx j = 0; j < n; ++j) {
+        for (idx i = 0; i < m; ++i) {
+          v = std::max(v, val(i, j));
+        }
+      }
+      return v;
+    }
+    case Norm::One: {
+      R v(0);
+      for (idx j = 0; j < n; ++j) {
+        R s(0);
+        for (idx i = 0; i < m; ++i) {
+          s += val(i, j);
+        }
+        v = std::max(v, s);
+      }
+      return v;
+    }
+    case Norm::Inf: {
+      R v(0);
+      for (idx i = 0; i < m; ++i) {
+        R s(0);
+        for (idx j = 0; j < n; ++j) {
+          s += val(i, j);
+        }
+        v = std::max(v, s);
+      }
+      return v;
+    }
+    case Norm::Frobenius: {
+      R s(0);
+      for (idx j = 0; j < n; ++j) {
+        for (idx i = 0; i < m; ++i) {
+          const R v = val(i, j);
+          s += v * v;
+        }
+      }
+      return std::sqrt(s);
+    }
+  }
+  return R(0);
+}
+
+/// General band matrix norm (xLANGB); GB storage with diagonal at row ku.
+template <Scalar T>
+[[nodiscard]] real_t<T> langb(Norm norm, idx n, idx kl, idx ku, const T* ab,
+                              idx ldab) noexcept {
+  using R = real_t<T>;
+  if (n <= 0) {
+    return R(0);
+  }
+  auto val = [&](idx i, idx j) -> R {
+    if (i - j > kl || j - i > ku) {
+      return R(0);
+    }
+    return std::abs(ab[static_cast<std::size_t>(j) * ldab + (ku + i - j)]);
+  };
+  switch (norm) {
+    case Norm::Max:
+    case Norm::Frobenius: {
+      R m(0);
+      R s(0);
+      for (idx j = 0; j < n; ++j) {
+        const idx lo = std::max<idx>(0, j - ku);
+        const idx hi = std::min<idx>(n - 1, j + kl);
+        for (idx i = lo; i <= hi; ++i) {
+          const R v = val(i, j);
+          m = std::max(m, v);
+          s += v * v;
+        }
+      }
+      return norm == Norm::Max ? m : std::sqrt(s);
+    }
+    case Norm::One: {
+      R m(0);
+      for (idx j = 0; j < n; ++j) {
+        R s(0);
+        const idx lo = std::max<idx>(0, j - ku);
+        const idx hi = std::min<idx>(n - 1, j + kl);
+        for (idx i = lo; i <= hi; ++i) {
+          s += val(i, j);
+        }
+        m = std::max(m, s);
+      }
+      return m;
+    }
+    case Norm::Inf: {
+      R m(0);
+      for (idx i = 0; i < n; ++i) {
+        R s(0);
+        const idx lo = std::max<idx>(0, i - kl);
+        const idx hi = std::min<idx>(n - 1, i + ku);
+        for (idx j = lo; j <= hi; ++j) {
+          s += val(i, j);
+        }
+        m = std::max(m, s);
+      }
+      return m;
+    }
+  }
+  return R(0);
+}
+
+/// General tridiagonal norm (xLANGT): dl (n-1), d (n), du (n-1).
+template <Scalar T>
+[[nodiscard]] real_t<T> langt(Norm norm, idx n, const T* dl, const T* d,
+                              const T* du) noexcept {
+  using R = real_t<T>;
+  if (n <= 0) {
+    return R(0);
+  }
+  switch (norm) {
+    case Norm::Max: {
+      R m = std::abs(d[0]);
+      for (idx i = 0; i < n - 1; ++i) {
+        m = std::max({m, R(std::abs(dl[i])), R(std::abs(d[i + 1])),
+                      R(std::abs(du[i]))});
+      }
+      return m;
+    }
+    case Norm::One: {
+      if (n == 1) {
+        return std::abs(d[0]);
+      }
+      R m = std::abs(d[0]) + std::abs(dl[0]);
+      m = std::max(m, R(std::abs(d[n - 1]) + std::abs(du[n - 2])));
+      for (idx j = 1; j < n - 1; ++j) {
+        m = std::max(m, R(std::abs(d[j]) + std::abs(dl[j]) +
+                          std::abs(du[j - 1])));
+      }
+      return m;
+    }
+    case Norm::Inf: {
+      if (n == 1) {
+        return std::abs(d[0]);
+      }
+      R m = std::abs(d[0]) + std::abs(du[0]);
+      m = std::max(m, R(std::abs(d[n - 1]) + std::abs(dl[n - 2])));
+      for (idx i = 1; i < n - 1; ++i) {
+        m = std::max(m, R(std::abs(d[i]) + std::abs(du[i]) +
+                          std::abs(dl[i - 1])));
+      }
+      return m;
+    }
+    case Norm::Frobenius: {
+      R scale(0);
+      R sumsq(1);
+      lassq(n, d, 1, scale, sumsq);
+      if (n > 1) {
+        lassq(n - 1, dl, 1, scale, sumsq);
+        lassq(n - 1, du, 1, scale, sumsq);
+      }
+      return scale * std::sqrt(sumsq);
+    }
+  }
+  return R(0);
+}
+
+/// Symmetric tridiagonal norm (xLANST): d (n) real, e (n-1) real.
+template <RealScalar R>
+[[nodiscard]] R lanst(Norm norm, idx n, const R* d, const R* e) noexcept {
+  if (n <= 0) {
+    return R(0);
+  }
+  switch (norm) {
+    case Norm::Max: {
+      R m = std::abs(d[0]);
+      for (idx i = 0; i < n - 1; ++i) {
+        m = std::max({m, std::abs(e[i]), std::abs(d[i + 1])});
+      }
+      return m;
+    }
+    case Norm::One:
+    case Norm::Inf: {
+      if (n == 1) {
+        return std::abs(d[0]);
+      }
+      R m = std::max(std::abs(d[0]) + std::abs(e[0]),
+                     std::abs(d[n - 1]) + std::abs(e[n - 2]));
+      for (idx i = 1; i < n - 1; ++i) {
+        m = std::max(m, std::abs(d[i]) + std::abs(e[i]) + std::abs(e[i - 1]));
+      }
+      return m;
+    }
+    case Norm::Frobenius: {
+      R scale(0);
+      R sumsq(1);
+      lassq(n, d, 1, scale, sumsq);
+      if (n > 1) {
+        lassq(n - 1, e, 1, scale, sumsq);
+        lassq(n - 1, e, 1, scale, sumsq);
+      }
+      return scale * std::sqrt(sumsq);
+    }
+  }
+  return R(0);
+}
+
+/// Upper Hessenberg norm (xLANHS).
+template <Scalar T>
+[[nodiscard]] real_t<T> lanhs(Norm norm, idx n, const T* a,
+                              idx lda) noexcept {
+  using R = real_t<T>;
+  if (n <= 0) {
+    return R(0);
+  }
+  R m(0);
+  R s(0);
+  switch (norm) {
+    case Norm::Max:
+    case Norm::Frobenius:
+      for (idx j = 0; j < n; ++j) {
+        const idx hi = std::min<idx>(n - 1, j + 1);
+        const T* col = a + static_cast<std::size_t>(j) * lda;
+        for (idx i = 0; i <= hi; ++i) {
+          const R v = std::abs(col[i]);
+          m = std::max(m, v);
+          s += v * v;
+        }
+      }
+      return norm == Norm::Max ? m : std::sqrt(s);
+    case Norm::One:
+      for (idx j = 0; j < n; ++j) {
+        const idx hi = std::min<idx>(n - 1, j + 1);
+        const T* col = a + static_cast<std::size_t>(j) * lda;
+        R cs(0);
+        for (idx i = 0; i <= hi; ++i) {
+          cs += std::abs(col[i]);
+        }
+        m = std::max(m, cs);
+      }
+      return m;
+    case Norm::Inf:
+      for (idx i = 0; i < n; ++i) {
+        R rs(0);
+        for (idx j = std::max<idx>(0, i - 1); j < n; ++j) {
+          rs += std::abs(a[static_cast<std::size_t>(j) * lda + i]);
+        }
+        m = std::max(m, rs);
+      }
+      return m;
+  }
+  return R(0);
+}
+
+/// Symmetric band norm (xLANSB / xLANHB without the Hermitian diagonal
+/// special-casing — callers pass Hermitian data with real diagonals).
+template <Scalar T>
+[[nodiscard]] real_t<T> lansb(Norm norm, Uplo uplo, idx n, idx k, const T* ab,
+                              idx ldab) noexcept {
+  using R = real_t<T>;
+  if (n <= 0) {
+    return R(0);
+  }
+  auto val = [&](idx i, idx j) -> R {
+    // Logical |A(i,j)| from the stored triangle.
+    if (std::abs(static_cast<long>(i) - j) > k) {
+      return R(0);
+    }
+    const idx ii = std::min(i, j);
+    const idx jj = std::max(i, j);
+    if (uplo == Uplo::Upper) {
+      return std::abs(ab[static_cast<std::size_t>(jj) * ldab + (k + ii - jj)]);
+    }
+    return std::abs(ab[static_cast<std::size_t>(ii) * ldab + (jj - ii)]);
+  };
+  switch (norm) {
+    case Norm::Max: {
+      R m(0);
+      for (idx j = 0; j < n; ++j) {
+        for (idx i = std::max<idx>(0, j - k); i <= std::min<idx>(n - 1, j + k);
+             ++i) {
+          m = std::max(m, val(i, j));
+        }
+      }
+      return m;
+    }
+    case Norm::One:
+    case Norm::Inf: {
+      R m(0);
+      for (idx j = 0; j < n; ++j) {
+        R s(0);
+        for (idx i = std::max<idx>(0, j - k); i <= std::min<idx>(n - 1, j + k);
+             ++i) {
+          s += val(i, j);
+        }
+        m = std::max(m, s);
+      }
+      return m;
+    }
+    case Norm::Frobenius: {
+      R s(0);
+      for (idx j = 0; j < n; ++j) {
+        for (idx i = std::max<idx>(0, j - k); i <= std::min<idx>(n - 1, j + k);
+             ++i) {
+          const R v = val(i, j);
+          s += v * v;
+        }
+      }
+      return std::sqrt(s);
+    }
+  }
+  return R(0);
+}
+
+/// Packed symmetric norm (xLANSP).
+template <Scalar T>
+[[nodiscard]] real_t<T> lansp(Norm norm, Uplo uplo, idx n,
+                              const T* ap) noexcept {
+  using R = real_t<T>;
+  if (n <= 0) {
+    return R(0);
+  }
+  auto val = [&](idx i, idx j) -> R {
+    const idx ii = std::min(i, j);
+    const idx jj = std::max(i, j);
+    std::size_t off;
+    if (uplo == Uplo::Upper) {
+      off = static_cast<std::size_t>(ii) +
+            static_cast<std::size_t>(jj) * (static_cast<std::size_t>(jj) + 1) /
+                2;
+    } else {
+      off = static_cast<std::size_t>(jj) +
+            static_cast<std::size_t>(2 * n - ii - 1) *
+                static_cast<std::size_t>(ii) / 2;
+    }
+    return std::abs(ap[off]);
+  };
+  switch (norm) {
+    case Norm::Max: {
+      R m(0);
+      for (idx j = 0; j < n; ++j) {
+        for (idx i = 0; i <= j; ++i) {
+          m = std::max(m, val(i, j));
+        }
+      }
+      return m;
+    }
+    case Norm::One:
+    case Norm::Inf: {
+      R m(0);
+      for (idx j = 0; j < n; ++j) {
+        R s(0);
+        for (idx i = 0; i < n; ++i) {
+          s += val(i, j);
+        }
+        m = std::max(m, s);
+      }
+      return m;
+    }
+    case Norm::Frobenius: {
+      R s(0);
+      for (idx j = 0; j < n; ++j) {
+        for (idx i = 0; i < n; ++i) {
+          const R v = val(i, j);
+          s += v * v;
+        }
+      }
+      return std::sqrt(s);
+    }
+  }
+  return R(0);
+}
+
+}  // namespace la::lapack

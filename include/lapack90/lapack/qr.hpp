@@ -1,0 +1,502 @@
+// lapack90/lapack/qr.hpp
+//
+// Householder machinery and orthogonal factorizations — the substrate
+// under LA_GELS / LA_GELSX / LA_GELSS / LA_GGLSE / LA_GGGLM and the
+// two-sided reductions of the eigensolvers:
+//
+//   larfg / larf          elementary reflector generation / application
+//   larft / larfb         block reflector T-factor / application
+//   geqr2 / geqrf         unblocked / blocked QR
+//   orgqr / ormqr         form Q / multiply by Q (or Q^H)
+//   gelq2 / gelqf         LQ factorization
+//   orglq / ormlq         LQ analogs
+//   geqp3                 QR with column pivoting (xLAQP2 algorithm)
+//
+// `org*`/`orm*` names serve both the real (xORG/xORM) and complex
+// (xUNG/xUNM) routines — one template each, as with the rest of the
+// library.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "lapack90/blas/level1.hpp"
+#include "lapack90/blas/level2.hpp"
+#include "lapack90/blas/level3.hpp"
+#include "lapack90/core/env.hpp"
+#include "lapack90/core/precision.hpp"
+#include "lapack90/core/types.hpp"
+#include "lapack90/lapack/aux.hpp"
+
+namespace la::lapack {
+
+/// Conjugate the elements of a vector in place (xLACGV); no-op for real.
+template <Scalar T>
+void lacgv(idx n, T* x, idx incx) noexcept {
+  if constexpr (is_complex_v<T>) {
+    for (idx i = 0; i < n; ++i) {
+      x[i * incx] = std::conj(x[i * incx]);
+    }
+  } else {
+    (void)n;
+    (void)x;
+    (void)incx;
+  }
+}
+
+/// Generate an elementary Householder reflector (xLARFG):
+/// H = I - tau [1; v] [1; v]^H with H^H [alpha; x] = [beta; 0], beta real.
+/// On exit alpha holds beta and x the reflector tail v.
+template <Scalar T>
+void larfg(idx n, T& alpha, T* x, idx incx, T& tau) noexcept {
+  using R = real_t<T>;
+  if (n <= 0) {
+    tau = T(0);
+    return;
+  }
+  R xnorm = blas::nrm2(n - 1, x, incx);
+  if (xnorm == R(0) && imag_part(alpha) == R(0)) {
+    tau = T(0);
+    return;
+  }
+  R alphr = real_part(alpha);
+  R alphi = imag_part(alpha);
+  R beta = -std::copysign(lapy3(alphr, alphi, xnorm), alphr);
+  const R sfmin = safmin<T>() / eps<T>();
+  int knt = 0;
+  const R rsfmin = R(1) / sfmin;
+  while (std::abs(beta) < sfmin && knt < 20) {
+    // Rescale to avoid harmful underflow.
+    ++knt;
+    blas::scal(n - 1, rsfmin, x, incx);
+    beta *= rsfmin;
+    alphr *= rsfmin;
+    alphi *= rsfmin;
+    xnorm = blas::nrm2(n - 1, x, incx);
+    beta = -std::copysign(lapy3(alphr, alphi, xnorm), alphr);
+  }
+  if constexpr (is_complex_v<T>) {
+    tau = T((beta - alphr) / beta, -alphi / beta);
+    const T denom = ladiv(T(1), T(alphr - beta, alphi));
+    blas::scal(n - 1, denom, x, incx);
+  } else {
+    tau = (beta - alphr) / beta;
+    blas::scal(n - 1, T(1) / (alphr - beta), x, incx);
+  }
+  for (int j = 0; j < knt; ++j) {
+    beta *= sfmin;
+  }
+  alpha = T(beta);
+}
+
+/// Apply an elementary reflector H = I - tau v v^H to C (xLARF).
+/// v has m (Left) or n (Right) elements including the implicit leading 1 —
+/// the caller must ensure v[0] == 1 (the geqr2-style temporary-overwrite
+/// idiom). `work` needs n (Left) or m (Right) elements.
+template <Scalar T>
+void larf(Side side, idx m, idx n, const T* v, idx incv, T tau, T* c, idx ldc,
+          T* work) noexcept {
+  if (tau == T(0)) {
+    return;
+  }
+  if (side == Side::Left) {
+    // w = C^H v;  C -= tau v w^H.
+    blas::gemv(conj_trans_for<T>(), m, n, T(1), c, ldc, v, incv, T(0), work,
+               1);
+    blas::gerc(m, n, -tau, v, incv, work, 1, c, ldc);
+  } else {
+    // w = C v;  C -= tau w v^H.
+    blas::gemv(Trans::NoTrans, m, n, T(1), c, ldc, v, incv, T(0), work, 1);
+    blas::gerc(m, n, -tau, work, 1, v, incv, c, ldc);
+  }
+}
+
+/// Form the upper-triangular factor T of a block reflector from k forward,
+/// columnwise-stored reflectors (xLARFT 'F','C').
+template <Scalar T>
+void larft(idx n, idx k, T* v, idx ldv, const T* tau, T* t,
+           idx ldt) noexcept {
+  for (idx i = 0; i < k; ++i) {
+    T* ti = t + static_cast<std::size_t>(i) * ldt;
+    if (tau[i] == T(0)) {
+      for (idx j = 0; j < i; ++j) {
+        ti[j] = T(0);
+      }
+    } else {
+      T* vi = v + static_cast<std::size_t>(i) * ldv;
+      const T vii = vi[i];
+      vi[i] = T(1);
+      // T(0:i-1, i) = -tau(i) * V(i:n-1, 0:i-1)^H * V(i:n-1, i).
+      blas::gemv(conj_trans_for<T>(), n - i, i, -tau[i], v + i, ldv, vi + i, 1,
+                 T(0), ti, 1);
+      vi[i] = vii;
+      // T(0:i-1, i) := T(0:i-1, 0:i-1) * T(0:i-1, i).
+      blas::trmv(Uplo::Upper, Trans::NoTrans, Diag::NonUnit, i, t, ldt, ti, 1);
+    }
+    ti[i] = tau[i];
+  }
+}
+
+/// Apply a block reflector H = I - V T V^H (forward, columnwise) or its
+/// conjugate transpose to C (xLARFB). `work` is an (n x k) [Left] or
+/// (m x k) [Right] scratch with leading dimension ldwork.
+template <Scalar T>
+void larfb(Side side, Trans trans, idx m, idx n, idx k, const T* v, idx ldv,
+           const T* t, idx ldt, T* c, idx ldc, T* work, idx ldwork) noexcept {
+  if (m <= 0 || n <= 0 || k <= 0) {
+    return;
+  }
+  const Trans ct = conj_trans_for<T>();
+  if (side == Side::Left) {
+    // W := (C1^H V1 + C2^H V2) op(T);  C -= V W^H.
+    const Trans transt = trans == Trans::NoTrans ? ct : Trans::NoTrans;
+    for (idx j = 0; j < k; ++j) {
+      // W(:, j) = conj(C(j, :)).
+      blas::copy(n, c + j, ldc, work + static_cast<std::size_t>(j) * ldwork,
+                 1);
+      lacgv(n, work + static_cast<std::size_t>(j) * ldwork, 1);
+    }
+    blas::trmm(Side::Right, Uplo::Lower, Trans::NoTrans, Diag::Unit, n, k,
+               T(1), v, ldv, work, ldwork);
+    if (m > k) {
+      blas::gemm(ct, Trans::NoTrans, n, k, m - k, T(1), c + k, ldc, v + k,
+                 ldv, T(1), work, ldwork);
+    }
+    blas::trmm(Side::Right, Uplo::Upper, transt, Diag::NonUnit, n, k, T(1), t,
+               ldt, work, ldwork);
+    if (m > k) {
+      blas::gemm(Trans::NoTrans, ct, m - k, n, k, T(-1), v + k, ldv, work,
+                 ldwork, T(1), c + k, ldc);
+    }
+    blas::trmm(Side::Right, Uplo::Lower, ct, Diag::Unit, n, k, T(1), v, ldv,
+               work, ldwork);
+    for (idx j = 0; j < k; ++j) {
+      T* cj = c + j;
+      const T* wj = work + static_cast<std::size_t>(j) * ldwork;
+      for (idx i = 0; i < n; ++i) {
+        cj[static_cast<std::size_t>(i) * ldc] -= conj_if(wj[i]);
+      }
+    }
+  } else {
+    // W := (C1 V1 + C2 V2) op(T);  C -= W V^H.
+    for (idx j = 0; j < k; ++j) {
+      blas::copy(m, c + static_cast<std::size_t>(j) * ldc, 1,
+                 work + static_cast<std::size_t>(j) * ldwork, 1);
+    }
+    blas::trmm(Side::Right, Uplo::Lower, Trans::NoTrans, Diag::Unit, m, k,
+               T(1), v, ldv, work, ldwork);
+    if (n > k) {
+      blas::gemm(Trans::NoTrans, Trans::NoTrans, m, k, n - k, T(1),
+                 c + static_cast<std::size_t>(k) * ldc, ldc, v + k, ldv, T(1),
+                 work, ldwork);
+    }
+    blas::trmm(Side::Right, Uplo::Upper, trans, Diag::NonUnit, m, k, T(1), t,
+               ldt, work, ldwork);
+    if (n > k) {
+      blas::gemm(Trans::NoTrans, ct, m, n - k, k, T(-1), work, ldwork, v + k,
+                 ldv, T(1), c + static_cast<std::size_t>(k) * ldc, ldc);
+    }
+    blas::trmm(Side::Right, Uplo::Lower, ct, Diag::Unit, m, k, T(1), v, ldv,
+               work, ldwork);
+    for (idx j = 0; j < k; ++j) {
+      T* cj = c + static_cast<std::size_t>(j) * ldc;
+      const T* wj = work + static_cast<std::size_t>(j) * ldwork;
+      for (idx i = 0; i < m; ++i) {
+        cj[i] -= wj[i];
+      }
+    }
+  }
+}
+
+/// Unblocked QR factorization (xGEQR2): A = Q R, reflectors below the
+/// diagonal, tau has min(m,n) entries. `work` needs n elements.
+template <Scalar T>
+void geqr2(idx m, idx n, T* a, idx lda, T* tau, T* work) noexcept {
+  const idx k = std::min(m, n);
+  for (idx i = 0; i < k; ++i) {
+    T* col = a + static_cast<std::size_t>(i) * lda;
+    larfg(m - i, col[i], col + std::min<idx>(i + 1, m - 1), 1, tau[i]);
+    if (i < n - 1) {
+      const T aii = col[i];
+      col[i] = T(1);
+      larf(Side::Left, m - i, n - i - 1, col + i, 1, conj_if(tau[i]),
+           a + static_cast<std::size_t>(i + 1) * lda + i, lda, work);
+      col[i] = aii;
+    }
+  }
+}
+
+/// Blocked QR factorization (xGEQRF).
+template <Scalar T>
+void geqrf(idx m, idx n, T* a, idx lda, T* tau) {
+  const idx k = std::min(m, n);
+  if (k == 0) {
+    return;
+  }
+  const idx nb = block_size(EnvRoutine::geqrf, k);
+  std::vector<T> work(static_cast<std::size_t>(std::max(m, n)) *
+                      std::max<idx>(nb, 1));
+  if (nb <= 1 || nb >= k) {
+    geqr2(m, n, a, lda, tau, work.data());
+    return;
+  }
+  std::vector<T> t(static_cast<std::size_t>(nb) * nb);
+  for (idx i = 0; i < k; i += nb) {
+    const idx ib = std::min<idx>(nb, k - i);
+    geqr2(m - i, ib, a + static_cast<std::size_t>(i) * lda + i, lda, tau + i,
+          work.data());
+    if (i + ib < n) {
+      larft(m - i, ib, a + static_cast<std::size_t>(i) * lda + i, lda, tau + i,
+            t.data(), ib);
+      larfb(Side::Left, conj_trans_for<T>(), m - i, n - i - ib, ib,
+            a + static_cast<std::size_t>(i) * lda + i, lda, t.data(), ib,
+            a + static_cast<std::size_t>(i + ib) * lda + i, lda, work.data(),
+            std::max<idx>(n - i - ib, 1));
+    }
+  }
+}
+
+/// Form the leading n columns of Q from geqrf output (xORGQR / xUNGQR):
+/// A becomes m x n with orthonormal columns; k reflectors, m >= n >= k.
+template <Scalar T>
+void orgqr(idx m, idx n, idx k, T* a, idx lda, const T* tau) {
+  if (n <= 0) {
+    return;
+  }
+  std::vector<T> work(static_cast<std::size_t>(std::max<idx>(n, 1)));
+  // Columns k..n-1 start as unit vectors.
+  for (idx j = k; j < n; ++j) {
+    T* col = a + static_cast<std::size_t>(j) * lda;
+    for (idx i = 0; i < m; ++i) {
+      col[i] = T(0);
+    }
+    col[j] = T(1);
+  }
+  for (idx i = k - 1; i >= 0; --i) {
+    T* col = a + static_cast<std::size_t>(i) * lda;
+    if (i < n - 1) {
+      col[i] = T(1);
+      larf(Side::Left, m - i, n - i - 1, col + i, 1, tau[i],
+           a + static_cast<std::size_t>(i + 1) * lda + i, lda, work.data());
+    }
+    if (i < m - 1) {
+      blas::scal(m - i - 1, -tau[i], col + i + 1, 1);
+    }
+    col[i] = T(1) - tau[i];
+    for (idx j = 0; j < i; ++j) {
+      col[j] = T(0);
+    }
+  }
+}
+
+/// Multiply C by Q or Q^H from geqrf reflectors (xORMQR / xUNMQR).
+/// C is m x n; k reflectors live in the first k columns of a.
+template <Scalar T>
+void ormqr(Side side, Trans trans, idx m, idx n, idx k, const T* a, idx lda,
+           const T* tau, T* c, idx ldc) {
+  if (m <= 0 || n <= 0 || k <= 0) {
+    return;
+  }
+  std::vector<T> work(static_cast<std::size_t>(std::max(m, n)));
+  std::vector<T> vcol(static_cast<std::size_t>(std::max(m, n)));
+  const bool notran = trans == Trans::NoTrans;
+  const bool left = side == Side::Left;
+  const bool forward = (left && !notran) || (!left && notran);
+  const idx i1 = forward ? 0 : k - 1;
+  const idx i2 = forward ? k : -1;
+  const idx i3 = forward ? 1 : -1;
+  for (idx i = i1; i != i2; i += i3) {
+    const idx mi = left ? m - i : m;
+    const idx ni = left ? n : n - i;
+    T* cblock = left ? c + i : c + static_cast<std::size_t>(i) * ldc;
+    const idx len = left ? mi : ni;
+    // Copy the reflector with its implicit unit head.
+    blas::copy(len - 1, a + static_cast<std::size_t>(i) * lda + i + 1, 1,
+               vcol.data() + 1, 1);
+    vcol[0] = T(1);
+    T taui = tau[i];
+    if constexpr (is_complex_v<T>) {
+      if (!notran) {
+        taui = std::conj(taui);
+      }
+    }
+    larf(side, mi, ni, vcol.data(), 1, taui, cblock, ldc, work.data());
+  }
+}
+
+/// Unblocked LQ factorization (xGELQ2): A = L Q, reflectors to the right
+/// of the diagonal (rows of A). `work` needs m elements.
+template <Scalar T>
+void gelq2(idx m, idx n, T* a, idx lda, T* tau, T* work) noexcept {
+  const idx k = std::min(m, n);
+  for (idx i = 0; i < k; ++i) {
+    T* row = a + i;  // row i, stride lda
+    lacgv(n - i, row + static_cast<std::size_t>(i) * lda, lda);
+    T& aii = a[static_cast<std::size_t>(i) * lda + i];
+    larfg(n - i, aii,
+          a + static_cast<std::size_t>(std::min<idx>(i + 1, n - 1)) * lda + i,
+          lda, tau[i]);
+    if (i < m - 1) {
+      const T save = aii;
+      aii = T(1);
+      larf(Side::Right, m - i - 1, n - i,
+           a + static_cast<std::size_t>(i) * lda + i, lda, tau[i],
+           a + static_cast<std::size_t>(i) * lda + i + 1, lda, work);
+      aii = save;
+    }
+    lacgv(n - i, row + static_cast<std::size_t>(i) * lda, lda);
+  }
+}
+
+/// LQ factorization (xGELQF). Unblocked — LQ sits on the cold path of the
+/// least-squares drivers (underdetermined systems), so the panel/larfb
+/// machinery is not replicated here.
+template <Scalar T>
+void gelqf(idx m, idx n, T* a, idx lda, T* tau) {
+  std::vector<T> work(static_cast<std::size_t>(std::max<idx>(m, 1)));
+  gelq2(m, n, a, lda, tau, work.data());
+}
+
+/// Form the leading m rows of Q from gelqf output (xORGLQ / xUNGLQ):
+/// A becomes m x n with orthonormal rows; k reflectors, n >= m >= k.
+template <Scalar T>
+void orglq(idx m, idx n, idx k, T* a, idx lda, const T* tau) {
+  if (m <= 0) {
+    return;
+  }
+  std::vector<T> work(static_cast<std::size_t>(std::max<idx>(m, 1)));
+  for (idx i = k; i < m; ++i) {
+    // Rows k..m-1 start as unit vectors.
+    for (idx j = 0; j < n; ++j) {
+      a[static_cast<std::size_t>(j) * lda + i] = T(0);
+    }
+    a[static_cast<std::size_t>(i) * lda + i] = T(1);
+  }
+  for (idx i = k - 1; i >= 0; --i) {
+    T* aii = a + static_cast<std::size_t>(i) * lda + i;
+    if constexpr (is_complex_v<T>) {
+      lacgv(n - i - 1, a + static_cast<std::size_t>(i + 1) * lda + i, lda);
+    }
+    if (i < m - 1) {
+      *aii = T(1);
+      larf(Side::Right, m - i - 1, n - i, aii, lda, conj_if(tau[i]),
+           a + static_cast<std::size_t>(i) * lda + i + 1, lda, work.data());
+    }
+    blas::scal(n - i - 1, -tau[i],
+               a + static_cast<std::size_t>(i + 1) * lda + i, lda);
+    if constexpr (is_complex_v<T>) {
+      lacgv(n - i - 1, a + static_cast<std::size_t>(i + 1) * lda + i, lda);
+    }
+    *aii = T(1) - conj_if(tau[i]);
+    for (idx j = 0; j < i; ++j) {
+      a[static_cast<std::size_t>(j) * lda + i] = T(0);
+    }
+  }
+}
+
+/// Multiply C by Q or Q^H from gelqf reflectors (xORMLQ / xUNMLQ).
+template <Scalar T>
+void ormlq(Side side, Trans trans, idx m, idx n, idx k, const T* a, idx lda,
+           const T* tau, T* c, idx ldc) {
+  if (m <= 0 || n <= 0 || k <= 0) {
+    return;
+  }
+  std::vector<T> work(static_cast<std::size_t>(std::max(m, n)));
+  std::vector<T> vrow(static_cast<std::size_t>(std::max(m, n)));
+  const bool notran = trans == Trans::NoTrans;
+  const bool left = side == Side::Left;
+  // LQ reflectors compose in the opposite order to QR ones.
+  const bool forward = (left && notran) || (!left && !notran);
+  const idx i1 = forward ? 0 : k - 1;
+  const idx i2 = forward ? k : -1;
+  const idx i3 = forward ? 1 : -1;
+  for (idx i = i1; i != i2; i += i3) {
+    const idx mi = left ? m - i : m;
+    const idx ni = left ? n : n - i;
+    T* cblock = left ? c + i : c + static_cast<std::size_t>(i) * ldc;
+    const idx len = left ? mi : ni;
+    // Row i of A holds the (conjugated) reflector tail.
+    vrow[0] = T(1);
+    blas::copy(len - 1, a + static_cast<std::size_t>(i + 1) * lda + i, lda,
+               vrow.data() + 1, 1);
+    lacgv(len - 1, vrow.data() + 1, 1);
+    T taui = tau[i];
+    if constexpr (is_complex_v<T>) {
+      if (notran) {
+        taui = std::conj(taui);
+      }
+    }
+    larf(side, mi, ni, vrow.data(), 1, taui, cblock, ldc, work.data());
+  }
+}
+
+/// QR with column pivoting (xGEQP3 semantics via the xLAQP2 algorithm).
+/// jpvt[j] returns the 0-based original index of the j-th factored column;
+/// entries with jpvt_in[j] != 0 are moved to the front first (the LAPACK
+/// "free/fixed column" convention is simplified to: all columns free).
+template <Scalar T>
+void geqp3(idx m, idx n, T* a, idx lda, idx* jpvt, T* tau) {
+  using R = real_t<T>;
+  const idx k = std::min(m, n);
+  std::vector<T> work(static_cast<std::size_t>(std::max<idx>(n, 1)));
+  std::vector<R> vn1(static_cast<std::size_t>(n));
+  std::vector<R> vn2(static_cast<std::size_t>(n));
+  const R tol3z = std::sqrt(eps<T>());
+  for (idx j = 0; j < n; ++j) {
+    jpvt[j] = j;
+    vn1[j] = blas::nrm2(m, a + static_cast<std::size_t>(j) * lda, 1);
+    vn2[j] = vn1[j];
+  }
+  for (idx i = 0; i < k; ++i) {
+    // Bring the column with the largest remaining norm to position i.
+    idx pvt = i;
+    for (idx j = i + 1; j < n; ++j) {
+      if (vn1[j] > vn1[pvt]) {
+        pvt = j;
+      }
+    }
+    if (pvt != i) {
+      blas::swap(m, a + static_cast<std::size_t>(pvt) * lda, 1,
+                 a + static_cast<std::size_t>(i) * lda, 1);
+      std::swap(jpvt[pvt], jpvt[i]);
+      std::swap(vn1[pvt], vn1[i]);
+      std::swap(vn2[pvt], vn2[i]);
+    }
+    T* col = a + static_cast<std::size_t>(i) * lda;
+    larfg(m - i, col[i], col + std::min<idx>(i + 1, m - 1), 1, tau[i]);
+    if (i < n - 1) {
+      const T aii = col[i];
+      col[i] = T(1);
+      larf(Side::Left, m - i, n - i - 1, col + i, 1, conj_if(tau[i]),
+           a + static_cast<std::size_t>(i + 1) * lda + i, lda, work.data());
+      col[i] = aii;
+    }
+    // Downdate the partial column norms (LAPACK's safeguarded formula).
+    for (idx j = i + 1; j < n; ++j) {
+      if (vn1[j] == R(0)) {
+        continue;
+      }
+      const R ratio =
+          R(std::abs(a[static_cast<std::size_t>(j) * lda + i])) / vn1[j];
+      R temp = std::max(R(0), (R(1) + ratio) * (R(1) - ratio));
+      const R r2 = vn1[j] / vn2[j];
+      const R temp2 = temp * r2 * r2;
+      if (temp2 <= tol3z) {
+        if (i < m - 1) {
+          vn1[j] = blas::nrm2(m - i - 1,
+                              a + static_cast<std::size_t>(j) * lda + i + 1,
+                              1);
+          vn2[j] = vn1[j];
+        } else {
+          vn1[j] = R(0);
+          vn2[j] = R(0);
+        }
+      } else {
+        vn1[j] *= std::sqrt(temp);
+      }
+    }
+  }
+}
+
+}  // namespace la::lapack

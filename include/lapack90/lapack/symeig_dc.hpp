@@ -1,0 +1,447 @@
+// lapack90/lapack/symeig_dc.hpp
+//
+// Divide-and-conquer symmetric tridiagonal eigensolver (Cuppen's method,
+// the xSTEDC / xLAED* algorithm family) — the substrate under LA_SYEVD /
+// LA_HEEVD / LA_STEVD / LA_SPEVD / LA_SBEVD:
+//
+//   stedc    recursive tear/merge with rank-one secular solve, including
+//            the xLAED2 deflation rules and the Gu-Eisenstat z-vector
+//            recomputation for orthogonal eigenvectors
+//   stevd / syevd / heevd   drivers
+//
+// The secular roots are found by safeguarded bisection (monotone f on each
+// pole interval), which is simpler than xLAED4's rational interpolation
+// and equally robust; see DESIGN.md.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "lapack90/blas/level1.hpp"
+#include "lapack90/blas/level3.hpp"
+#include "lapack90/core/precision.hpp"
+#include "lapack90/core/types.hpp"
+#include "lapack90/lapack/aux.hpp"
+#include "lapack90/lapack/symeig.hpp"
+
+namespace la::lapack {
+
+namespace detail {
+
+constexpr idx kDcSmallSize = 25;  // below this, plain QL iteration wins
+
+/// Secular function f(x) = 1 + rho * sum z_i^2 / (d_i - x).
+template <RealScalar R>
+[[nodiscard]] R secular_f(idx k, const R* d, const R* z, R rho, R x) noexcept {
+  R s(1);
+  for (idx i = 0; i < k; ++i) {
+    s += rho * z[i] * z[i] / (d[i] - x);
+  }
+  return s;
+}
+
+/// Solve the rank-one update eigenproblem for D + rho z z^T (rho > 0,
+/// D strictly increasing, z fully nonzero — deflation guarantees this).
+/// Each root r is returned pole-relative (the xLAED4 convention): root =
+/// d[pole[r]] + mu[r], with mu carrying full relative accuracy even when
+/// the root sits within an ulp of its pole. lam[] gets the absolute values
+/// for eigenvalue output.
+template <RealScalar R>
+void secular_solve(idx k, const R* d, const R* z, R rho, R* lam, idx* pole,
+                   R* mu) {
+  const R epsv = eps<R>();
+  R znorm2(0);
+  for (idx i = 0; i < k; ++i) {
+    znorm2 += z[i] * z[i];
+  }
+  for (idx r = 0; r < k; ++r) {
+    const R lo = d[r];
+    const R hi = r + 1 < k ? d[r + 1] : d[k - 1] + rho * znorm2;
+    // Pick the shift origin by the secular sign at the midpoint: the root
+    // lies in the half whose pole we shift to.
+    const R mid = lo + (hi - lo) / R(2);
+    R fm(1);
+    for (idx i = 0; i < k; ++i) {
+      fm += rho * z[i] * z[i] / (d[i] - mid);
+    }
+    const idx p = (fm >= R(0) || r + 1 >= k) ? r : r + 1;
+    // Bisection in the shifted variable mu = lambda - d[p]; the secular
+    // function g(mu) = 1 + rho sum z_i^2 / ((d_i - d_p) - mu) is monotone
+    // increasing on the interval.
+    R a = lo - d[p];   // 0 when p == r, negative gap when p == r+1
+    R b = hi - d[p];   // positive gap when p == r, 0 when p == r+1
+    for (int it = 0; it < 200; ++it) {
+      const R m = a + (b - a) / R(2);
+      if (m <= a || m >= b) {
+        break;
+      }
+      R g(1);
+      for (idx i = 0; i < k; ++i) {
+        g += rho * z[i] * z[i] / ((d[i] - d[p]) - m);
+      }
+      if (g < R(0)) {
+        a = m;
+      } else {
+        b = m;
+      }
+      if (b - a <= R(2) * epsv * std::max(std::abs(a), std::abs(b))) {
+        break;
+      }
+    }
+    R m = a + (b - a) / R(2);
+    if (m == R(0)) {
+      // Never sit exactly on the pole (the eigenvector formula divides by
+      // mu); half an ulp of the interval is below solver resolution anyway.
+      m = (p == r) ? b / R(2) : a / R(2);
+      if (m == R(0)) {
+        m = (p == r ? R(1) : R(-1)) * Machine<R>::tiny_val();
+      }
+    }
+    pole[r] = p;
+    mu[r] = m;
+    lam[r] = d[p] + m;
+  }
+}
+
+/// Accurate difference d[i] - lam[r] using the pole-relative root.
+template <RealScalar R>
+[[nodiscard]] inline R secular_gap(const R* d, const idx* pole, const R* mu,
+                                   idx i, idx r) noexcept {
+  return (d[i] - d[pole[r]]) - mu[r];
+}
+
+/// Recursive divide-and-conquer on (d, e) of size n; writes the
+/// eigenvector matrix of this block into z (n x n, ldz), eigenvalues
+/// ascending into d. Returns 0 or a steqr failure code.
+template <RealScalar R>
+idx stedc_rec(idx n, R* d, R* e, R* z, idx ldz) {
+  if (n <= kDcSmallSize) {
+    laset(Part::All, n, n, R(0), R(1), z, ldz);
+    return steqr(Job::Vec, n, d, e, z, ldz);
+  }
+  const idx m = n / 2;
+  const R beta = e[m - 1];
+  const R rho = std::abs(beta);
+  const R s2 = beta >= R(0) ? R(1) : R(-1);
+  if (rho == R(0)) {
+    // Already decoupled: solve the halves independently.
+    laset(Part::All, n, n, R(0), R(0), z, ldz);
+    idx info = stedc_rec(m, d, e, z, ldz);
+    if (info != 0) {
+      return info;
+    }
+    info = stedc_rec(n - m, d + m, e + m,
+                     z + static_cast<std::size_t>(m) * ldz + m, ldz);
+    if (info != 0) {
+      return info;
+    }
+    // Merge-sort eigenvalues with column swaps.
+    for (idx i = 0; i < n - 1; ++i) {
+      idx kmin = i;
+      for (idx j = i + 1; j < n; ++j) {
+        if (d[j] < d[kmin]) {
+          kmin = j;
+        }
+      }
+      if (kmin != i) {
+        std::swap(d[i], d[kmin]);
+        blas::swap(n, z + static_cast<std::size_t>(i) * ldz, 1,
+                   z + static_cast<std::size_t>(kmin) * ldz, 1);
+      }
+    }
+    return 0;
+  }
+  // Rank-one tear: T = diag(T1', T2') + rho v v^T, v = e_{m-1} + s2 e_m.
+  d[m - 1] -= rho;
+  d[m] -= rho;
+  // Solve the halves into a block-diagonal Q.
+  std::vector<R> q(static_cast<std::size_t>(n) * n, R(0));
+  idx info = stedc_rec(m, d, e, q.data(), n);
+  if (info != 0) {
+    return info;
+  }
+  info = stedc_rec(n - m, d + m, e + m,
+                   q.data() + static_cast<std::size_t>(m) * n + m, n);
+  if (info != 0) {
+    return info;
+  }
+  // u = Q^T v: last row of Q1 and s2 * first row of Q2.
+  std::vector<R> u(static_cast<std::size_t>(n));
+  for (idx j = 0; j < m; ++j) {
+    u[j] = q[static_cast<std::size_t>(j) * n + (m - 1)];
+  }
+  for (idx j = m; j < n; ++j) {
+    u[j] = s2 * q[static_cast<std::size_t>(j) * n + m];
+  }
+  // Sort (d, u, columns) ascending.
+  std::vector<idx> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  std::sort(perm.begin(), perm.end(),
+            [&](idx a, idx b) { return d[a] < d[b]; });
+  std::vector<R> ds(static_cast<std::size_t>(n));
+  std::vector<R> us(static_cast<std::size_t>(n));
+  std::vector<R> qs(static_cast<std::size_t>(n) * n);
+  for (idx j = 0; j < n; ++j) {
+    ds[j] = d[perm[j]];
+    us[j] = u[perm[j]];
+    blas::copy(n, q.data() + static_cast<std::size_t>(perm[j]) * n, 1,
+               qs.data() + static_cast<std::size_t>(j) * n, 1);
+  }
+  // Deflation (xLAED2 rules).
+  const R dmax = std::max(std::abs(ds[0]), std::abs(ds[n - 1]));
+  const R tol = R(8) * eps<R>() * std::max(dmax, rho);
+  std::vector<bool> deflated(static_cast<std::size_t>(n), false);
+  // Rule 1: negligible coupling weight.
+  for (idx i = 0; i < n; ++i) {
+    if (rho * std::abs(us[i]) <= tol) {
+      deflated[i] = true;
+      us[i] = R(0);
+    }
+  }
+  // Rule 2: (nearly) repeated eigenvalues — rotate the weight away.
+  idx prev = -1;
+  for (idx i = 0; i < n; ++i) {
+    if (deflated[i]) {
+      continue;
+    }
+    if (prev >= 0 && ds[i] - ds[prev] <= tol) {
+      const R tau = lapy2(us[prev], us[i]);
+      const R c = us[i] / tau;
+      const R s = us[prev] / tau;
+      us[prev] = R(0);
+      us[i] = tau;
+      // Rotate the two eigenvector columns.
+      for (idx row = 0; row < n; ++row) {
+        const R qp = qs[static_cast<std::size_t>(prev) * n + row];
+        const R qi = qs[static_cast<std::size_t>(i) * n + row];
+        qs[static_cast<std::size_t>(prev) * n + row] = c * qp - s * qi;
+        qs[static_cast<std::size_t>(i) * n + row] = s * qp + c * qi;
+      }
+      deflated[prev] = true;
+    }
+    prev = i;
+  }
+  // Compress the non-deflated subproblem.
+  std::vector<idx> map;
+  map.reserve(static_cast<std::size_t>(n));
+  for (idx i = 0; i < n; ++i) {
+    if (!deflated[i]) {
+      map.push_back(i);
+    }
+  }
+  const idx k = static_cast<idx>(map.size());
+  std::vector<R> lam_all(static_cast<std::size_t>(n));
+  std::vector<idx> src_col(static_cast<std::size_t>(n));
+  // Output assembly buffers: eigenvalue + which column (deflated: original
+  // column; solved: column of the new basis) each slot holds.
+  std::vector<R> newvecs;
+  if (k > 0) {
+    std::vector<R> dk(static_cast<std::size_t>(k));
+    std::vector<R> uk(static_cast<std::size_t>(k));
+    for (idx i = 0; i < k; ++i) {
+      dk[i] = ds[map[i]];
+      uk[i] = us[map[i]];
+    }
+    std::vector<R> lam(static_cast<std::size_t>(k));
+    std::vector<idx> pole(static_cast<std::size_t>(k));
+    std::vector<R> mu(static_cast<std::size_t>(k));
+    if (k == 1) {
+      pole[0] = 0;
+      mu[0] = rho * uk[0] * uk[0];
+      lam[0] = dk[0] + mu[0];
+    } else {
+      secular_solve(k, dk.data(), uk.data(), rho, lam.data(), pole.data(),
+                    mu.data());
+    }
+    // Gu-Eisenstat: recompute a z-vector consistent with the computed
+    // roots, so eigenvectors are orthogonal to working precision. All
+    // root-minus-pole differences go through the shifted form.
+    std::vector<R> zhat(static_cast<std::size_t>(k));
+    for (idx i = 0; i < k; ++i) {
+      R p = -secular_gap(dk.data(), pole.data(), mu.data(), i, k - 1);
+      for (idx j = 0; j < k - 1; ++j) {
+        const idx dj = j < i ? j : j + 1;
+        p *= -secular_gap(dk.data(), pole.data(), mu.data(), i, j) /
+             (dk[dj] - dk[i]);
+      }
+      p = std::abs(p) / rho;
+      zhat[i] = std::copysign(std::sqrt(p), uk[i]);
+    }
+    // Eigenvectors of the rank-one problem, then back to the full basis.
+    std::vector<R> umat(static_cast<std::size_t>(k) * k);
+    for (idx r = 0; r < k; ++r) {
+      R* col = umat.data() + static_cast<std::size_t>(r) * k;
+      R nrm(0);
+      for (idx i = 0; i < k; ++i) {
+        col[i] = zhat[i] /
+                 secular_gap(dk.data(), pole.data(), mu.data(), i, r);
+        nrm += col[i] * col[i];
+      }
+      nrm = std::sqrt(nrm);
+      for (idx i = 0; i < k; ++i) {
+        col[i] /= nrm;
+      }
+    }
+    // newvecs = Qsub * U  (n x k).
+    std::vector<R> qsub(static_cast<std::size_t>(n) * k);
+    for (idx i = 0; i < k; ++i) {
+      blas::copy(n, qs.data() + static_cast<std::size_t>(map[i]) * n, 1,
+                 qsub.data() + static_cast<std::size_t>(i) * n, 1);
+    }
+    newvecs.assign(static_cast<std::size_t>(n) * k, R(0));
+    blas::gemm(Trans::NoTrans, Trans::NoTrans, n, k, k, R(1), qsub.data(), n,
+               umat.data(), k, R(0), newvecs.data(), n);
+    for (idx r = 0; r < k; ++r) {
+      lam_all[map[r]] = lam[r];
+      src_col[map[r]] = -(r + 1);  // negative: column r of newvecs
+    }
+  }
+  for (idx i = 0; i < n; ++i) {
+    if (deflated[i]) {
+      lam_all[i] = ds[i];
+      src_col[i] = i + 1;  // positive: column i of qs
+    }
+  }
+  // Final ascending sort and write-out.
+  std::vector<idx> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](idx a, idx b) { return lam_all[a] < lam_all[b]; });
+  for (idx j = 0; j < n; ++j) {
+    const idx slot = order[j];
+    d[j] = lam_all[slot];
+    const idx sc = src_col[slot];
+    const R* src = sc > 0
+                       ? qs.data() + static_cast<std::size_t>(sc - 1) * n
+                       : newvecs.data() + static_cast<std::size_t>(-sc - 1) * n;
+    blas::copy(n, src, 1, z + static_cast<std::size_t>(j) * ldz, 1);
+  }
+  return 0;
+}
+
+}  // namespace detail
+
+/// Divide-and-conquer eigensolver for a symmetric tridiagonal matrix
+/// (xSTEDC, COMPZ='I'): d/e in, eigenvalues ascending in d and the
+/// eigenvector matrix in z (n x n).
+template <RealScalar R>
+idx stedc(idx n, R* d, R* e, R* z, idx ldz) {
+  if (n == 0) {
+    return 0;
+  }
+  return detail::stedc_rec(n, d, e, z, ldz);
+}
+
+/// Driver: divide-and-conquer tridiagonal eigenproblem (xSTEVD).
+template <RealScalar R>
+idx stevd(Job jobz, idx n, R* d, R* e, R* z, idx ldz) {
+  if (n == 0) {
+    return 0;
+  }
+  if (jobz != Job::Vec) {
+    return sterf(n, d, e);
+  }
+  return stedc(n, d, e, z, ldz);
+}
+
+/// Driver: divide-and-conquer symmetric/Hermitian eigenproblem
+/// (xSYEVD / xHEEVD). Same contract as syev.
+template <Scalar T>
+idx syevd(Job jobz, Uplo uplo, idx n, T* a, idx lda, real_t<T>* w) {
+  using R = real_t<T>;
+  if (n == 0) {
+    return 0;
+  }
+  std::vector<R> e(static_cast<std::size_t>(std::max<idx>(n - 1, 1)));
+  std::vector<T> tau(static_cast<std::size_t>(std::max<idx>(n - 1, 1)));
+  sytrd(uplo, n, a, lda, w, e.data(), tau.data());
+  if (jobz != Job::Vec) {
+    return sterf(n, w, e.data());
+  }
+  std::vector<R> zt(static_cast<std::size_t>(n) * n);
+  const idx info = stedc(n, w, e.data(), zt.data(), n);
+  if (info != 0) {
+    return info;
+  }
+  // Back-transform: A := Q * Zt.
+  orgtr(uplo, n, a, lda, tau.data());
+  if constexpr (is_complex_v<T>) {
+    std::vector<T> ztc(static_cast<std::size_t>(n) * n);
+    for (std::size_t i = 0; i < ztc.size(); ++i) {
+      ztc[i] = T(zt[i]);
+    }
+    std::vector<T> res(static_cast<std::size_t>(n) * n);
+    blas::gemm(Trans::NoTrans, Trans::NoTrans, n, n, n, T(1), a, lda,
+               ztc.data(), n, T(0), res.data(), n);
+    lacpy(Part::All, n, n, res.data(), n, a, lda);
+  } else {
+    std::vector<T> res(static_cast<std::size_t>(n) * n);
+    blas::gemm(Trans::NoTrans, Trans::NoTrans, n, n, n, T(1), a, lda,
+               zt.data(), n, T(0), res.data(), n);
+    lacpy(Part::All, n, n, res.data(), n, a, lda);
+  }
+  return 0;
+}
+
+/// Hermitian alias.
+template <Scalar T>
+idx heevd(Job jobz, Uplo uplo, idx n, T* a, idx lda, real_t<T>* w) {
+  return syevd(jobz, uplo, n, a, lda, w);
+}
+
+/// Packed divide-and-conquer driver (xSPEVD / xHPEVD), via dense scratch.
+template <Scalar T>
+idx spevd(Job jobz, Uplo uplo, idx n, T* ap, real_t<T>* w, T* z, idx ldz) {
+  if (n == 0) {
+    return 0;
+  }
+  const idx ld = std::max<idx>(n, 1);
+  std::vector<T> a(static_cast<std::size_t>(n) * n);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < n; ++i) {
+      const bool stored = uplo == Uplo::Upper ? i <= j : i >= j;
+      if (stored) {
+        a[static_cast<std::size_t>(j) * ld + i] =
+            ap[packed_index(uplo, n, i, j)];
+      }
+    }
+  }
+  const idx info = syevd(jobz, uplo, n, a.data(), ld, w);
+  if (jobz == Job::Vec && info == 0) {
+    lacpy(Part::All, n, n, a.data(), ld, z, ldz);
+  }
+  return info;
+}
+
+/// Band divide-and-conquer driver (xSBEVD / xHBEVD), via dense scratch.
+template <Scalar T>
+idx sbevd(Job jobz, Uplo uplo, idx n, idx kd, T* ab, idx ldab, real_t<T>* w,
+          T* z, idx ldz) {
+  if (n == 0) {
+    return 0;
+  }
+  const idx ld = std::max<idx>(n, 1);
+  std::vector<T> a(static_cast<std::size_t>(n) * n, T(0));
+  for (idx j = 0; j < n; ++j) {
+    if (uplo == Uplo::Upper) {
+      for (idx i = std::max<idx>(0, j - kd); i <= j; ++i) {
+        a[static_cast<std::size_t>(j) * ld + i] =
+            ab[static_cast<std::size_t>(j) * ldab + (kd + i - j)];
+      }
+    } else {
+      for (idx i = j; i <= std::min<idx>(n - 1, j + kd); ++i) {
+        a[static_cast<std::size_t>(j) * ld + i] =
+            ab[static_cast<std::size_t>(j) * ldab + (i - j)];
+      }
+    }
+  }
+  const idx info = syevd(jobz, uplo, n, a.data(), ld, w);
+  if (jobz == Job::Vec && info == 0) {
+    lacpy(Part::All, n, n, a.data(), ld, z, ldz);
+  }
+  return info;
+}
+
+}  // namespace la::lapack

@@ -1,0 +1,243 @@
+// lapack90/lapack/tridiag.hpp
+//
+// Tridiagonal solvers — the substrate under LA_GTSV / LA_GTSVX (general,
+// LU with partial pivoting) and LA_PTSV / LA_PTSVX (symmetric/Hermitian
+// positive definite, LDL^H):
+//
+//   gttrf / gttrs / gtsv / gtcon     general tridiagonal
+//   pttrf / pttrs / ptsv / ptcon     s.p.d. tridiagonal
+//
+// General storage: dl (n-1 subdiagonal), d (n diagonal), du (n-1
+// superdiagonal); the factorization adds du2 (n-2 second superdiagonal
+// fill-in) and 0-based pivot indices. The s.p.d. factorization stores D in
+// d (real) and the unit-lower multipliers in e.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "lapack90/core/precision.hpp"
+#include "lapack90/core/types.hpp"
+#include "lapack90/lapack/conest.hpp"
+#include "lapack90/lapack/norms.hpp"
+
+namespace la::lapack {
+
+/// LU factorization of a general tridiagonal matrix (xGTTRF).
+/// Returns 0 or the 1-based index of the first zero pivot.
+template <Scalar T>
+idx gttrf(idx n, T* dl, T* d, T* du, T* du2, idx* ipiv) noexcept {
+  if (n == 0) {
+    return 0;
+  }
+  for (idx i = 0; i < n - 1; ++i) {
+    if (i < n - 2) {
+      du2[i] = T(0);
+    }
+    if (abs1(d[i]) >= abs1(dl[i])) {
+      ipiv[i] = i;
+      if (d[i] != T(0)) {
+        const T fact = dl[i] / d[i];
+        dl[i] = fact;
+        d[i + 1] -= fact * du[i];
+      }
+    } else {
+      const T fact = d[i] / dl[i];
+      d[i] = dl[i];
+      dl[i] = fact;
+      const T temp = du[i];
+      du[i] = d[i + 1];
+      d[i + 1] = temp - fact * d[i + 1];
+      if (i < n - 2) {
+        du2[i] = du[i + 1];
+        du[i + 1] = -fact * du[i + 1];
+      }
+      ipiv[i] = i + 1;
+    }
+  }
+  ipiv[n - 1] = n - 1;
+  for (idx i = 0; i < n; ++i) {
+    if (d[i] == T(0)) {
+      return i + 1;
+    }
+  }
+  return 0;
+}
+
+/// Solve op(A) X = B from gttrf factors (xGTTRS). B is n x nrhs.
+template <Scalar T>
+idx gttrs(Trans trans, idx n, idx nrhs, const T* dl, const T* d, const T* du,
+          const T* du2, const idx* ipiv, T* b, idx ldb) noexcept {
+  if (n == 0 || nrhs == 0) {
+    return 0;
+  }
+  const bool conj = trans == Trans::ConjTrans;
+  auto cj = [conj](const T& v) { return conj ? conj_if(v) : v; };
+  for (idx j = 0; j < nrhs; ++j) {
+    T* x = b + static_cast<std::size_t>(j) * ldb;
+    if (trans == Trans::NoTrans) {
+      // Forward: apply inv(L) with the recorded interchanges.
+      for (idx i = 0; i < n - 1; ++i) {
+        if (ipiv[i] == i) {
+          x[i + 1] -= dl[i] * x[i];
+        } else {
+          const T temp = x[i];
+          x[i] = x[i + 1];
+          x[i + 1] = temp - dl[i] * x[i];
+        }
+      }
+      // Back substitution with U (bandwidth 2).
+      x[n - 1] /= d[n - 1];
+      if (n > 1) {
+        x[n - 2] = (x[n - 2] - du[n - 2] * x[n - 1]) / d[n - 2];
+      }
+      for (idx i = n - 3; i >= 0; --i) {
+        x[i] = (x[i] - du[i] * x[i + 1] - du2[i] * x[i + 2]) / d[i];
+      }
+    } else {
+      // Solve op(U)^T y = b forward.
+      x[0] /= cj(d[0]);
+      if (n > 1) {
+        x[1] = (x[1] - cj(du[0]) * x[0]) / cj(d[1]);
+      }
+      for (idx i = 2; i < n; ++i) {
+        x[i] = (x[i] - cj(du[i - 1]) * x[i - 1] - cj(du2[i - 2]) * x[i - 2]) /
+               cj(d[i]);
+      }
+      // Then op(L)^T backward with interchanges in reverse.
+      for (idx i = n - 2; i >= 0; --i) {
+        if (ipiv[i] == i) {
+          x[i] -= cj(dl[i]) * x[i + 1];
+        } else {
+          const T temp = x[i + 1];
+          x[i + 1] = x[i] - cj(dl[i]) * temp;
+          x[i] = temp;
+        }
+      }
+    }
+  }
+  return 0;
+}
+
+/// Driver: general tridiagonal solve (xGTSV). Overwrites dl, d, du with
+/// factorization byproducts.
+template <Scalar T>
+idx gtsv(idx n, idx nrhs, T* dl, T* d, T* du, T* b, idx ldb) {
+  if (n == 0) {
+    return 0;
+  }
+  std::vector<T> du2(n > 2 ? static_cast<std::size_t>(n - 2) : 1);
+  std::vector<idx> ipiv(static_cast<std::size_t>(n));
+  const idx info = gttrf(n, dl, d, du, du2.data(), ipiv.data());
+  if (info != 0) {
+    return info;
+  }
+  return gttrs(Trans::NoTrans, n, nrhs, dl, d, du, du2.data(), ipiv.data(), b,
+               ldb);
+}
+
+/// Reciprocal condition estimate for a general tridiagonal matrix from its
+/// gttrf factors (xGTCON); anorm is the 1-norm of the original matrix.
+template <Scalar T>
+idx gtcon(Norm norm, idx n, const T* dl, const T* d, const T* du,
+          const T* du2, const idx* ipiv, real_t<T> anorm, real_t<T>& rcond) {
+  using R = real_t<T>;
+  rcond = R(0);
+  if (n == 0) {
+    rcond = R(1);
+    return 0;
+  }
+  if (anorm == R(0)) {
+    return 0;
+  }
+  auto solve_n = [&](T* v) {
+    gttrs(Trans::NoTrans, n, 1, dl, d, du, du2, ipiv, v, n);
+  };
+  auto solve_h = [&](T* v) {
+    gttrs(conj_trans_for<T>(), n, 1, dl, d, du, du2, ipiv, v, n);
+  };
+  const R ainv = norm == Norm::One
+                     ? norm1_estimate<T>(n, solve_n, solve_h)
+                     : norm1_estimate<T>(n, solve_h, solve_n);
+  if (ainv != R(0)) {
+    rcond = (R(1) / ainv) / anorm;
+  }
+  return 0;
+}
+
+/// L D L^H factorization of a s.p.d. tridiagonal matrix (xPTTRF).
+/// d (real diagonal) and e (sub/superdiagonal) are overwritten with D and
+/// the unit-bidiagonal multipliers. info = i (1-based) if the i-th pivot
+/// is not positive.
+template <Scalar T>
+idx pttrf(idx n, real_t<T>* d, T* e) noexcept {
+  using R = real_t<T>;
+  for (idx i = 0; i < n - 1; ++i) {
+    if (!(d[i] > R(0))) {
+      return i + 1;
+    }
+    const T ei = e[i];
+    e[i] = ei / T(d[i]);
+    d[i + 1] -= real_part(conj_if(e[i]) * ei);
+  }
+  if (n > 0 && !(d[n - 1] > R(0))) {
+    return n;
+  }
+  return 0;
+}
+
+/// Solve A X = B from pttrf factors (xPTTRS). The multipliers in e follow
+/// the lower-bidiagonal convention (L(i+1, i) = e[i]).
+template <Scalar T>
+idx pttrs(idx n, idx nrhs, const real_t<T>* d, const T* e, T* b,
+          idx ldb) noexcept {
+  if (n == 0 || nrhs == 0) {
+    return 0;
+  }
+  for (idx j = 0; j < nrhs; ++j) {
+    T* x = b + static_cast<std::size_t>(j) * ldb;
+    for (idx i = 1; i < n; ++i) {
+      x[i] -= e[i - 1] * x[i - 1];
+    }
+    x[n - 1] /= T(d[n - 1]);
+    for (idx i = n - 2; i >= 0; --i) {
+      x[i] = x[i] / T(d[i]) - conj_if(e[i]) * x[i + 1];
+    }
+  }
+  return 0;
+}
+
+/// Driver: s.p.d. tridiagonal solve (xPTSV).
+template <Scalar T>
+idx ptsv(idx n, idx nrhs, real_t<T>* d, T* e, T* b, idx ldb) noexcept {
+  const idx info = pttrf<T>(n, d, e);
+  if (info != 0) {
+    return info;
+  }
+  return pttrs(n, nrhs, d, e, b, ldb);
+}
+
+/// Reciprocal condition estimate from pttrf factors (xPTCON); anorm is the
+/// 1-norm of the original matrix.
+template <Scalar T>
+idx ptcon(idx n, const real_t<T>* d, const T* e, real_t<T> anorm,
+          real_t<T>& rcond) {
+  using R = real_t<T>;
+  rcond = R(0);
+  if (n == 0) {
+    rcond = R(1);
+    return 0;
+  }
+  if (anorm == R(0)) {
+    return 0;
+  }
+  auto solve = [&](T* v) { pttrs(n, 1, d, e, v, n); };
+  const R ainv = norm1_estimate<T>(n, solve, solve);
+  if (ainv != R(0)) {
+    rcond = (R(1) / ainv) / anorm;
+  }
+  return 0;
+}
+
+}  // namespace la::lapack

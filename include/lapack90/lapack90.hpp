@@ -1,0 +1,23 @@
+// lapack90/lapack90.hpp — umbrella header for the whole library.
+//
+// Pulls in the containers, both interface layers (F77-style explicit and
+// F90-style generic), and the full computational substrate. Most users
+// want only this header plus the la:: namespace:
+//
+//   #include <lapack90/lapack90.hpp>
+//   la::Matrix<double> A(n, n);  la::Matrix<double> B(n, k);
+//   ...fill...
+//   la::gesv(A, B);   // B now holds the solution of A X = B
+#pragma once
+
+#include "lapack90/core/banded.hpp"
+#include "lapack90/core/env.hpp"
+#include "lapack90/core/error.hpp"
+#include "lapack90/core/matrix.hpp"
+#include "lapack90/core/packed.hpp"
+#include "lapack90/core/precision.hpp"
+#include "lapack90/core/random.hpp"
+#include "lapack90/core/types.hpp"
+#include "lapack90/f77/f77_lapack.hpp"
+#include "lapack90/f90/f90_lapack.hpp"
+#include "lapack90/version.hpp"

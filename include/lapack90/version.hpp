@@ -1,0 +1,9 @@
+// lapack90/version.hpp — library version string.
+#pragma once
+
+namespace la {
+
+/// Semantic version of the lapack90 C++ reproduction.
+[[nodiscard]] const char* version() noexcept;
+
+}  // namespace la

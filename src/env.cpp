@@ -1,0 +1,87 @@
+// ILAENV-analog tuning tables — see include/lapack90/core/env.hpp.
+
+#include "lapack90/core/env.hpp"
+
+#include <array>
+#include <atomic>
+
+namespace la {
+
+namespace {
+
+constexpr int kRoutines = static_cast<int>(EnvRoutine::count_);
+constexpr int kSpecs = 3;
+
+struct Defaults {
+  idx nb;
+  idx nbmin;
+  idx nx;
+};
+
+// Defaults follow the reference ILAENV choices (NB=64 for factorizations,
+// 32 for two-sided reductions) with crossover points where the blocked
+// path starts to pay for itself.
+constexpr std::array<Defaults, kRoutines> kDefaults = {{
+    {64, 2, 128},  // getrf
+    {64, 2, 128},  // potrf
+    {32, 2, 128},  // geqrf
+    {32, 2, 128},  // gelqf
+    {32, 2, 128},  // ormqr
+    {64, 2, 64},   // getri
+    {32, 2, 32},   // sytrd
+    {32, 2, 128},  // gehrd
+    {32, 2, 128},  // gebrd
+    {64, 1, 0},    // gemm (nb = cache block edge)
+}};
+
+std::array<std::atomic<idx>, kRoutines * kSpecs>& overrides() noexcept {
+  static std::array<std::atomic<idx>, kRoutines * kSpecs> table{};
+  return table;
+}
+
+int slot(EnvSpec spec, EnvRoutine routine) noexcept {
+  return (static_cast<int>(spec) - 1) * kRoutines + static_cast<int>(routine);
+}
+
+}  // namespace
+
+idx ilaenv(EnvSpec spec, EnvRoutine routine, idx n) noexcept {
+  const idx ov = overrides()[slot(spec, routine)].load(std::memory_order_relaxed);
+  if (ov > 0) {
+    return ov;
+  }
+  const Defaults& d = kDefaults[static_cast<int>(routine)];
+  idx v = 1;
+  switch (spec) {
+    case EnvSpec::BlockSize:
+      v = d.nb;
+      break;
+    case EnvSpec::MinBlockSize:
+      v = d.nbmin;
+      break;
+    case EnvSpec::Crossover:
+      v = d.nx;
+      break;
+  }
+  // Never hand back a block larger than the problem (matches the paper's
+  // LA_GETRI guard: IF (NB < 1 .OR. NB >= N) NB = 1).
+  if (spec == EnvSpec::BlockSize && n > 0 && v > n) {
+    v = n;
+  }
+  return v < 1 ? 1 : v;
+}
+
+idx set_env_override(EnvSpec spec, EnvRoutine routine, idx value) noexcept {
+  return overrides()[slot(spec, routine)].exchange(value,
+                                                   std::memory_order_relaxed);
+}
+
+idx block_size(EnvRoutine routine, idx n) noexcept {
+  const idx nx = ilaenv(EnvSpec::Crossover, routine, n);
+  if (n <= nx) {
+    return 1;
+  }
+  return ilaenv(EnvSpec::BlockSize, routine, n);
+}
+
+}  // namespace la

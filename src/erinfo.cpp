@@ -1,0 +1,101 @@
+// ERINFO implementation — see include/lapack90/core/error.hpp.
+
+#include "lapack90/core/error.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <sstream>
+
+namespace la {
+
+namespace detail {
+
+WarningLog& warning_log() noexcept {
+  static WarningLog log;
+  return log;
+}
+
+namespace {
+std::mutex& log_mutex() noexcept {
+  static std::mutex m;
+  return m;
+}
+std::atomic<int>& alloc_failures() noexcept {
+  static std::atomic<int> n{0};
+  return n;
+}
+}  // namespace
+
+}  // namespace detail
+
+unsigned long warning_count() noexcept {
+  std::lock_guard<std::mutex> lock(detail::log_mutex());
+  return detail::warning_log().count;
+}
+
+void reset_warning_count() noexcept {
+  std::lock_guard<std::mutex> lock(detail::log_mutex());
+  detail::warning_log() = detail::WarningLog{};
+}
+
+idx last_warning_code() noexcept {
+  std::lock_guard<std::mutex> lock(detail::log_mutex());
+  return detail::warning_log().last_code;
+}
+
+std::string last_warning_routine() {
+  std::lock_guard<std::mutex> lock(detail::log_mutex());
+  return detail::warning_log().last_routine;
+}
+
+int inject_alloc_failures(int n) noexcept {
+  return detail::alloc_failures().exchange(n);
+}
+
+bool alloc_should_fail() noexcept {
+  auto& counter = detail::alloc_failures();
+  int current = counter.load();
+  while (current > 0) {
+    if (counter.compare_exchange_weak(current, current - 1)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void erinfo(idx linfo, const char* srname, idx* info, idx istat) {
+  const bool fatal_class = (linfo < 0 && linfo > -200) || linfo > 0;
+  if (fatal_class && info == nullptr) {
+    // The FORTRAN version WRITEs a diagnostic and STOPs; we throw with the
+    // same text so callers (and tests) can observe it.
+    std::ostringstream msg;
+    msg << "Terminated in LAPACK90 subroutine " << srname << '\n'
+        << "Error indicator, INFO = " << linfo;
+    if (istat != 0) {
+      if (linfo == -100) {
+        msg << "\nALLOCATE causes STATUS = " << istat;
+      } else {
+        msg << "\nLINFO = " << linfo << " not expected";
+      }
+    }
+    throw Error(srname, linfo, msg.str());
+  }
+  if (linfo <= -200) {
+    // Warning class: -200 means "minimal workspace fallback" in the paper.
+    if (info != nullptr) {
+      *info = linfo;
+    } else {
+      std::lock_guard<std::mutex> lock(detail::log_mutex());
+      auto& log = detail::warning_log();
+      ++log.count;
+      log.last_routine = srname;
+      log.last_code = linfo;
+    }
+    return;
+  }
+  if (info != nullptr) {
+    *info = linfo;
+  }
+}
+
+}  // namespace la

@@ -1,0 +1,7 @@
+#include "lapack90/version.hpp"
+
+namespace la {
+
+const char* version() noexcept { return "1.0.0"; }
+
+}  // namespace la

@@ -1,0 +1,244 @@
+// Level-3 BLAS unit tests: the blocked gemm against the reference kernel
+// across shapes and transpose modes, plus the symmetric/triangular
+// kernels against dense equivalents.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "test_utils.hpp"
+
+namespace la::test {
+namespace {
+
+template <class T>
+class Blas3Test : public ::testing::Test {};
+TYPED_TEST_SUITE(Blas3Test, AllTypes);
+
+TYPED_TEST(Blas3Test, BlockedGemmMatchesReferenceAcrossModes) {
+  using T = TypeParam;
+  Iseed seed = seed_for(31);
+  const idx m = 37;
+  const idx n = 23;
+  const idx k = 41;
+  const T alpha = make_scalar<T>(real_t<T>(1.25), real_t<T>(-0.5));
+  const T beta = make_scalar<T>(real_t<T>(0.5));
+  for (Trans ta : {Trans::NoTrans, Trans::Trans, Trans::ConjTrans}) {
+    for (Trans tb : {Trans::NoTrans, Trans::Trans, Trans::ConjTrans}) {
+      const Matrix<T> a = ta == Trans::NoTrans ? random_matrix<T>(m, k, seed)
+                                               : random_matrix<T>(k, m, seed);
+      const Matrix<T> b = tb == Trans::NoTrans ? random_matrix<T>(k, n, seed)
+                                               : random_matrix<T>(n, k, seed);
+      Matrix<T> c = random_matrix<T>(m, n, seed);
+      Matrix<T> cref = c;
+      blas::gemm(ta, tb, m, n, k, alpha, a.data(), a.ld(), b.data(), b.ld(),
+                 beta, c.data(), c.ld());
+      blas::gemm_naive(ta, tb, m, n, k, alpha, a.data(), a.ld(), b.data(),
+                       b.ld(), beta, cref.data(), cref.ld());
+      EXPECT_LE(max_diff(c, cref), tol<T>() * real_t<T>(k))
+          << static_cast<char>(ta) << static_cast<char>(tb);
+    }
+  }
+}
+
+TYPED_TEST(Blas3Test, GemmLargeEnoughToUsePackedPath) {
+  using T = TypeParam;
+  Iseed seed = seed_for(32);
+  const idx n = 150;  // beyond the small-problem cutoff
+  const Matrix<T> a = random_matrix<T>(n, n, seed);
+  const Matrix<T> b = random_matrix<T>(n, n, seed);
+  Matrix<T> c(n, n);
+  Matrix<T> cref(n, n);
+  blas::gemm(Trans::NoTrans, Trans::NoTrans, n, n, n, T(1), a.data(), a.ld(),
+             b.data(), b.ld(), T(0), c.data(), c.ld());
+  blas::gemm_naive(Trans::NoTrans, Trans::NoTrans, n, n, n, T(1), a.data(),
+                   a.ld(), b.data(), b.ld(), T(0), cref.data(), cref.ld());
+  EXPECT_LE(max_diff(c, cref), tol<T>() * real_t<T>(n));
+}
+
+TYPED_TEST(Blas3Test, GemmBetaZeroOverwritesNan) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(33);
+  const idx n = 6;
+  const Matrix<T> a = random_matrix<T>(n, n, seed);
+  const Matrix<T> b = random_matrix<T>(n, n, seed);
+  Matrix<T> c(n, n);
+  c.fill(T(std::numeric_limits<R>::quiet_NaN()));
+  blas::gemm(Trans::NoTrans, Trans::NoTrans, n, n, n, T(1), a.data(), a.ld(),
+             b.data(), b.ld(), T(0), c.data(), c.ld());
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < n; ++i) {
+      EXPECT_TRUE(std::isfinite(real_part(c(i, j))));
+    }
+  }
+}
+
+TYPED_TEST(Blas3Test, SymmHemmMatchDenseMultiply) {
+  using T = TypeParam;
+  Iseed seed = seed_for(34);
+  const idx m = 12;
+  const idx n = 9;
+  const Matrix<T> sy = random_symmetric<T>(m, seed);
+  const Matrix<T> he = random_hermitian<T>(m, seed);
+  const Matrix<T> b = random_matrix<T>(m, n, seed);
+  for (Uplo uplo : {Uplo::Upper, Uplo::Lower}) {
+    Matrix<T> c1(m, n);
+    blas::symm(Side::Left, uplo, m, n, T(1), sy.data(), sy.ld(), b.data(),
+               b.ld(), T(0), c1.data(), c1.ld());
+    EXPECT_LE(max_diff(c1, multiply(sy, b)), tol<T>() * real_t<T>(m));
+    Matrix<T> c2(m, n);
+    blas::hemm(Side::Left, uplo, m, n, T(1), he.data(), he.ld(), b.data(),
+               b.ld(), T(0), c2.data(), c2.ld());
+    EXPECT_LE(max_diff(c2, multiply(he, b)), tol<T>() * real_t<T>(m));
+  }
+  // Right side as well.
+  const Matrix<T> br = random_matrix<T>(n, m, seed);
+  Matrix<T> c3(n, m);
+  blas::symm(Side::Right, Uplo::Upper, n, m, T(1), sy.data(), sy.ld(),
+             br.data(), br.ld(), T(0), c3.data(), c3.ld());
+  EXPECT_LE(max_diff(c3, multiply(br, sy)), tol<T>() * real_t<T>(m));
+}
+
+TYPED_TEST(Blas3Test, SyrkHerkMatchExplicitProducts) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(35);
+  const idx n = 10;
+  const idx k = 7;
+  const Matrix<T> a = random_matrix<T>(n, k, seed);
+  // syrk NoTrans: C = A A^T.
+  Matrix<T> c(n, n);
+  blas::syrk(Uplo::Upper, Trans::NoTrans, n, k, T(1), a.data(), a.ld(), T(0),
+             c.data(), c.ld());
+  const Matrix<T> aat = multiply(a, a, Trans::NoTrans, Trans::Trans);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i <= j; ++i) {
+      EXPECT_LE(std::abs(c(i, j) - aat(i, j)), tol<T>() * R(k));
+    }
+  }
+  // herk NoTrans: C = A A^H with real diagonal.
+  Matrix<T> ch(n, n);
+  blas::herk(Uplo::Lower, Trans::NoTrans, n, k, R(1), a.data(), a.ld(), R(0),
+             ch.data(), ch.ld());
+  const Matrix<T> aah = multiply(a, a, Trans::NoTrans, conj_trans_for<T>());
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = j; i < n; ++i) {
+      EXPECT_LE(std::abs(ch(i, j) - aah(i, j)), tol<T>() * R(k));
+    }
+    EXPECT_EQ(imag_part(ch(j, j)), R(0));
+  }
+}
+
+TYPED_TEST(Blas3Test, Syr2kHer2kMatchExplicitProducts) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(36);
+  const idx n = 8;
+  const idx k = 5;
+  const Matrix<T> a = random_matrix<T>(n, k, seed);
+  const Matrix<T> b = random_matrix<T>(n, k, seed);
+  const T alpha = make_scalar<T>(R(1.5), R(0.5));
+  Matrix<T> c(n, n);
+  blas::syr2k(Uplo::Upper, Trans::NoTrans, n, k, alpha, a.data(), a.ld(),
+              b.data(), b.ld(), T(0), c.data(), c.ld());
+  Matrix<T> ref(n, n);
+  blas::gemm_naive(Trans::NoTrans, Trans::Trans, n, n, k, alpha, a.data(),
+                   a.ld(), b.data(), b.ld(), T(0), ref.data(), ref.ld());
+  blas::gemm_naive(Trans::NoTrans, Trans::Trans, n, n, k, alpha, b.data(),
+                   b.ld(), a.data(), a.ld(), T(1), ref.data(), ref.ld());
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i <= j; ++i) {
+      EXPECT_LE(std::abs(c(i, j) - ref(i, j)), tol<T>() * R(4 * k));
+    }
+  }
+  Matrix<T> ch(n, n);
+  blas::her2k(Uplo::Lower, Trans::NoTrans, n, k, alpha, a.data(), a.ld(),
+              b.data(), b.ld(), R(0), ch.data(), ch.ld());
+  Matrix<T> refh(n, n);
+  blas::gemm_naive(Trans::NoTrans, conj_trans_for<T>(), n, n, k, alpha,
+                   a.data(), a.ld(), b.data(), b.ld(), T(0), refh.data(),
+                   refh.ld());
+  blas::gemm_naive(Trans::NoTrans, conj_trans_for<T>(), n, n, k,
+                   conj_if(alpha), b.data(), b.ld(), a.data(), a.ld(), T(1),
+                   refh.data(), refh.ld());
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = j; i < n; ++i) {
+      EXPECT_LE(std::abs(ch(i, j) - refh(i, j)), tol<T>() * R(4 * k));
+    }
+  }
+}
+
+TYPED_TEST(Blas3Test, TrsmInvertsTrmmAllSixteenCases) {
+  using T = TypeParam;
+  Iseed seed = seed_for(37);
+  const idx m = 11;
+  const idx n = 7;
+  for (Side side : {Side::Left, Side::Right}) {
+    const idx asz = side == Side::Left ? m : n;
+    Matrix<T> a = random_matrix<T>(asz, asz, seed);
+    for (idx i = 0; i < asz; ++i) {
+      a(i, i) += T(real_t<T>(4));
+    }
+    for (Uplo uplo : {Uplo::Upper, Uplo::Lower}) {
+      for (Trans trans : {Trans::NoTrans, Trans::Trans, Trans::ConjTrans}) {
+        for (Diag diag : {Diag::NonUnit, Diag::Unit}) {
+          Matrix<T> b = random_matrix<T>(m, n, seed);
+          const Matrix<T> b0 = b;
+          blas::trmm(side, uplo, trans, diag, m, n, T(1), a.data(), a.ld(),
+                     b.data(), b.ld());
+          blas::trsm(side, uplo, trans, diag, m, n, T(1), a.data(), a.ld(),
+                     b.data(), b.ld());
+          EXPECT_LE(max_diff(b, b0), tol<T>(real_t<T>(300)))
+              << static_cast<char>(side) << static_cast<char>(uplo)
+              << static_cast<char>(trans) << static_cast<char>(diag);
+        }
+      }
+    }
+  }
+}
+
+TYPED_TEST(Blas3Test, TrsmSolvesAgainstDenseReference) {
+  using T = TypeParam;
+  Iseed seed = seed_for(38);
+  const idx n = 9;
+  const idx nrhs = 4;
+  Matrix<T> a = random_matrix<T>(n, n, seed);
+  for (idx i = 0; i < n; ++i) {
+    a(i, i) += T(real_t<T>(4));
+  }
+  // Zero strictly-lower part -> clean upper triangular U.
+  Matrix<T> u = a;
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = j + 1; i < n; ++i) {
+      u(i, j) = T(0);
+    }
+  }
+  const Matrix<T> x = random_matrix<T>(n, nrhs, seed);
+  Matrix<T> b = multiply(u, x);
+  blas::trsm(Side::Left, Uplo::Upper, Trans::NoTrans, Diag::NonUnit, n, nrhs,
+             T(1), a.data(), a.ld(), b.data(), b.ld());
+  EXPECT_LE(max_diff(b, x), tol<T>(real_t<T>(300)));
+}
+
+TYPED_TEST(Blas3Test, GemmAlphaScalesLinearly) {
+  using T = TypeParam;
+  Iseed seed = seed_for(39);
+  const idx n = 16;
+  const Matrix<T> a = random_matrix<T>(n, n, seed);
+  const Matrix<T> b = random_matrix<T>(n, n, seed);
+  Matrix<T> c1(n, n);
+  Matrix<T> c2(n, n);
+  blas::gemm(Trans::NoTrans, Trans::NoTrans, n, n, n, T(2), a.data(), a.ld(),
+             b.data(), b.ld(), T(0), c1.data(), c1.ld());
+  blas::gemm(Trans::NoTrans, Trans::NoTrans, n, n, n, T(1), a.data(), a.ld(),
+             b.data(), b.ld(), T(0), c2.data(), c2.ld());
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < n; ++i) {
+      EXPECT_LE(std::abs(c1(i, j) - T(2) * c2(i, j)),
+                tol<T>() * real_t<T>(n));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace la::test

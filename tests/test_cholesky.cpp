@@ -1,0 +1,218 @@
+// Cholesky family tests: dense/packed/band factorizations, solves,
+// condition estimation, refinement, and not-positive-definite detection.
+#include <gtest/gtest.h>
+
+#include "test_utils.hpp"
+
+namespace la::test {
+namespace {
+
+template <class T>
+class CholeskyTest : public ::testing::Test {};
+TYPED_TEST_SUITE(CholeskyTest, AllTypes);
+
+TYPED_TEST(CholeskyTest, PotrfReconstructsBothTriangles) {
+  using T = TypeParam;
+  Iseed seed = seed_for(71);
+  const idx n = 30;
+  const Matrix<T> a = random_spd<T>(n, seed);
+  for (Uplo uplo : {Uplo::Upper, Uplo::Lower}) {
+    Matrix<T> f = a;
+    ASSERT_EQ(lapack::potrf(uplo, n, f.data(), f.ld()), 0);
+    // Zero the unreferenced triangle, rebuild A.
+    Matrix<T> tri(n, n);
+    if (uplo == Uplo::Upper) {
+      lapack::lacpy(lapack::Part::Upper, n, n, f.data(), f.ld(), tri.data(),
+                    tri.ld());
+    } else {
+      lapack::lacpy(lapack::Part::Lower, n, n, f.data(), f.ld(), tri.data(),
+                    tri.ld());
+    }
+    Matrix<T> rec =
+        uplo == Uplo::Upper
+            ? multiply(tri, tri, conj_trans_for<T>(), Trans::NoTrans)
+            : multiply(tri, tri, Trans::NoTrans, conj_trans_for<T>());
+    EXPECT_LE(max_diff(rec, a),
+              tol<T>(real_t<T>(100)) *
+                  lapack::lange(Norm::Max, n, n, a.data(), a.ld()));
+  }
+}
+
+TYPED_TEST(CholeskyTest, BlockedMatchesUnblocked) {
+  using T = TypeParam;
+  Iseed seed = seed_for(72);
+  const idx n = 180;
+  const Matrix<T> a = random_spd<T>(n, seed);
+  Matrix<T> f1 = a;
+  Matrix<T> f2 = a;
+  ASSERT_EQ(lapack::potrf(Uplo::Lower, n, f1.data(), f1.ld()), 0);
+  ASSERT_EQ(lapack::potf2(Uplo::Lower, n, f2.data(), f2.ld()), 0);
+  Matrix<T> l1(n, n);
+  Matrix<T> l2(n, n);
+  lapack::lacpy(lapack::Part::Lower, n, n, f1.data(), f1.ld(), l1.data(),
+                l1.ld());
+  lapack::lacpy(lapack::Part::Lower, n, n, f2.data(), f2.ld(), l2.data(),
+                l2.ld());
+  EXPECT_LE(max_diff(l1, l2), tol<T>(real_t<T>(1000)) * real_t<T>(n));
+}
+
+TYPED_TEST(CholeskyTest, PosvSolvesWithGoodRatio) {
+  using T = TypeParam;
+  Iseed seed = seed_for(73);
+  const idx n = 48;
+  const idx nrhs = 3;
+  const Matrix<T> a = random_spd<T>(n, seed);
+  const Matrix<T> b = random_matrix<T>(n, nrhs, seed);
+  for (Uplo uplo : {Uplo::Upper, Uplo::Lower}) {
+    Matrix<T> f = a;
+    Matrix<T> x = b;
+    ASSERT_EQ(lapack::posv(uplo, n, nrhs, f.data(), f.ld(), x.data(), x.ld()),
+              0);
+    EXPECT_LT(solve_ratio(a, x, b), real_t<T>(30));
+  }
+}
+
+TYPED_TEST(CholeskyTest, IndefiniteMatrixReportsMinorIndex) {
+  using T = TypeParam;
+  Iseed seed = seed_for(74);
+  const idx n = 10;
+  Matrix<T> a = random_spd<T>(n, seed);
+  a(4, 4) = T(real_t<T>(-50));  // breaks definiteness at the 5th minor
+  const idx info = lapack::potrf(Uplo::Upper, n, a.data(), a.ld());
+  EXPECT_EQ(info, 5);
+}
+
+TYPED_TEST(CholeskyTest, PoconEstimatesCondition) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(75);
+  const idx n = 25;
+  // SPD with eigenvalues spanning 1..1e3 via a random orthogonal basis.
+  std::vector<R> evals(n);
+  for (idx i = 0; i < n; ++i) {
+    evals[i] = R(1) + R(999) * R(i) / R(n - 1);
+  }
+  Matrix<T> a(n, n);
+  lapack::laghe(n, evals.data(), a.data(), a.ld(), seed);
+  const R anorm = lapack::lanhe(Norm::One, Uplo::Upper, n, a.data(), a.ld());
+  Matrix<T> f = a;
+  ASSERT_EQ(lapack::potrf(Uplo::Upper, n, f.data(), f.ld()), 0);
+  R rcond(0);
+  lapack::pocon(Uplo::Upper, n, f.data(), f.ld(), anorm, rcond);
+  EXPECT_GT(rcond, R(1) / R(5e4));
+  EXPECT_LT(rcond, R(1) / R(20));
+}
+
+TYPED_TEST(CholeskyTest, PpsvMatchesDenseSolve) {
+  using T = TypeParam;
+  Iseed seed = seed_for(76);
+  const idx n = 22;
+  const idx nrhs = 2;
+  const Matrix<T> a = random_spd<T>(n, seed);
+  const Matrix<T> b = random_matrix<T>(n, nrhs, seed);
+  for (Uplo uplo : {Uplo::Upper, Uplo::Lower}) {
+    auto ap = PackedMatrix<T>::from_dense(a, uplo);
+    Matrix<T> x = b;
+    ASSERT_EQ(lapack::ppsv(uplo, n, nrhs, ap.data(), x.data(), x.ld()), 0);
+    EXPECT_LT(solve_ratio(a, x, b), real_t<T>(30));
+  }
+}
+
+TYPED_TEST(CholeskyTest, PbsvSolvesBandSystem) {
+  using T = TypeParam;
+  Iseed seed = seed_for(77);
+  const idx n = 40;
+  const idx kd = 3;
+  const idx nrhs = 2;
+  // SPD band: diagonally dominant Hermitian band matrix.
+  Matrix<T> dense = random_matrix<T>(n, n, seed);
+  for (idx j = 0; j < n; ++j) {
+    dense(j, j) = T(real_t<T>(4 * kd));
+    for (idx i = 0; i < n; ++i) {
+      if (i != j && std::abs(static_cast<long>(i) - j) <= kd) {
+        dense(i, j) = i < j ? dense(i, j) : conj_if(dense(j, i));
+      } else if (i != j) {
+        dense(i, j) = T(0);
+      }
+    }
+  }
+  const Matrix<T> b = random_matrix<T>(n, nrhs, seed);
+  for (Uplo uplo : {Uplo::Upper, Uplo::Lower}) {
+    auto ab = SymBandMatrix<T>::from_dense(dense, kd, uplo);
+    Matrix<T> x = b;
+    ASSERT_EQ(lapack::pbsv(uplo, n, kd, nrhs, ab.data(), ab.ldab(), x.data(),
+                           x.ld()),
+              0);
+    EXPECT_LT(solve_ratio(dense, x, b), real_t<T>(30));
+  }
+}
+
+TYPED_TEST(CholeskyTest, PbsvDetectsIndefiniteBand) {
+  using T = TypeParam;
+  const idx n = 8;
+  const idx kd = 1;
+  SymBandMatrix<T> ab(n, kd, Uplo::Lower);
+  for (idx i = 0; i < n; ++i) {
+    ab(i, i) = T(real_t<T>(2));
+    if (i < n - 1) {
+      ab(i + 1, i) = T(real_t<T>(-1));
+    }
+  }
+  ab(3, 3) = T(real_t<T>(-1));
+  Matrix<T> b(n, 1);
+  const idx info =
+      lapack::pbsv(Uplo::Lower, n, kd, 1, ab.data(), ab.ldab(), b.data(),
+                   b.ld());
+  EXPECT_GT(info, 0);
+  EXPECT_LE(info, 4);
+}
+
+TYPED_TEST(CholeskyTest, PorfsImprovesPerturbedSolution) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(78);
+  const idx n = 30;
+  const idx nrhs = 1;
+  const Matrix<T> a = random_spd<T>(n, seed);
+  const Matrix<T> b = random_matrix<T>(n, nrhs, seed);
+  Matrix<T> f = a;
+  ASSERT_EQ(lapack::potrf(Uplo::Lower, n, f.data(), f.ld()), 0);
+  Matrix<T> x = b;
+  lapack::potrs(Uplo::Lower, n, nrhs, f.data(), f.ld(), x.data(), x.ld());
+  // Perturb the solution, then refinement must pull berr back to eps.
+  x(0, 0) += T(R(0.001));
+  std::vector<R> ferr(nrhs);
+  std::vector<R> berr(nrhs);
+  lapack::porfs(Uplo::Lower, n, nrhs, a.data(), a.ld(), f.data(), f.ld(),
+                b.data(), b.ld(), x.data(), x.ld(), ferr.data(), berr.data());
+  EXPECT_LE(berr[0], R(4) * eps<T>());
+}
+
+TYPED_TEST(CholeskyTest, PosvxReportsConditionAndBounds) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(79);
+  const idx n = 20;
+  const idx nrhs = 2;
+  const Matrix<T> a = random_spd<T>(n, seed);
+  const Matrix<T> b = random_matrix<T>(n, nrhs, seed);
+  Matrix<T> ac = a;
+  Matrix<T> af(n, n);
+  Matrix<T> x(n, nrhs);
+  std::vector<R> ferr(nrhs);
+  std::vector<R> berr(nrhs);
+  R rcond(0);
+  const idx info =
+      lapack::posvx(Uplo::Upper, n, nrhs, ac.data(), ac.ld(), af.data(),
+                    af.ld(), b.data(), b.ld(), x.data(), x.ld(), rcond,
+                    ferr.data(), berr.data());
+  EXPECT_EQ(info, 0);
+  EXPECT_GT(rcond, R(0));
+  EXPECT_LT(solve_ratio(a, x, b), real_t<T>(30));
+  for (idx j = 0; j < nrhs; ++j) {
+    EXPECT_LE(berr[j], R(4) * eps<T>());
+  }
+}
+
+}  // namespace
+}  // namespace la::test

@@ -1,0 +1,270 @@
+// Expert eigendriver condition-number tests: trsyl correctness, geevx's
+// RCONDE/RCONDV against analytically known cases, and geesx's cluster
+// bounds.
+#include <gtest/gtest.h>
+
+#include "test_utils.hpp"
+
+namespace la::test {
+namespace {
+
+template <class T>
+class TrsylTest : public ::testing::Test {};
+TYPED_TEST_SUITE(TrsylTest, AllTypes);
+
+TYPED_TEST(TrsylTest, SolvesTriangularSylvester) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(401);
+  const idx m = 9;
+  const idx n = 7;
+  // Build Schur forms with well separated spectra: A ~ +diag, B ~ -diag.
+  Matrix<T> a = random_matrix<T>(m, m, seed);
+  Matrix<T> b = random_matrix<T>(n, n, seed);
+  for (idx j = 0; j < m; ++j) {
+    for (idx i = j + 1; i < m; ++i) {
+      a(i, j) = T(0);
+    }
+    a(j, j) = T(R(2) + R(j));
+  }
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = j + 1; i < n; ++i) {
+      b(i, j) = T(0);
+    }
+    b(j, j) = T(R(-2.5) - R(j));  // avoids lambda_A + lambda_B == 0
+  }
+  const Matrix<T> c = random_matrix<T>(m, n, seed);
+  for (Trans ta : {Trans::NoTrans, conj_trans_for<T>()}) {
+    for (Trans tb : {Trans::NoTrans, conj_trans_for<T>()}) {
+      for (int isgn : {1, -1}) {
+        Matrix<T> x = c;
+        R scale(0);
+        ASSERT_EQ(lapack::trsyl(ta, tb, isgn, m, n, a.data(), a.ld(),
+                                b.data(), b.ld(), x.data(), x.ld(), scale),
+                  0);
+        EXPECT_EQ(scale, R(1));
+        // Residual: op(A) X + isgn X op(B) - scale C.
+        Matrix<T> r = multiply(a, x, ta, Trans::NoTrans);
+        blas::gemm_naive(Trans::NoTrans, tb, m, n, n, T(R(isgn)), x.data(),
+                         x.ld(), b.data(), b.ld(), T(1), r.data(), r.ld());
+        for (idx j = 0; j < n; ++j) {
+          for (idx i = 0; i < m; ++i) {
+            r(i, j) -= T(scale) * c(i, j);
+          }
+        }
+        EXPECT_LE(lapack::lange(Norm::Max, m, n, r.data(), r.ld()),
+                  tol<T>(R(300)) * R(m + n))
+            << static_cast<char>(ta) << static_cast<char>(tb) << isgn;
+      }
+    }
+  }
+}
+
+TEST(TrsylTest, RealQuasiTriangularWith2x2Blocks) {
+  Iseed seed = seed_for(402);
+  const idx m = 10;
+  const idx n = 8;
+  // Get genuine quasi-triangular Schur forms from gees.
+  Matrix<double> a0 = random_matrix<double>(m, m, seed);
+  Matrix<double> b0 = random_matrix<double>(n, n, seed);
+  for (idx i = 0; i < m; ++i) {
+    a0(i, i) += 5.0;  // push spectra apart
+  }
+  for (idx i = 0; i < n; ++i) {
+    b0(i, i) -= 5.0;
+  }
+  Matrix<double> ta = a0;
+  Matrix<double> tb = b0;
+  Matrix<double> vsa(m, m);
+  Matrix<double> vsb(n, n);
+  std::vector<double> wr(m);
+  std::vector<double> wi(m);
+  std::vector<double> wr2(n);
+  std::vector<double> wi2(n);
+  idx sdim = 0;
+  ASSERT_EQ(lapack::gees(Job::Vec, m, ta.data(), ta.ld(), sdim, wr.data(),
+                         wi.data(), vsa.data(), vsa.ld(),
+                         [](double, double) { return false; }, false),
+            0);
+  ASSERT_EQ(lapack::gees(Job::Vec, n, tb.data(), tb.ld(), sdim, wr2.data(),
+                         wi2.data(), vsb.data(), vsb.ld(),
+                         [](double, double) { return false; }, false),
+            0);
+  const Matrix<double> c = random_matrix<double>(m, n, seed);
+  Matrix<double> x = c;
+  double scale(0);
+  ASSERT_EQ(lapack::trsyl(Trans::NoTrans, Trans::NoTrans, 1, m, n, ta.data(),
+                          ta.ld(), tb.data(), tb.ld(), x.data(), x.ld(),
+                          scale),
+            0);
+  Matrix<double> r = multiply(ta, x);
+  blas::gemm_naive(Trans::NoTrans, Trans::NoTrans, m, n, n, 1.0, x.data(),
+                   x.ld(), tb.data(), tb.ld(), 1.0, r.data(), r.ld());
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < m; ++i) {
+      r(i, j) -= scale * c(i, j);
+    }
+  }
+  EXPECT_LE(lapack::lange(Norm::Max, m, n, r.data(), r.ld()),
+            tol<double>(1000.0) * (m + n));
+}
+
+TEST(GeevxTest, NormalMatrixHasPerfectConditioning) {
+  // A symmetric matrix's eigenvalues have condition 1 (|y^H x| = 1).
+  Iseed seed = seed_for(403);
+  const idx n = 14;
+  Matrix<double> a = random_symmetric<double>(n, seed);
+  Vector<double> wr(n);
+  Vector<double> wi(n);
+  std::vector<double> rconde(n);
+  std::vector<double> rcondv(n);
+  idx info = -1;
+  geevx(a, wr, wi, nullptr, nullptr, nullptr, nullptr, {}, nullptr, rconde,
+        rcondv, &info);
+  EXPECT_EQ(info, 0);
+  for (idx i = 0; i < n; ++i) {
+    EXPECT_NEAR(rconde[i], 1.0, 1e-8) << "i=" << i;
+    EXPECT_GT(rcondv[i], 0.0);
+  }
+}
+
+TEST(GeevxTest, NonNormalCouplingIsIllConditioned) {
+  // Triangular [[1, M], [0, 2]]: the left and right eigenvectors of
+  // lambda = 1 are nearly orthogonal for large M, so rconde ~ 1/M.
+  // (Balancing cannot help a triangular coupling — unlike a graded
+  // similarity, which gebal would repair.)
+  const idx n = 2;
+  Matrix<double> a{{1.0, 1e6}, {0.0, 2.0}};
+  Vector<double> wr(n);
+  Vector<double> wi(n);
+  std::vector<double> rconde(n);
+  idx info = -1;
+  geevx(a, wr, wi, nullptr, nullptr, nullptr, nullptr, {}, nullptr, rconde,
+        {}, &info);
+  EXPECT_EQ(info, 0);
+  EXPECT_LT(rconde[0], 1e-3);
+  EXPECT_LT(rconde[1], 1e-3);
+}
+
+TEST(GeevxTest, ComplexDriverMatchesGeev) {
+  using T = std::complex<double>;
+  Iseed seed = seed_for(404);
+  const idx n = 12;
+  const Matrix<T> a0 = random_matrix<T>(n, n, seed);
+  Matrix<T> a1 = a0;
+  Matrix<T> a2 = a0;
+  Vector<T> w1(n);
+  Vector<T> w2(n);
+  Matrix<T> vr1(n, n);
+  Matrix<T> vr2(n, n);
+  geev(a1, w1, nullptr, &vr1);
+  std::vector<double> rconde(n);
+  std::vector<double> rcondv(n);
+  idx ilo = 0;
+  idx ihi = 0;
+  double abnrm = 0;
+  idx info = -1;
+  geevx(a2, w2, nullptr, &vr2, &ilo, &ihi, {}, &abnrm, rconde, rcondv,
+        &info);
+  EXPECT_EQ(info, 0);
+  EXPECT_GT(abnrm, 0.0);
+  for (idx i = 0; i < n; ++i) {
+    EXPECT_LE(std::abs(w1[i] - w2[i]), 1e-10);
+    EXPECT_GT(rconde[i], 0.0);
+    EXPECT_LE(rconde[i], 1.0 + 1e-12);
+    EXPECT_GT(rcondv[i], 0.0);
+  }
+  EXPECT_EQ(max_diff(vr1, vr2), 0.0);
+}
+
+TEST(GeesxTest, WellSeparatedClusterIsWellConditioned) {
+  // Block diagonal with far-apart spectra: rconde ~ 1 and rcondv ~ gap.
+  const idx n = 8;
+  Iseed seed = seed_for(405);
+  Matrix<double> a = random_matrix<double>(n, n, seed);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < n; ++i) {
+      if ((i < 4) != (j < 4)) {
+        a(i, j) = 0.0;  // decouple the halves
+      }
+    }
+    a(j, j) += j < 4 ? -10.0 : 10.0;
+  }
+  Vector<double> wr(n);
+  Vector<double> wi(n);
+  Matrix<double> vs(n, n);
+  idx sdim = 0;
+  double rconde = 0;
+  double rcondv = 0;
+  idx info = -1;
+  geesx(a, wr, wi, &vs, [](double re, double) { return re < 0.0; }, &sdim,
+        &rconde, &rcondv, &info);
+  EXPECT_EQ(info, 0);
+  EXPECT_EQ(sdim, 4);
+  EXPECT_GT(rconde, 0.5);   // nearly orthogonal invariant subspaces
+  EXPECT_GT(rcondv, 1.0);   // sep ~ spectral gap ~ 20
+}
+
+TEST(GeesxTest, NearbyClustersAreFlaggedIllConditioned) {
+  // Two clusters separated by ~1e-5: sep must come out small.
+  const idx n = 6;
+  Iseed seed = seed_for(406);
+  Matrix<double> a(n, n);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i <= j; ++i) {
+      std::vector<double> v(1);
+      larnv(Dist::Uniform11, seed, 1, v.data());
+      a(i, j) = v[0];
+    }
+    a(j, j) = j < 3 ? 1.0 + 1e-5 * double(j) : 1.0 - 1e-5 * double(j);
+  }
+  Vector<double> wr(n);
+  Vector<double> wi(n);
+  Matrix<double> vs(n, n);
+  idx sdim = 0;
+  double rcondv = 0;
+  idx info = -1;
+  geesx(a, wr, wi, &vs, [](double re, double) { return re > 1.0; }, &sdim,
+        nullptr, &rcondv, &info);
+  EXPECT_EQ(info, 0);
+  if (sdim > 0 && sdim < n) {
+    EXPECT_LT(rcondv, 1e-2);
+  }
+}
+
+TEST(GeesxTest, ComplexClusterConditioning) {
+  using T = std::complex<double>;
+  Iseed seed = seed_for(407);
+  const idx n = 10;
+  Matrix<T> a = random_matrix<T>(n, n, seed);
+  Vector<T> w(n);
+  Matrix<T> vs(n, n);
+  idx sdim = 0;
+  double rconde = 0;
+  double rcondv = 0;
+  idx info = -1;
+  geesx(a, w, &vs, [](T z) { return z.real() < 0.0; }, &sdim, &rconde,
+        &rcondv, &info);
+  EXPECT_EQ(info, 0);
+  if (sdim > 0 && sdim < n) {
+    EXPECT_GT(rconde, 0.0);
+    EXPECT_LE(rconde, 1.0);
+    EXPECT_GT(rcondv, 0.0);
+  }
+  // The factorization survives the condition-number pass.
+  Matrix<T> zt = multiply(vs, a);
+  Matrix<T> rec = multiply(zt, vs, Trans::NoTrans, Trans::ConjTrans);
+  // (a holds T after the call; use eigenvalue sum as a cheap invariant)
+  T wsum(0);
+  for (idx i = 0; i < n; ++i) {
+    wsum += w[i];
+  }
+  T tsum(0);
+  for (idx i = 0; i < n; ++i) {
+    tsum += a(i, i);
+  }
+  EXPECT_LE(std::abs(wsum - tsum), 1e-10);
+}
+
+}  // namespace
+}  // namespace la::test

@@ -1,0 +1,131 @@
+// F90-level coverage of the divide-and-conquer / expert eigendriver
+// variants the paper's Appendix G lists for every storage format.
+#include <gtest/gtest.h>
+
+#include "test_utils.hpp"
+
+namespace la::test {
+namespace {
+
+template <class T>
+class F90EigVariantsTest : public ::testing::Test {};
+TYPED_TEST_SUITE(F90EigVariantsTest, AllTypes);
+
+TYPED_TEST(F90EigVariantsTest, SpevdMatchesSpev) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(601);
+  const idx n = 18;
+  const Matrix<T> a = random_hermitian<T>(n, seed);
+  auto ap1 = PackedMatrix<T>::from_dense(a, Uplo::Upper);
+  auto ap2 = PackedMatrix<T>::from_dense(a, Uplo::Upper);
+  Vector<R> w1(n);
+  Vector<R> w2(n);
+  Matrix<T> z1(n, n);
+  Matrix<T> z2(n, n);
+  idx info = -1;
+  spev(ap1, w1, &z1, &info);
+  ASSERT_EQ(info, 0);
+  spevd(ap2, w2, &z2, &info);
+  ASSERT_EQ(info, 0);
+  for (idx i = 0; i < n; ++i) {
+    EXPECT_NEAR(w1[i], w2[i], tol<T>(R(300)) * R(n));
+  }
+  EXPECT_LE(orthogonality(z2), tol<T>(R(30)) * R(n));
+}
+
+TYPED_TEST(F90EigVariantsTest, SbevdMatchesSbev) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(602);
+  const idx n = 20;
+  const idx kd = 2;
+  Matrix<T> dense = random_hermitian<T>(n, seed);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < n; ++i) {
+      if (std::abs(static_cast<long>(i) - j) > kd) {
+        dense(i, j) = T(0);
+      }
+    }
+  }
+  auto ab1 = SymBandMatrix<T>::from_dense(dense, kd, Uplo::Lower);
+  auto ab2 = SymBandMatrix<T>::from_dense(dense, kd, Uplo::Lower);
+  Vector<R> w1(n);
+  Vector<R> w2(n);
+  idx info = -1;
+  sbev(ab1, w1, static_cast<Matrix<T>*>(nullptr), &info);
+  ASSERT_EQ(info, 0);
+  sbevd(ab2, w2, nullptr, &info);
+  ASSERT_EQ(info, 0);
+  for (idx i = 0; i < n; ++i) {
+    EXPECT_NEAR(w1[i], w2[i], tol<T>(R(300)) * R(n));
+  }
+}
+
+TEST(F90EigVariantsTest2, StevxSelectsIndexRange) {
+  Iseed seed = seed_for(603);
+  const idx n = 30;
+  Vector<double> d(n);
+  Vector<double> e(n - 1);
+  larnv(Dist::Uniform11, seed, n, d.data());
+  larnv(Dist::Uniform11, seed, n - 1, e.data());
+  // Reference full spectrum.
+  Vector<double> dref = d;
+  Vector<double> eref = e;
+  ASSERT_EQ(lapack::sterf(n, dref.data(), eref.data()), 0);
+  Vector<double> w(n);
+  Matrix<double> z(n, 6);
+  idx m = 0;
+  idx info = -1;
+  stevx(d, e, w, &z, nullptr, nullptr, 5, 10, &m, -1.0, &info);
+  EXPECT_EQ(info, 0);
+  ASSERT_EQ(m, 6);
+  for (idx i = 0; i < 6; ++i) {
+    EXPECT_NEAR(w[i], dref[4 + i], 1e-10);
+  }
+  // Residual of the selected eigenpairs.
+  for (idx k = 0; k < m; ++k) {
+    double worst = 0;
+    for (idx i = 0; i < n; ++i) {
+      double s = d[i] * z(i, k);
+      if (i > 0) {
+        s += e[i - 1] * z(i - 1, k);
+      }
+      if (i < n - 1) {
+        s += e[i] * z(i + 1, k);
+      }
+      worst = std::max(worst, std::abs(s - w[k] * z(i, k)));
+    }
+    EXPECT_LE(worst, 1e-8);
+  }
+}
+
+TEST(F90EigVariantsTest2, StevxValueRangeAndErrorExits) {
+  Iseed seed = seed_for(604);
+  const idx n = 16;
+  Vector<double> d(n);
+  Vector<double> e(n - 1);
+  larnv(Dist::Uniform11, seed, n, d.data());
+  larnv(Dist::Uniform11, seed, n - 1, e.data());
+  Vector<double> w(n);
+  idx m = 0;
+  idx info = -1;
+  const double vl = -0.5;
+  const double vu = 0.5;
+  stevx(d, e, w, nullptr, &vl, &vu, 0, 0, &m, -1.0, &info);
+  EXPECT_EQ(info, 0);
+  for (idx i = 0; i < m; ++i) {
+    EXPECT_GT(w[i], vl);
+    EXPECT_LE(w[i], vu + 1e-12);
+  }
+  // Bad index range.
+  stevx(d, e, w, nullptr, nullptr, nullptr, 10, 5, &m, -1.0, &info);
+  EXPECT_EQ(info, -7);
+  // Bad E length.
+  Vector<double> ebad(n);
+  stevx(d, ebad, w, nullptr, nullptr, nullptr, 1, 2, &m, -1.0, &info);
+  EXPECT_EQ(info, -2);
+}
+
+}  // namespace
+}  // namespace la::test

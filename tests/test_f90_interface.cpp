@@ -1,0 +1,290 @@
+// F90 interface-layer tests: optional-argument behaviour, the ERINFO
+// error protocol (throw vs INFO, warnings, allocation injection), and
+// error exits across the driver catalog — the paper's §6 category-1 test
+// programs ("test the interface routines, the computation, and the error
+// exits").
+#include <gtest/gtest.h>
+
+#include "test_utils.hpp"
+
+namespace la::test {
+namespace {
+
+TEST(F90Interface, OptionalIpivIsFilledWhenRequested) {
+  Iseed seed = seed_for(171);
+  const idx n = 8;
+  Matrix<double> a = random_matrix<double>(n, n, seed);
+  Matrix<double> b = random_matrix<double>(n, 1, seed);
+  std::vector<idx> ipiv(n, -7);
+  gesv(a, b, ipiv);
+  for (idx i = 0; i < n; ++i) {
+    EXPECT_GE(ipiv[i], i);  // partial pivoting picks at or below the diag
+    EXPECT_LT(ipiv[i], n);
+  }
+}
+
+TEST(F90Interface, WarningsAreCountedWithoutInfoSink) {
+  Iseed seed = seed_for(172);
+  const idx n = 10;
+  Matrix<double> a = random_matrix<double>(n, n, seed);
+  std::vector<idx> ipiv(n);
+  getrf(a, ipiv);
+  reset_warning_count();
+  inject_alloc_failures(1);  // optimal getri workspace fails -> -200 path
+  getri(a, std::span<const idx>(ipiv));
+  EXPECT_EQ(warning_count(), 1u);
+  EXPECT_EQ(last_warning_code(), -200);
+  EXPECT_EQ(last_warning_routine(), "LA_GETRI");
+  inject_alloc_failures(0);
+}
+
+TEST(F90Interface, WarningGoesToInfoWhenPresent) {
+  Iseed seed = seed_for(173);
+  const idx n = 10;
+  Matrix<double> a = random_matrix<double>(n, n, seed);
+  std::vector<idx> ipiv(n);
+  getrf(a, ipiv);
+  inject_alloc_failures(1);
+  idx info = 0;
+  reset_warning_count();
+  getri(a, std::span<const idx>(ipiv), &info);
+  // With INFO present the warning is delivered through it and not counted
+  // (the final erinfo(0, ...) then reports overall success).
+  EXPECT_EQ(warning_count(), 0u);
+  inject_alloc_failures(0);
+}
+
+TEST(F90Interface, DoubleAllocFailureEscalatesToMinus100) {
+  Iseed seed = seed_for(174);
+  const idx n = 10;
+  Matrix<double> a = random_matrix<double>(n, n, seed);
+  std::vector<idx> ipiv(n);
+  getrf(a, ipiv);
+  inject_alloc_failures(2);  // both the optimal and fallback workspaces
+  idx info = 0;
+  getri(a, std::span<const idx>(ipiv), &info);
+  EXPECT_EQ(info, -100);
+  inject_alloc_failures(0);
+}
+
+TEST(F90Interface, ErrorExitsAcrossDriverCatalog) {
+  idx info = 0;
+  // posv: non-square A.
+  {
+    Matrix<double> a(3, 4);
+    Matrix<double> b(3, 1);
+    posv(a, b, Uplo::Upper, &info);
+    EXPECT_EQ(info, -1);
+  }
+  // posv: indefinite A -> info > 0.
+  {
+    Matrix<double> a(3, 3);
+    a.set_identity();
+    a(1, 1) = -1.0;
+    Matrix<double> b(3, 1);
+    posv(a, b, Uplo::Upper, &info);
+    EXPECT_EQ(info, 2);
+  }
+  // gtsv: mismatched sub/superdiagonal lengths.
+  {
+    Vector<double> dl(3);
+    Vector<double> d(5);
+    Vector<double> du(4);
+    Matrix<double> b(5, 1);
+    gtsv(dl, d, du, b, &info);
+    EXPECT_EQ(info, -1);
+  }
+  // ptsv: b rows mismatch.
+  {
+    Vector<double> d(4);
+    d.fill(4.0);
+    Vector<double> e(3);
+    Matrix<double> b(3, 1);
+    ptsv<double>(d, e, b, &info);
+    EXPECT_EQ(info, -3);
+  }
+  // sysv: bad ipiv length.
+  {
+    Matrix<double> a(4, 4);
+    a.set_identity();
+    Matrix<double> b(4, 1);
+    std::vector<idx> ipiv(2);
+    sysv(a, b, Uplo::Upper, ipiv, &info);
+    EXPECT_EQ(info, -4);
+  }
+  // gels: B rows must be max(m, n).
+  {
+    Matrix<double> a(6, 3);
+    Matrix<double> b(3, 1);
+    gels(a, b, Trans::NoTrans, &info);
+    EXPECT_EQ(info, -2);
+  }
+  // gelss: wrong S length.
+  {
+    Matrix<double> a(6, 3);
+    Matrix<double> b(6, 1);
+    std::vector<double> s(2);
+    gelss(a, b, nullptr, s, -1.0, &info);
+    EXPECT_EQ(info, -4);
+  }
+  // syev: W length mismatch.
+  {
+    Matrix<double> a(5, 5);
+    Vector<double> w(4);
+    syev(a, w, Job::Vec, Uplo::Upper, &info);
+    EXPECT_EQ(info, -2);
+  }
+  // geev: eigenvector matrix wrong shape.
+  {
+    Matrix<double> a(5, 5);
+    Vector<double> wr(5);
+    Vector<double> wi(5);
+    Matrix<double> vr(4, 5);
+    geev(a, wr, wi, static_cast<Matrix<double>*>(nullptr), &vr, &info);
+    EXPECT_EQ(info, -5);
+  }
+  // gesvd: wrong U shape.
+  {
+    Matrix<double> a(6, 4);
+    Vector<double> s(4);
+    Matrix<double> u(6, 6);
+    gesvd(a, s, &u, static_cast<Matrix<double>*>(nullptr), &info);
+    EXPECT_EQ(info, -3);
+  }
+  // sygv: bad itype.
+  {
+    Matrix<double> a(4, 4);
+    Matrix<double> b(4, 4);
+    Vector<double> w(4);
+    sygv(a, b, w, 7, Job::NoVec, Uplo::Upper, &info);
+    EXPECT_EQ(info, -4);
+  }
+  // gglse: dimension constraint p <= n <= m + p violated.
+  {
+    Matrix<double> a(3, 10);
+    Matrix<double> b(2, 10);
+    Vector<double> c(3);
+    Vector<double> d(2);
+    Vector<double> x(10);
+    gglse(a, b, c, d, x, &info);
+    EXPECT_EQ(info, -1);
+  }
+}
+
+TEST(F90Interface, ThrowingVariantsCarryRoutineNames) {
+  // Every family's no-INFO variant must throw la::Error naming the
+  // LA_* routine — the ERINFO STOP analog.
+  {
+    Matrix<double> a(3, 4);
+    Matrix<double> b(3, 1);
+    EXPECT_THROW(posv(a, b), Error);
+  }
+  {
+    Matrix<double> a(3, 4);
+    Vector<double> w(3);
+    try {
+      syev(a, w);
+      FAIL();
+    } catch (const Error& e) {
+      EXPECT_EQ(e.routine(), "LA_SYEV");
+    }
+  }
+  {
+    Matrix<double> a(5, 3);
+    Matrix<double> b(3, 1);
+    try {
+      gels(a, b);
+      FAIL();
+    } catch (const Error& e) {
+      EXPECT_EQ(e.routine(), "LA_GELS");
+    }
+  }
+}
+
+TEST(F90Interface, VectorAndMatrixRhsAgree) {
+  Iseed seed = seed_for(175);
+  const idx n = 12;
+  const Matrix<double> a0 = random_matrix<double>(n, n, seed);
+  Matrix<double> b0 = random_matrix<double>(n, 1, seed);
+  Matrix<double> a1 = a0;
+  Matrix<double> b1 = b0;
+  gesv(a1, b1);
+  Matrix<double> a2 = a0;
+  Vector<double> b2(n);
+  for (idx i = 0; i < n; ++i) {
+    b2[i] = b0(i, 0);
+  }
+  gesv(a2, b2);
+  for (idx i = 0; i < n; ++i) {
+    EXPECT_EQ(b2[i], b1(i, 0));
+  }
+}
+
+TEST(F90Interface, ExpertDriversDeliverOptionalOutputs) {
+  Iseed seed = seed_for(176);
+  const idx n = 16;
+  const idx nrhs = 2;
+  const Matrix<double> a = random_matrix<double>(n, n, seed);
+  const Matrix<double> b = random_matrix<double>(n, nrhs, seed);
+  Matrix<double> x(n, nrhs);
+  std::vector<double> ferr(nrhs);
+  std::vector<double> berr(nrhs);
+  double rcond = -1;
+  double rpvgrw = -1;
+  idx info = -1;
+  gesvx(a, b, x, Trans::NoTrans, true, ferr, berr, &rcond, &rpvgrw, &info);
+  EXPECT_EQ(info, 0);
+  EXPECT_GT(rcond, 0.0);
+  EXPECT_GT(rpvgrw, 0.0);
+  EXPECT_LE(berr[0], 4 * eps<double>());
+  EXPECT_LT(solve_ratio(a, x, b), 30.0);
+  // The minimal call also works (all optionals omitted).
+  Matrix<double> x2(n, nrhs);
+  gesvx(a, b, x2);
+  EXPECT_EQ(max_diff(x, x2), 0.0);
+}
+
+TEST(F90Interface, GesvxRejectsBadXShape) {
+  Matrix<double> a(4, 4);
+  a.set_identity();
+  Matrix<double> b(4, 2);
+  Matrix<double> x(4, 3);
+  idx info = 0;
+  gesvx(a, b, x, Trans::NoTrans, true, {}, {}, nullptr, nullptr, &info);
+  EXPECT_EQ(info, -3);
+}
+
+TEST(F90Interface, ComplexTypesShareTheGenericInterface) {
+  // The paper's whole point: the same call works for all four types.
+  Iseed seed = seed_for(177);
+  const idx n = 10;
+  auto run = [&](auto tag) {
+    using T = decltype(tag);
+    Matrix<T> a = random_matrix<T>(n, n, seed);
+    const Matrix<T> a0 = a;
+    Matrix<T> b = random_matrix<T>(n, 1, seed);
+    const Matrix<T> b0 = b;
+    gesv(a, b);
+    EXPECT_LT(solve_ratio(a0, b, b0), real_t<T>(30));
+  };
+  run(float{});
+  run(double{});
+  run(std::complex<float>{});
+  run(std::complex<double>{});
+}
+
+TEST(F90Interface, LaLangeAndLaggeRoundTrip) {
+  Iseed seed = seed_for(178);
+  Matrix<double> a(12, 8);
+  std::vector<double> d = {8, 7, 6, 5, 4, 3, 2, 1};
+  idx info = -1;
+  lagge(a, d, &seed, &info);
+  EXPECT_EQ(info, 0);
+  // Largest singular value bounds the norms.
+  const double n1 = lange(a, Norm::One);
+  EXPECT_GT(n1, 0.0);
+  EXPECT_LT(n1, 8.0 * 12);
+}
+
+}  // namespace
+}  // namespace la::test

@@ -1,0 +1,172 @@
+// The Appendix F test-program reproduction: LA_GESV is exercised on three
+// generated matrices with NRHS in {1, 50}, up to 300 x 300, with the
+// netlib ratio metric and threshold, plus the nine error-exit tests the
+// transcript reports ("9 error exits tests were ran / 9 tests passed").
+#include <gtest/gtest.h>
+
+#include "test_utils.hpp"
+
+namespace la::test {
+namespace {
+
+/// The Appendix F ratio: || B - A X ||_1 / ( ||A||_1 * ||X||_1 * eps ).
+/// (The transcript's threshold of 10 applies to this un-normalized-by-n
+/// form in single precision; we test float to mirror the SGESV run.)
+template <Scalar T>
+real_t<T> appendix_f_ratio(const Matrix<T>& a, const Matrix<T>& x,
+                           const Matrix<T>& b) {
+  using R = real_t<T>;
+  Matrix<T> r = b;
+  blas::gemm_naive(Trans::NoTrans, Trans::NoTrans, a.rows(), x.cols(),
+                   a.cols(), T(-1), a.data(), a.ld(), x.data(), x.ld(), T(1),
+                   r.data(), r.ld());
+  const R rn = lapack::lange(Norm::One, r.rows(), r.cols(), r.data(), r.ld());
+  const R an = lapack::lange(Norm::One, a.rows(), a.cols(), a.data(), a.ld());
+  const R xn = lapack::lange(Norm::One, x.rows(), x.cols(), x.data(), x.ld());
+  return rn / (an * xn * eps<T>()) / R(a.rows());
+}
+
+/// The three test matrices of the transcript: well-conditioned random,
+/// moderately ill-conditioned (geometric spectrum), and the big 300x300.
+template <Scalar T>
+Matrix<T> appendix_f_matrix(int which, idx n, Iseed& seed) {
+  using R = real_t<T>;
+  Matrix<T> a(n, n);
+  switch (which) {
+    case 0:
+      larnv(Dist::Uniform11, seed, n * n, a.data());
+      break;
+    case 1:
+      lapack::latms(n, n, lapack::SpectrumMode::Geometric, R(100), R(1),
+                    a.data(), a.ld(), seed);
+      break;
+    default:
+      lapack::latms(n, n, lapack::SpectrumMode::Arithmetic, R(200), R(10),
+                    a.data(), a.ld(), seed);
+      break;
+  }
+  return a;
+}
+
+class GesvDriverTest : public ::testing::TestWithParam<std::tuple<int, idx>> {
+};
+
+TEST_P(GesvDriverTest, RatioUnderThreshold) {
+  // "3 matrices were tested with 4 tests. NRHS was 50 and one. The biggest
+  // tested matrix was 300 x 300. Threshold value of test ratio = 10.00."
+  const auto [which, nrhs] = GetParam();
+  const idx n = which == 2 ? 300 : 100;
+  Iseed seed = seed_for(200 + which);
+  using T = float;  // the transcript is the SGESV run (eps = 0.11921E-06)
+  const Matrix<T> a = appendix_f_matrix<T>(which, n, seed);
+  const Matrix<T> b = random_matrix<T>(n, nrhs, seed);
+  Matrix<T> af = a;
+  Matrix<T> x = b;
+  std::vector<idx> ipiv(n);
+  ASSERT_EQ(lapack::gesv(n, nrhs, af.data(), af.ld(), ipiv.data(), x.data(),
+                         x.ld()),
+            0);
+  EXPECT_LT(appendix_f_ratio(a, x, b), 10.0f)
+      << "matrix " << which << " nrhs " << nrhs;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AppendixF, GesvDriverTest,
+    ::testing::Combine(::testing::Values(0, 1, 2), ::testing::Values(1, 50)),
+    [](const auto& info) {
+      return "Matrix" + std::to_string(std::get<0>(info.param)) + "Nrhs" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(GesvErrorExits, NineErrorExitTestsPass) {
+  // The transcript's "9 error exits tests": every documented illegal
+  // argument and failure channel of LA_GESV, each checked to produce the
+  // right INFO code (or throw when INFO is absent).
+  idx info = 0;
+  // 1. A not square.
+  {
+    Matrix<double> a(4, 3);
+    Matrix<double> b(4, 1);
+    gesv(a, b, {}, &info);
+    EXPECT_EQ(info, -1);
+  }
+  // 2. B row count mismatch (matrix RHS).
+  {
+    Matrix<double> a(4, 4);
+    Matrix<double> b(3, 1);
+    gesv(a, b, {}, &info);
+    EXPECT_EQ(info, -2);
+  }
+  // 3. B size mismatch (vector RHS).
+  {
+    Matrix<double> a(4, 4);
+    Vector<double> b(3);
+    gesv(a, b, {}, &info);
+    EXPECT_EQ(info, -2);
+  }
+  // 4. IPIV size mismatch (matrix RHS).
+  {
+    Matrix<double> a(4, 4);
+    a.set_identity();
+    Matrix<double> b(4, 1);
+    std::vector<idx> ipiv(3);
+    gesv(a, b, ipiv, &info);
+    EXPECT_EQ(info, -3);
+  }
+  // 5. IPIV size mismatch (vector RHS).
+  {
+    Matrix<double> a(4, 4);
+    a.set_identity();
+    Vector<double> b(4);
+    std::vector<idx> ipiv(5);
+    gesv(a, b, ipiv, &info);
+    EXPECT_EQ(info, -3);
+  }
+  // 6. Singular matrix: INFO > 0 with the first zero pivot index.
+  {
+    Matrix<double> a(4, 4);
+    Matrix<double> b(4, 1);
+    gesv(a, b, {}, &info);
+    EXPECT_EQ(info, 1);
+  }
+  // 7. Workspace allocation failure: INFO = -100.
+  {
+    Matrix<double> a(4, 4);
+    a.set_identity();
+    Matrix<double> b(4, 1);
+    inject_alloc_failures(1);
+    gesv(a, b, {}, &info);
+    EXPECT_EQ(info, -100);
+    inject_alloc_failures(0);
+  }
+  // 8. No INFO argument: the error terminates via la::Error with ERINFO's
+  // message text.
+  {
+    Matrix<double> a(4, 3);
+    Matrix<double> b(4, 1);
+    try {
+      gesv(a, b);
+      FAIL() << "expected la::Error";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.info(), -1);
+      EXPECT_EQ(e.routine(), "LA_GESV");
+      EXPECT_NE(std::string(e.what()).find(
+                    "Terminated in LAPACK90 subroutine LA_GESV"),
+                std::string::npos);
+    }
+  }
+  // 9. Success path resets INFO to zero.
+  {
+    Matrix<double> a(4, 4);
+    a.set_identity();
+    Matrix<double> b(4, 1);
+    b.fill(1.0);
+    info = 77;
+    gesv(a, b, {}, &info);
+    EXPECT_EQ(info, 0);
+    EXPECT_EQ(b(2, 0), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace la::test

@@ -1,0 +1,198 @@
+// Bunch-Kaufman LDL^T/LDL^H tests: symmetric, complex-symmetric and
+// Hermitian indefinite solves, packed variants, condition estimation and
+// the expert driver.
+#include <gtest/gtest.h>
+
+#include "test_utils.hpp"
+
+namespace la::test {
+namespace {
+
+template <class T>
+class LdltTest : public ::testing::Test {};
+TYPED_TEST_SUITE(LdltTest, AllTypes);
+
+TYPED_TEST(LdltTest, SysvSolvesIndefiniteBothUplo) {
+  using T = TypeParam;
+  Iseed seed = seed_for(81);
+  const idx n = 40;
+  const idx nrhs = 3;
+  const Matrix<T> a = random_symmetric<T>(n, seed);
+  const Matrix<T> b = random_matrix<T>(n, nrhs, seed);
+  for (Uplo uplo : {Uplo::Upper, Uplo::Lower}) {
+    Matrix<T> f = a;
+    Matrix<T> x = b;
+    std::vector<idx> ipiv(n);
+    ASSERT_EQ(lapack::sysv(uplo, n, nrhs, f.data(), f.ld(), ipiv.data(),
+                           x.data(), x.ld()),
+              0);
+    EXPECT_LT(solve_ratio(a, x, b), real_t<T>(30));
+  }
+}
+
+TYPED_TEST(LdltTest, HesvSolvesHermitianBothUplo) {
+  using T = TypeParam;
+  Iseed seed = seed_for(82);
+  const idx n = 36;
+  const idx nrhs = 2;
+  const Matrix<T> a = random_hermitian<T>(n, seed);
+  const Matrix<T> b = random_matrix<T>(n, nrhs, seed);
+  for (Uplo uplo : {Uplo::Upper, Uplo::Lower}) {
+    Matrix<T> f = a;
+    Matrix<T> x = b;
+    std::vector<idx> ipiv(n);
+    ASSERT_EQ(lapack::hesv(uplo, n, nrhs, f.data(), f.ld(), ipiv.data(),
+                           x.data(), x.ld()),
+              0);
+    EXPECT_LT(solve_ratio(a, x, b), real_t<T>(30));
+  }
+}
+
+TYPED_TEST(LdltTest, PivotsEncodeBlockStructure) {
+  using T = TypeParam;
+  Iseed seed = seed_for(83);
+  const idx n = 30;
+  Matrix<T> a = random_symmetric<T>(n, seed);
+  // Zero diagonal forces 2x2 pivots somewhere.
+  for (idx i = 0; i < n; ++i) {
+    a(i, i) = T(0);
+  }
+  std::vector<idx> ipiv(n);
+  const idx info = lapack::sytrf(Uplo::Lower, n, a.data(), a.ld(),
+                                 ipiv.data());
+  EXPECT_EQ(info, 0);
+  bool saw_2x2 = false;
+  idx k = 0;
+  while (k < n) {
+    if (ipiv[k] < 0) {
+      // A 2x2 block stores the same negative value twice.
+      ASSERT_LT(k + 1, n);
+      EXPECT_EQ(ipiv[k], ipiv[k + 1]);
+      saw_2x2 = true;
+      k += 2;
+    } else {
+      EXPECT_GE(ipiv[k], 1);
+      EXPECT_LE(ipiv[k], n);
+      k += 1;
+    }
+  }
+  EXPECT_TRUE(saw_2x2);
+}
+
+TYPED_TEST(LdltTest, ZeroMatrixIsSingular) {
+  using T = TypeParam;
+  const idx n = 6;
+  Matrix<T> a(n, n);
+  std::vector<idx> ipiv(n);
+  Matrix<T> b(n, 1);
+  const idx info = lapack::sysv(Uplo::Upper, n, 1, a.data(), a.ld(),
+                                ipiv.data(), b.data(), b.ld());
+  EXPECT_GT(info, 0);
+}
+
+TYPED_TEST(LdltTest, SpsvHpsvMatchDenseCounterparts) {
+  using T = TypeParam;
+  Iseed seed = seed_for(84);
+  const idx n = 24;
+  const idx nrhs = 2;
+  const Matrix<T> sy = random_symmetric<T>(n, seed);
+  const Matrix<T> he = random_hermitian<T>(n, seed);
+  const Matrix<T> b = random_matrix<T>(n, nrhs, seed);
+  for (Uplo uplo : {Uplo::Upper, Uplo::Lower}) {
+    auto sp = PackedMatrix<T>::from_dense(sy, uplo);
+    Matrix<T> x = b;
+    std::vector<idx> ipiv(n);
+    ASSERT_EQ(lapack::spsv(uplo, n, nrhs, sp.data(), ipiv.data(), x.data(),
+                           x.ld()),
+              0);
+    EXPECT_LT(solve_ratio(sy, x, b), real_t<T>(30));
+
+    auto hp = PackedMatrix<T>::from_dense(he, uplo);
+    Matrix<T> xh = b;
+    ASSERT_EQ(lapack::hpsv(uplo, n, nrhs, hp.data(), ipiv.data(), xh.data(),
+                           xh.ld()),
+              0);
+    EXPECT_LT(solve_ratio(he, xh, b), real_t<T>(30));
+  }
+}
+
+TYPED_TEST(LdltTest, SyconEstimatesCondition) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(85);
+  const idx n = 20;
+  const Matrix<T> a = random_symmetric<T>(n, seed);
+  const R anorm = lapack::lansy(Norm::One, Uplo::Upper, n, a.data(), a.ld());
+  Matrix<T> f = a;
+  std::vector<idx> ipiv(n);
+  ASSERT_EQ(lapack::sytrf(Uplo::Upper, n, f.data(), f.ld(), ipiv.data()), 0);
+  R rcond(0);
+  lapack::sycon(Uplo::Upper, n, f.data(), f.ld(), ipiv.data(), anorm, rcond);
+  EXPECT_GT(rcond, R(0));
+  EXPECT_LE(rcond, R(1) + tol<T>());
+}
+
+TYPED_TEST(LdltTest, SysvxDeliversBoundsAndSolution) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(86);
+  const idx n = 22;
+  const idx nrhs = 2;
+  const Matrix<T> a = random_symmetric<T>(n, seed);
+  const Matrix<T> b = random_matrix<T>(n, nrhs, seed);
+  Matrix<T> af(n, n);
+  Matrix<T> x(n, nrhs);
+  std::vector<idx> ipiv(n);
+  std::vector<R> ferr(nrhs);
+  std::vector<R> berr(nrhs);
+  R rcond(0);
+  const idx info =
+      lapack::sysvx(Uplo::Lower, n, nrhs, a.data(), a.ld(), af.data(),
+                    af.ld(), ipiv.data(), b.data(), b.ld(), x.data(), x.ld(),
+                    rcond, ferr.data(), berr.data());
+  EXPECT_EQ(info, 0);
+  EXPECT_LT(solve_ratio(a, x, b), real_t<T>(30));
+  for (idx j = 0; j < nrhs; ++j) {
+    EXPECT_LE(berr[j], R(4) * eps<T>());
+  }
+}
+
+TYPED_TEST(LdltTest, HesvxDeliversBoundsAndSolution) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(87);
+  const idx n = 18;
+  const idx nrhs = 2;
+  const Matrix<T> a = random_hermitian<T>(n, seed);
+  const Matrix<T> b = random_matrix<T>(n, nrhs, seed);
+  Matrix<T> af(n, n);
+  Matrix<T> x(n, nrhs);
+  std::vector<idx> ipiv(n);
+  std::vector<R> ferr(nrhs);
+  std::vector<R> berr(nrhs);
+  R rcond(0);
+  const idx info =
+      lapack::hesvx(Uplo::Upper, n, nrhs, a.data(), a.ld(), af.data(),
+                    af.ld(), ipiv.data(), b.data(), b.ld(), x.data(), x.ld(),
+                    rcond, ferr.data(), berr.data());
+  EXPECT_EQ(info, 0);
+  EXPECT_LT(solve_ratio(a, x, b), real_t<T>(30));
+  for (idx j = 0; j < nrhs; ++j) {
+    EXPECT_LE(berr[j], R(4) * eps<T>());
+  }
+}
+
+TYPED_TEST(LdltTest, HetrfKeepsRealDiagonalD) {
+  using T = TypeParam;
+  Iseed seed = seed_for(88);
+  const idx n = 16;
+  Matrix<T> a = random_hermitian<T>(n, seed);
+  std::vector<idx> ipiv(n);
+  ASSERT_EQ(lapack::hetrf(Uplo::Upper, n, a.data(), a.ld(), ipiv.data()), 0);
+  for (idx i = 0; i < n; ++i) {
+    EXPECT_EQ(imag_part(a(i, i)), real_t<T>(0));
+  }
+}
+
+}  // namespace
+}  // namespace la::test

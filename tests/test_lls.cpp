@@ -1,0 +1,274 @@
+// Least squares tests: gels in all four shape/transpose regimes, the
+// rank-deficient solvers gelss/gelsy, and the constrained problems
+// gglse/ggglm.
+#include <gtest/gtest.h>
+
+#include "test_utils.hpp"
+
+namespace la::test {
+namespace {
+
+template <class T>
+class LlsTest : public ::testing::Test {};
+TYPED_TEST_SUITE(LlsTest, AllTypes);
+
+/// ||op(A)^H r||_max where r = B - op(A) X: the normal-equations
+/// stationarity residual of a least squares solution.
+template <Scalar T>
+real_t<T> stationarity(const Matrix<T>& a, Trans trans, const Matrix<T>& x,
+                       const Matrix<T>& b) {
+  Matrix<T> r = b;
+  blas::gemm_naive(trans, Trans::NoTrans, b.rows(), x.cols(), x.rows(), T(-1),
+                   a.data(), a.ld(), x.data(), x.ld(), T(1), r.data(),
+                   r.ld());
+  const Trans th = trans == Trans::NoTrans ? conj_trans_for<T>()
+                                           : Trans::NoTrans;
+  Matrix<T> atr(x.rows(), x.cols());
+  blas::gemm_naive(th, Trans::NoTrans, x.rows(), x.cols(), b.rows(), T(1),
+                   a.data(), a.ld(), r.data(), r.ld(), T(0), atr.data(),
+                   atr.ld());
+  return lapack::lange(Norm::Max, atr.rows(), atr.cols(), atr.data(),
+                       atr.ld());
+}
+
+TYPED_TEST(LlsTest, GelsOverdeterminedSatisfiesNormalEquations) {
+  using T = TypeParam;
+  Iseed seed = seed_for(111);
+  const idx m = 40;
+  const idx n = 22;
+  const idx nrhs = 3;
+  const Matrix<T> a = random_matrix<T>(m, n, seed);
+  const Matrix<T> b = random_matrix<T>(m, nrhs, seed);
+  Matrix<T> af = a;
+  Matrix<T> bx(m, nrhs);
+  lapack::lacpy(lapack::Part::All, m, nrhs, b.data(), b.ld(), bx.data(),
+                bx.ld());
+  ASSERT_EQ(lapack::gels(Trans::NoTrans, m, n, nrhs, af.data(), af.ld(),
+                         bx.data(), bx.ld()),
+            0);
+  Matrix<T> x(n, nrhs);
+  lapack::lacpy(lapack::Part::All, n, nrhs, bx.data(), bx.ld(), x.data(),
+                x.ld());
+  EXPECT_LE(stationarity(a, Trans::NoTrans, x, b),
+            tol<T>(real_t<T>(1000)) * real_t<T>(m));
+}
+
+TYPED_TEST(LlsTest, GelsUnderdeterminedGivesMinimumNorm) {
+  using T = TypeParam;
+  Iseed seed = seed_for(112);
+  const idx m = 18;
+  const idx n = 30;
+  const Matrix<T> a = random_matrix<T>(m, n, seed);
+  const Matrix<T> b = random_matrix<T>(m, 1, seed);
+  Matrix<T> af = a;
+  Matrix<T> bx(n, 1);
+  lapack::lacpy(lapack::Part::All, m, 1, b.data(), b.ld(), bx.data(),
+                bx.ld());
+  ASSERT_EQ(lapack::gels(Trans::NoTrans, m, n, 1, af.data(), af.ld(),
+                         bx.data(), bx.ld()),
+            0);
+  // Consistency: A x = b exactly (solvable).
+  Matrix<T> r = b;
+  blas::gemm_naive(Trans::NoTrans, Trans::NoTrans, m, 1, n, T(-1), a.data(),
+                   a.ld(), bx.data(), bx.ld(), T(1), r.data(), r.ld());
+  EXPECT_LE(lapack::lange(Norm::Max, m, 1, r.data(), r.ld()),
+            tol<T>(real_t<T>(1000)) * real_t<T>(n));
+  // Minimum norm: x lies in the row space, so the gelss answer (known
+  // min-norm) must have the same norm.
+  Matrix<T> af2 = a;
+  Matrix<T> bx2(n, 1);
+  lapack::lacpy(lapack::Part::All, m, 1, b.data(), b.ld(), bx2.data(),
+                bx2.ld());
+  std::vector<real_t<T>> s(m);
+  idx rank = 0;
+  ASSERT_EQ(lapack::gelss(m, n, 1, af2.data(), af2.ld(), bx2.data(),
+                          bx2.ld(), s.data(), real_t<T>(-1), rank),
+            0);
+  const real_t<T> n1 =
+      lapack::lange(Norm::Frobenius, n, 1, bx.data(), bx.ld());
+  const real_t<T> n2 =
+      lapack::lange(Norm::Frobenius, n, 1, bx2.data(), bx2.ld());
+  EXPECT_NEAR(n1, n2, tol<T>(real_t<T>(1000)) * n1);
+}
+
+TYPED_TEST(LlsTest, GelsTransposedModes) {
+  using T = TypeParam;
+  Iseed seed = seed_for(113);
+  const Trans ct = conj_trans_for<T>();
+  // m >= n, op = conj-trans: underdetermined A^H X = B (consistent).
+  {
+    const idx m = 30;
+    const idx n = 17;
+    const Matrix<T> a = random_matrix<T>(m, n, seed);
+    const Matrix<T> c = random_matrix<T>(n, 2, seed);
+    Matrix<T> af = a;
+    Matrix<T> cx(m, 2);
+    lapack::lacpy(lapack::Part::All, n, 2, c.data(), c.ld(), cx.data(),
+                  cx.ld());
+    ASSERT_EQ(lapack::gels(ct, m, n, 2, af.data(), af.ld(), cx.data(),
+                           cx.ld()),
+              0);
+    Matrix<T> r = c;
+    blas::gemm_naive(ct, Trans::NoTrans, n, 2, m, T(-1), a.data(), a.ld(),
+                     cx.data(), cx.ld(), T(1), r.data(), r.ld());
+    EXPECT_LE(lapack::lange(Norm::Max, n, 2, r.data(), r.ld()),
+              tol<T>(real_t<T>(1000)) * real_t<T>(m));
+  }
+  // m < n, op = conj-trans: overdetermined A^H X = B (stationarity).
+  {
+    const idx m = 14;
+    const idx n = 26;
+    const Matrix<T> a = random_matrix<T>(m, n, seed);
+    const Matrix<T> c = random_matrix<T>(n, 2, seed);
+    Matrix<T> af = a;
+    Matrix<T> cx(n, 2);
+    lapack::lacpy(lapack::Part::All, n, 2, c.data(), c.ld(), cx.data(),
+                  cx.ld());
+    ASSERT_EQ(lapack::gels(ct, m, n, 2, af.data(), af.ld(), cx.data(),
+                           cx.ld()),
+              0);
+    Matrix<T> x(m, 2);
+    lapack::lacpy(lapack::Part::All, m, 2, cx.data(), cx.ld(), x.data(),
+                  x.ld());
+    EXPECT_LE(stationarity(a, ct, x, c),
+              tol<T>(real_t<T>(1000)) * real_t<T>(n));
+  }
+}
+
+TYPED_TEST(LlsTest, GelssHandlesRankDeficiency) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(114);
+  const idx m = 30;
+  const idx n = 20;
+  const idx true_rank = 11;
+  const idx nrhs = 2;
+  const Matrix<T> g1 = random_matrix<T>(m, true_rank, seed);
+  const Matrix<T> g2 = random_matrix<T>(true_rank, n, seed);
+  const Matrix<T> a = multiply(g1, g2);
+  const Matrix<T> b = random_matrix<T>(m, nrhs, seed);
+  Matrix<T> af = a;
+  Matrix<T> bx(m, nrhs);
+  lapack::lacpy(lapack::Part::All, m, nrhs, b.data(), b.ld(), bx.data(),
+                bx.ld());
+  std::vector<R> s(n);
+  idx rank = 0;
+  ASSERT_EQ(lapack::gelss(m, n, nrhs, af.data(), af.ld(), bx.data(), bx.ld(),
+                          s.data(), R(-1), rank),
+            0);
+  EXPECT_EQ(rank, true_rank);
+  Matrix<T> x(n, nrhs);
+  lapack::lacpy(lapack::Part::All, n, nrhs, bx.data(), bx.ld(), x.data(),
+                x.ld());
+  EXPECT_LE(stationarity(a, Trans::NoTrans, x, b),
+            tol<T>(real_t<T>(5000)) * real_t<T>(m));
+}
+
+TYPED_TEST(LlsTest, GelsyMatchesGelssMinimumNorm) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(115);
+  const idx m = 26;
+  const idx n = 18;
+  const idx true_rank = 9;
+  const Matrix<T> g1 = random_matrix<T>(m, true_rank, seed);
+  const Matrix<T> g2 = random_matrix<T>(true_rank, n, seed);
+  const Matrix<T> a = multiply(g1, g2);
+  const Matrix<T> b = random_matrix<T>(m, 1, seed);
+  Matrix<T> a1 = a;
+  Matrix<T> x1(m, 1);
+  lapack::lacpy(lapack::Part::All, m, 1, b.data(), b.ld(), x1.data(),
+                x1.ld());
+  std::vector<R> s(n);
+  idx r1 = 0;
+  ASSERT_EQ(lapack::gelss(m, n, 1, a1.data(), a1.ld(), x1.data(), x1.ld(),
+                          s.data(), R(-1), r1),
+            0);
+  Matrix<T> a2 = a;
+  Matrix<T> x2(m, 1);
+  lapack::lacpy(lapack::Part::All, m, 1, b.data(), b.ld(), x2.data(),
+                x2.ld());
+  std::vector<idx> jpvt(n);
+  idx r2 = 0;
+  ASSERT_EQ(lapack::gelsy(m, n, 1, a2.data(), a2.ld(), x2.data(), x2.ld(),
+                          jpvt.data(), std::sqrt(eps<T>()), r2),
+            0);
+  EXPECT_EQ(r1, r2);
+  const R n1 = lapack::lange(Norm::Frobenius, n, 1, x1.data(), x1.ld());
+  const R n2 = lapack::lange(Norm::Frobenius, n, 1, x2.data(), x2.ld());
+  EXPECT_NEAR(n1, n2, tol<T>(R(5000)) * n1);
+}
+
+TYPED_TEST(LlsTest, GglseSatisfiesConstraintAndStationarity) {
+  using T = TypeParam;
+  Iseed seed = seed_for(116);
+  const idx m = 24;
+  const idx n = 14;
+  const idx p = 6;
+  const Matrix<T> a = random_matrix<T>(m, n, seed);
+  const Matrix<T> bm = random_matrix<T>(p, n, seed);
+  Vector<T> c(m);
+  Vector<T> d(p);
+  Vector<T> x(n);
+  larnv(Dist::Uniform11, seed, m, c.data());
+  larnv(Dist::Uniform11, seed, p, d.data());
+  Matrix<T> a2 = a;
+  Matrix<T> b2 = bm;
+  Vector<T> c2 = c;
+  Vector<T> d2 = d;
+  ASSERT_EQ(lapack::gglse(m, n, p, a2.data(), a2.ld(), b2.data(), b2.ld(),
+                          c2.data(), d2.data(), x.data()),
+            0);
+  // Constraint: B x = d.
+  std::vector<T> bx(p);
+  blas::gemv(Trans::NoTrans, p, n, T(1), bm.data(), bm.ld(), x.data(), 1,
+             T(0), bx.data(), 1);
+  for (idx i = 0; i < p; ++i) {
+    EXPECT_LE(std::abs(bx[i] - d[i]), tol<T>(real_t<T>(1000)) * real_t<T>(n));
+  }
+}
+
+TYPED_TEST(LlsTest, GgglmSatisfiesModelEquation) {
+  using T = TypeParam;
+  Iseed seed = seed_for(117);
+  const idx n = 22;
+  const idx m = 8;
+  const idx p = 17;
+  const Matrix<T> a = random_matrix<T>(n, m, seed);
+  const Matrix<T> bm = random_matrix<T>(n, p, seed);
+  Vector<T> d(n);
+  Vector<T> x(m);
+  Vector<T> y(p);
+  larnv(Dist::Uniform11, seed, n, d.data());
+  Matrix<T> a2 = a;
+  Matrix<T> b2 = bm;
+  Vector<T> d2 = d;
+  ASSERT_EQ(lapack::ggglm(n, m, p, a2.data(), a2.ld(), b2.data(), b2.ld(),
+                          d2.data(), x.data(), y.data()),
+            0);
+  // d = A x + B y.
+  std::vector<T> r(d.data(), d.data() + n);
+  blas::gemv(Trans::NoTrans, n, m, T(-1), a.data(), a.ld(), x.data(), 1,
+             T(1), r.data(), 1);
+  blas::gemv(Trans::NoTrans, n, p, T(-1), bm.data(), bm.ld(), y.data(), 1,
+             T(1), r.data(), 1);
+  for (idx i = 0; i < n; ++i) {
+    EXPECT_LE(std::abs(r[i]), tol<T>(real_t<T>(2000)) * real_t<T>(n));
+  }
+}
+
+TYPED_TEST(LlsTest, TrtrsDetectsExactSingularity) {
+  using T = TypeParam;
+  const idx n = 5;
+  Matrix<T> a(n, n);
+  a.set_identity();
+  a(2, 2) = T(0);
+  Matrix<T> b(n, 1);
+  b.fill(T(1));
+  EXPECT_EQ(lapack::trtrs(Uplo::Upper, Trans::NoTrans, Diag::NonUnit, n, 1,
+                          a.data(), a.ld(), b.data(), b.ld()),
+            3);
+}
+
+}  // namespace
+}  // namespace la::test

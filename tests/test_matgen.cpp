@@ -1,0 +1,164 @@
+// Test-matrix generator tests: the generators must hit their prescribed
+// spectra/singular values, and the random streams must be reproducible.
+#include <gtest/gtest.h>
+
+#include "test_utils.hpp"
+
+namespace la::test {
+namespace {
+
+template <class T>
+class MatgenTest : public ::testing::Test {};
+TYPED_TEST_SUITE(MatgenTest, AllTypes);
+
+TYPED_TEST(MatgenTest, LarnvIsReproducible) {
+  using T = TypeParam;
+  Iseed s1 = {1, 2, 3, 5};
+  Iseed s2 = {1, 2, 3, 5};
+  std::vector<T> a(32);
+  std::vector<T> b(32);
+  larnv(Dist::Uniform11, s1, 32, a.data());
+  larnv(Dist::Uniform11, s2, 32, b.data());
+  EXPECT_EQ(a, b);
+  // The seed advances: a second draw differs.
+  larnv(Dist::Uniform11, s1, 32, b.data());
+  EXPECT_NE(a, b);
+}
+
+TYPED_TEST(MatgenTest, LarnvDistributionsInRange) {
+  using T = TypeParam;
+  Iseed seed = seed_for(161);
+  std::vector<T> u01(256);
+  larnv(Dist::Uniform01, seed, 256, u01.data());
+  for (const T& v : u01) {
+    EXPECT_GT(real_part(v), real_t<T>(0));
+    EXPECT_LT(real_part(v), real_t<T>(1));
+  }
+  if constexpr (is_complex_v<T>) {
+    std::vector<T> circ(64);
+    larnv(Dist::UnitCircle, seed, 64, circ.data());
+    for (const T& v : circ) {
+      EXPECT_NEAR(std::abs(v), real_t<T>(1), tol<T>(real_t<T>(10)));
+    }
+    std::vector<T> disc(64);
+    larnv(Dist::UnitDisc, seed, 64, disc.data());
+    for (const T& v : disc) {
+      EXPECT_LE(std::abs(v), real_t<T>(1));
+    }
+  }
+}
+
+TYPED_TEST(MatgenTest, LaggeHitsPrescribedSingularValues) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(162);
+  const idx m = 24;
+  const idx n = 15;
+  std::vector<R> d(n);
+  for (idx i = 0; i < n; ++i) {
+    d[i] = R(2 * (n - i));
+  }
+  Matrix<T> a(m, n);
+  lapack::lagge(m, n, d.data(), a.data(), a.ld(), seed);
+  std::vector<R> s(n);
+  Matrix<T> f = a;
+  ASSERT_EQ(lapack::gesvd(Job::NoVec, Job::NoVec, m, n, f.data(), f.ld(),
+                          s.data(), static_cast<T*>(nullptr), 1,
+                          static_cast<T*>(nullptr), 1),
+            0);
+  for (idx i = 0; i < n; ++i) {
+    EXPECT_NEAR(s[i], d[i], tol<T>(real_t<T>(300)) * R(n));
+  }
+}
+
+TYPED_TEST(MatgenTest, LagheHitsPrescribedEigenvalues) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(163);
+  const idx n = 20;
+  std::vector<R> d(n);
+  for (idx i = 0; i < n; ++i) {
+    d[i] = R(i) - R(7.5);
+  }
+  Matrix<T> a(n, n);
+  lapack::laghe(n, d.data(), a.data(), a.ld(), seed);
+  // Hermitian structure.
+  for (idx j = 0; j < n; ++j) {
+    EXPECT_EQ(imag_part(a(j, j)), R(0));
+    for (idx i = 0; i < j; ++i) {
+      EXPECT_LE(std::abs(a(i, j) - conj_if(a(j, i))), tol<T>());
+    }
+  }
+  std::vector<R> w(n);
+  Matrix<T> f = a;
+  ASSERT_EQ(lapack::syev(Job::NoVec, Uplo::Upper, n, f.data(), f.ld(),
+                         w.data()),
+            0);
+  std::sort(d.begin(), d.end());
+  for (idx i = 0; i < n; ++i) {
+    EXPECT_NEAR(w[i], d[i], tol<T>(R(300)) * R(n));
+  }
+}
+
+TYPED_TEST(MatgenTest, LatmsHitsTargetCondition) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(164);
+  const idx n = 25;
+  const R cond = R(500);
+  for (auto mode : {lapack::SpectrumMode::Geometric,
+                    lapack::SpectrumMode::Arithmetic}) {
+    Matrix<T> a(n, n);
+    lapack::latms(n, n, mode, cond, R(3), a.data(), a.ld(), seed);
+    std::vector<R> s(n);
+    Matrix<T> f = a;
+    ASSERT_EQ(lapack::gesvd(Job::NoVec, Job::NoVec, n, n, f.data(), f.ld(),
+                            s.data(), static_cast<T*>(nullptr), 1,
+                            static_cast<T*>(nullptr), 1),
+              0);
+    EXPECT_NEAR(s[0], R(3), R(0.05));
+    EXPECT_NEAR(s[0] / s[n - 1], cond, cond * R(0.05));
+  }
+}
+
+template <class R>
+class MatgenRealTest : public ::testing::Test {};
+TYPED_TEST_SUITE(MatgenRealTest, RealTypes);
+
+TYPED_TEST(MatgenRealTest, LagsyIsExactlySymmetric) {
+  using R = TypeParam;
+  Iseed seed = seed_for(165);
+  const idx n = 18;
+  std::vector<R> d(n, R(1));
+  Matrix<R> a(n, n);
+  lapack::lagsy(n, d.data(), a.data(), a.ld(), seed);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < n; ++i) {
+      EXPECT_EQ(a(i, j), a(j, i));
+    }
+  }
+  // With all eigenvalues 1, A must be the identity (orthogonal similarity
+  // of I).
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < n; ++i) {
+      EXPECT_NEAR(a(i, j), i == j ? R(1) : R(0), tol<R>(R(300)));
+    }
+  }
+}
+
+TYPED_TEST(MatgenRealTest, LarorProducesOrthogonalFactor) {
+  using R = TypeParam;
+  Iseed seed = seed_for(166);
+  const idx n = 16;
+  Matrix<R> q(n, n);
+  q.set_identity();
+  lapack::laror(lapack::RorSide::Left, n, n, q.data(), q.ld(), seed);
+  EXPECT_LE(orthogonality(q), tol<R>(R(30)) * R(n));
+  // And it is far from the identity (i.e., genuinely random).
+  Matrix<R> eye(n, n);
+  eye.set_identity();
+  EXPECT_GT(max_diff(q, eye), R(0.1));
+}
+
+}  // namespace
+}  // namespace la::test

@@ -1,0 +1,328 @@
+// Robustness and edge-case tests: classic hard matrices (Hilbert,
+// rank-one, defective), degenerate shapes (n = 0, n = 1), repeated
+// eigenvalues, and special structures with known closed forms.
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "test_utils.hpp"
+
+namespace la::test {
+namespace {
+
+/// Hilbert matrix H(i,j) = 1/(i+j+1): notoriously ill conditioned.
+template <Scalar T>
+Matrix<T> hilbert(idx n) {
+  Matrix<T> h(n, n);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < n; ++i) {
+      h(i, j) = T(real_t<T>(1) / real_t<T>(i + j + 1));
+    }
+  }
+  return h;
+}
+
+TEST(Robustness, HilbertSolveStaysBackwardStable) {
+  // cond(H_10) ~ 1e13: the forward error is hopeless but backward
+  // stability must hold — the solve ratio stays small.
+  const idx n = 10;
+  const Matrix<double> h = hilbert<double>(n);
+  Iseed seed = seed_for(501);
+  const Matrix<double> b = random_matrix<double>(n, 1, seed);
+  Matrix<double> f = h;
+  Matrix<double> x = b;
+  std::vector<idx> ipiv(n);
+  ASSERT_EQ(lapack::gesv(n, 1, f.data(), f.ld(), ipiv.data(), x.data(),
+                         x.ld()),
+            0);
+  EXPECT_LT(solve_ratio(h, x, b), 30.0);
+  // And gecon must report the catastrophic conditioning.
+  double rcond = 0;
+  const double anorm = lapack::lange(Norm::One, n, n, h.data(), h.ld());
+  lapack::gecon(Norm::One, n, f.data(), f.ld(), ipiv.data(), anorm, rcond);
+  EXPECT_LT(rcond, 1e-10);
+}
+
+TEST(Robustness, HilbertEigenvaluesArePositive) {
+  // H is SPD; syev must return all-positive eigenvalues even when the
+  // small ones sit ~1e-13 below the big ones.
+  const idx n = 8;
+  Matrix<double> h = hilbert<double>(n);
+  std::vector<double> w(n);
+  ASSERT_EQ(lapack::syev(Job::Vec, Uplo::Upper, n, h.data(), h.ld(),
+                         w.data()),
+            0);
+  for (idx i = 0; i < n; ++i) {
+    EXPECT_GT(w[i], 0.0);
+  }
+  // Known: largest eigenvalue of H_8 ~ 1.6959389.
+  EXPECT_NEAR(w[n - 1], 1.6959389, 1e-6);
+}
+
+TEST(Robustness, RankOneMatrixSvdAndEig) {
+  Iseed seed = seed_for(502);
+  const idx n = 12;
+  std::vector<double> u(n);
+  std::vector<double> v(n);
+  larnv(Dist::Uniform11, seed, n, u.data());
+  larnv(Dist::Uniform11, seed, n, v.data());
+  Matrix<double> a(n, n);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < n; ++i) {
+      a(i, j) = u[i] * v[j];
+    }
+  }
+  // SVD: exactly one nonzero singular value = |u| |v|.
+  Matrix<double> f = a;
+  std::vector<double> s(n);
+  ASSERT_EQ(lapack::gesvd(Job::NoVec, Job::NoVec, n, n, f.data(), f.ld(),
+                          s.data(), static_cast<double*>(nullptr), 1,
+                          static_cast<double*>(nullptr), 1),
+            0);
+  const double expected = blas::nrm2(n, u.data(), 1) *
+                          blas::nrm2(n, v.data(), 1);
+  EXPECT_NEAR(s[0], expected, 1e-10 * expected);
+  for (idx i = 1; i < n; ++i) {
+    EXPECT_LT(s[i], 1e-12 * expected);
+  }
+  // Nonsymmetric eig: one eigenvalue = v^T u, rest zero.
+  Matrix<double> g = a;
+  std::vector<double> wr(n);
+  std::vector<double> wi(n);
+  ASSERT_EQ(lapack::geev(Job::NoVec, Job::NoVec, n, g.data(), g.ld(),
+                         wr.data(), wi.data(),
+                         static_cast<double*>(nullptr), 1,
+                         static_cast<double*>(nullptr), 1),
+            0);
+  const double dot = blas::dotu(n, v.data(), 1, u.data(), 1);
+  double biggest = 0;
+  double second = 0;
+  for (idx i = 0; i < n; ++i) {
+    const double m = lapy2(wr[i], wi[i]);
+    if (m > biggest) {
+      second = biggest;
+      biggest = m;
+    } else {
+      second = std::max(second, m);
+    }
+  }
+  EXPECT_NEAR(biggest, std::abs(dot), 1e-8 * (std::abs(dot) + 1));
+  EXPECT_LT(second, 1e-8);
+}
+
+TEST(Robustness, RotationMatrixHasUnitCirclePair) {
+  // A plane rotation by theta has eigenvalues e^{+-i theta}.
+  const double theta = 0.7;
+  Matrix<double> a{{std::cos(theta), -std::sin(theta)},
+                   {std::sin(theta), std::cos(theta)}};
+  std::vector<double> wr(2);
+  std::vector<double> wi(2);
+  ASSERT_EQ(lapack::geev(Job::NoVec, Job::NoVec, 2, a.data(), a.ld(),
+                         wr.data(), wi.data(),
+                         static_cast<double*>(nullptr), 1,
+                         static_cast<double*>(nullptr), 1),
+            0);
+  EXPECT_NEAR(wr[0], std::cos(theta), 1e-14);
+  EXPECT_NEAR(std::abs(wi[0]), std::sin(theta), 1e-14);
+  EXPECT_NEAR(wi[0] + wi[1], 0.0, 1e-14);
+}
+
+TEST(Robustness, IdentityEigenproblemAllRepeated) {
+  // Fully degenerate spectrum: all deflation paths of syevd fire.
+  const idx n = 40;
+  Matrix<double> a(n, n);
+  a.set_identity();
+  std::vector<double> w(n);
+  ASSERT_EQ(lapack::syevd(Job::Vec, Uplo::Upper, n, a.data(), a.ld(),
+                          w.data()),
+            0);
+  for (idx i = 0; i < n; ++i) {
+    EXPECT_NEAR(w[i], 1.0, 1e-14);
+  }
+  EXPECT_LE(orthogonality(a), 1e-13);
+}
+
+TEST(Robustness, SizeOneProblemsAcrossDrivers) {
+  // n = 1 exercises every "min(i+1, n-1)" style boundary at once.
+  Matrix<double> a(1, 1);
+  a(0, 0) = 3.0;
+  Matrix<double> b(1, 1);
+  b(0, 0) = 6.0;
+  gesv(a, b);
+  EXPECT_EQ(b(0, 0), 2.0);
+
+  Matrix<double> s(1, 1);
+  s(0, 0) = 5.0;
+  Vector<double> w(1);
+  syev(s, w);
+  EXPECT_EQ(w[0], 5.0);
+  EXPECT_EQ(s(0, 0), 1.0);  // the 1x1 eigenvector
+
+  Matrix<double> g(1, 1);
+  g(0, 0) = -4.0;
+  Vector<double> sv(1);
+  Matrix<double> u(1, 1);
+  Matrix<double> vt(1, 1);
+  gesvd(g, sv, &u, &vt);
+  EXPECT_EQ(sv[0], 4.0);
+  EXPECT_EQ(u(0, 0) * vt(0, 0), -1.0);
+
+  Matrix<double> ge(1, 1);
+  ge(0, 0) = 7.5;
+  Vector<double> wr(1);
+  Vector<double> wi(1);
+  geev(ge, wr, wi);
+  EXPECT_EQ(wr[0], 7.5);
+  EXPECT_EQ(wi[0], 0.0);
+}
+
+TEST(Robustness, ZeroSizedProblemsAreGraceful) {
+  Matrix<double> a(0, 0);
+  Matrix<double> b(0, 3);
+  idx info = 77;
+  gesv(a, b, {}, &info);
+  EXPECT_EQ(info, 0);
+  Vector<double> w(0);
+  syev(a, w, Job::Vec, Uplo::Upper, &info);
+  EXPECT_EQ(info, 0);
+}
+
+TEST(Robustness, DefectiveMatrixStillDecomposes) {
+  // A true Jordan block: eigenvalues converge to the mean with the known
+  // n-th-root perturbation spread; the Schur form must still reconstruct.
+  const idx n = 8;
+  Matrix<double> a(n, n);
+  for (idx i = 0; i < n; ++i) {
+    a(i, i) = 2.0;
+    if (i < n - 1) {
+      a(i, i + 1) = 1.0;
+    }
+  }
+  Matrix<double> t = a;
+  Matrix<double> vs(n, n);
+  std::vector<double> wr(n);
+  std::vector<double> wi(n);
+  idx sdim = 0;
+  ASSERT_EQ(lapack::gees(Job::Vec, n, t.data(), t.ld(), sdim, wr.data(),
+                         wi.data(), vs.data(), vs.ld(),
+                         [](double, double) { return false; }, false),
+            0);
+  Matrix<double> zt = multiply(vs, t);
+  Matrix<double> rec = multiply(zt, vs, Trans::NoTrans, Trans::Trans);
+  EXPECT_LE(max_diff(rec, a), 1e-13 * n);
+  for (idx i = 0; i < n; ++i) {
+    // Eigenvalues of a perturbed Jordan block stay within the n-th root
+    // circle around 2.
+    EXPECT_NEAR(wr[i], 2.0, 0.2);
+  }
+}
+
+TEST(Robustness, GradedSpdCholeskyKeepsSmallPivots) {
+  // Diagonal grading over 12 orders of magnitude: potrf must not break
+  // (positive pivots throughout) and the solve must stay backward stable.
+  const idx n = 12;
+  Matrix<double> a(n, n);
+  for (idx i = 0; i < n; ++i) {
+    a(i, i) = std::pow(10.0, -static_cast<double>(i));
+  }
+  Iseed seed = seed_for(503);
+  // Mild coupling that keeps definiteness.
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < j; ++i) {
+      const double v = 1e-2 * std::sqrt(a(i, i) * a(j, j));
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  const Matrix<double> b = random_matrix<double>(n, 1, seed);
+  Matrix<double> f = a;
+  Matrix<double> x = b;
+  ASSERT_EQ(lapack::posv(Uplo::Lower, n, 1, f.data(), f.ld(), x.data(),
+                         x.ld()),
+            0);
+  EXPECT_LT(solve_ratio(a, x, b), 100.0);
+}
+
+TEST(Robustness, WilkinsonMatrixPairedEigenvalues) {
+  // W21+ has close (but not equal) pairs — a classic bisection stressor.
+  const idx n = 21;
+  std::vector<double> d(n);
+  std::vector<double> e(n - 1, 1.0);
+  for (idx i = 0; i < n; ++i) {
+    d[i] = std::abs(static_cast<double>(i) - 10.0);
+  }
+  idx m = 0;
+  std::vector<double> w(n);
+  ASSERT_EQ(lapack::stebz(lapack::Range::All, n, 0.0, 0.0, 0, 0, -1.0,
+                          d.data(), e.data(), m, w.data()),
+            0);
+  ASSERT_EQ(m, n);
+  // Reference via steqr.
+  auto d2 = d;
+  auto e2 = e;
+  ASSERT_EQ(lapack::sterf(n, d2.data(), e2.data()), 0);
+  for (idx i = 0; i < n; ++i) {
+    EXPECT_NEAR(w[i], d2[i], 1e-10);
+  }
+  // The famous near-degenerate top pair.
+  EXPECT_NEAR(w[n - 1], w[n - 2], 1e-10);
+  EXPECT_GT(w[n - 1], w[n - 2]);
+}
+
+TEST(Robustness, RefinementRescuesPerturbedSolution) {
+  Iseed seed = seed_for(504);
+  const idx n = 20;
+  Matrix<double> a(n, n);
+  lapack::latms(n, n, lapack::SpectrumMode::Geometric, 1e8, 1.0, a.data(),
+                a.ld(), seed);
+  const Matrix<double> b = random_matrix<double>(n, 1, seed);
+  Matrix<double> af = a;
+  std::vector<idx> ipiv(n);
+  ASSERT_EQ(lapack::getrf(n, n, af.data(), af.ld(), ipiv.data()), 0);
+  Matrix<double> x = b;
+  lapack::getrs(Trans::NoTrans, n, 1, af.data(), af.ld(), ipiv.data(),
+                x.data(), x.ld());
+  // Corrupt the solution badly.
+  for (idx i = 0; i < n; ++i) {
+    x(i, 0) *= 1.0 + 1e-4 * static_cast<double>(i % 3);
+  }
+  std::vector<double> ferr(1);
+  std::vector<double> berr(1);
+  lapack::gerfs(Trans::NoTrans, n, 1, a.data(), a.ld(), af.data(), af.ld(),
+                ipiv.data(), b.data(), b.ld(), x.data(), x.ld(), ferr.data(),
+                berr.data());
+  EXPECT_LE(berr[0], 4 * eps<double>());
+  EXPECT_LT(solve_ratio(a, x, b), 30.0);
+}
+
+TEST(Robustness, ComplexSymmetricVersusHermitianDiffer) {
+  // The same complex data through sysv (symmetric) and hesv (Hermitian)
+  // factorizations must each solve their own interpretation.
+  using T = std::complex<double>;
+  Iseed seed = seed_for(505);
+  const idx n = 10;
+  Matrix<T> sym = random_symmetric<T>(n, seed);
+  Matrix<T> herm = random_hermitian<T>(n, seed);
+  const Matrix<T> b = random_matrix<T>(n, 1, seed);
+  {
+    Matrix<T> f = sym;
+    Matrix<T> x = b;
+    std::vector<idx> ipiv(n);
+    ASSERT_EQ(lapack::sysv(Uplo::Upper, n, 1, f.data(), f.ld(), ipiv.data(),
+                           x.data(), x.ld()),
+              0);
+    EXPECT_LT(solve_ratio(sym, x, b), 30.0);
+  }
+  {
+    Matrix<T> f = herm;
+    Matrix<T> x = b;
+    std::vector<idx> ipiv(n);
+    ASSERT_EQ(lapack::hesv(Uplo::Upper, n, 1, f.data(), f.ld(), ipiv.data(),
+                           x.data(), x.ld()),
+              0);
+    EXPECT_LT(solve_ratio(herm, x, b), 30.0);
+  }
+}
+
+}  // namespace
+}  // namespace la::test

@@ -1,0 +1,218 @@
+// SVD tests: bidiagonalization, the implicit-QR iteration, driver shapes,
+// rank revelation, and the generalized SVD.
+#include <gtest/gtest.h>
+
+#include "test_utils.hpp"
+
+namespace la::test {
+namespace {
+
+template <class T>
+class SvdTest : public ::testing::Test {};
+TYPED_TEST_SUITE(SvdTest, AllTypes);
+
+template <Scalar T>
+void check_svd(idx m, idx n, int salt) {
+  using R = real_t<T>;
+  Iseed seed = seed_for(salt);
+  const idx k = std::min(m, n);
+  const Matrix<T> a = random_matrix<T>(m, n, seed);
+  Matrix<T> f = a;
+  Matrix<T> u(m, k);
+  Matrix<T> vt(k, n);
+  std::vector<R> s(k);
+  ASSERT_EQ(lapack::gesvd(Job::Vec, Job::Vec, m, n, f.data(), f.ld(),
+                          s.data(), u.data(), u.ld(), vt.data(), vt.ld()),
+            0);
+  // Descending, nonnegative.
+  for (idx i = 0; i < k; ++i) {
+    EXPECT_GE(s[i], R(0));
+    if (i > 0) {
+      EXPECT_LE(s[i], s[i - 1] + tol<T>());
+    }
+  }
+  // Reconstruction.
+  Matrix<T> us(m, k);
+  for (idx j = 0; j < k; ++j) {
+    for (idx i = 0; i < m; ++i) {
+      us(i, j) = u(i, j) * T(s[j]);
+    }
+  }
+  EXPECT_LE(max_diff(multiply(us, vt), a), tol<T>(R(100)) * R(m + n));
+  // Orthogonality of both factors.
+  EXPECT_LE(orthogonality(u), tol<T>(R(10)) * R(m));
+  Matrix<T> vvt = multiply(vt, vt, Trans::NoTrans, conj_trans_for<T>());
+  for (idx i = 0; i < k; ++i) {
+    vvt(i, i) -= T(1);
+  }
+  EXPECT_LE(lapack::lange(Norm::Max, k, k, vvt.data(), vvt.ld()),
+            tol<T>(R(10)) * R(n));
+}
+
+TYPED_TEST(SvdTest, TallMatrix) { check_svd<TypeParam>(45, 25, 151); }
+TYPED_TEST(SvdTest, WideMatrix) { check_svd<TypeParam>(25, 45, 152); }
+TYPED_TEST(SvdTest, SquareMatrix) { check_svd<TypeParam>(32, 32, 153); }
+TYPED_TEST(SvdTest, SingleColumn) { check_svd<TypeParam>(12, 1, 154); }
+TYPED_TEST(SvdTest, SingleRow) { check_svd<TypeParam>(1, 9, 155); }
+
+TYPED_TEST(SvdTest, ValuesOnlyMatchesFullRun) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(156);
+  const idx m = 30;
+  const idx n = 20;
+  const Matrix<T> a = random_matrix<T>(m, n, seed);
+  Matrix<T> f1 = a;
+  Matrix<T> f2 = a;
+  Matrix<T> u(m, n);
+  Matrix<T> vt(n, n);
+  std::vector<R> s1(n);
+  std::vector<R> s2(n);
+  ASSERT_EQ(lapack::gesvd(Job::Vec, Job::Vec, m, n, f1.data(), f1.ld(),
+                          s1.data(), u.data(), u.ld(), vt.data(), vt.ld()),
+            0);
+  ASSERT_EQ(lapack::gesvd(Job::NoVec, Job::NoVec, m, n, f2.data(), f2.ld(),
+                          s2.data(), static_cast<T*>(nullptr), 1,
+                          static_cast<T*>(nullptr), 1),
+            0);
+  for (idx i = 0; i < n; ++i) {
+    EXPECT_NEAR(s1[i], s2[i], tol<T>(R(100)) * s1[0]);
+  }
+}
+
+TYPED_TEST(SvdTest, RecoversPrescribedSingularValues) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(157);
+  const idx m = 28;
+  const idx n = 18;
+  std::vector<R> d(n);
+  for (idx i = 0; i < n; ++i) {
+    d[i] = R(n - i);  // 18, 17, ..., 1
+  }
+  Matrix<T> a(m, n);
+  lapack::lagge(m, n, d.data(), a.data(), a.ld(), seed);
+  Matrix<T> f = a;
+  std::vector<R> s(n);
+  ASSERT_EQ(lapack::gesvd(Job::NoVec, Job::NoVec, m, n, f.data(), f.ld(),
+                          s.data(), static_cast<T*>(nullptr), 1,
+                          static_cast<T*>(nullptr), 1),
+            0);
+  for (idx i = 0; i < n; ++i) {
+    EXPECT_NEAR(s[i], d[i], tol<T>(R(300)) * R(n));
+  }
+}
+
+TYPED_TEST(SvdTest, RankDeficiencyProducesZeroTail) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(158);
+  const idx m = 26;
+  const idx n = 16;
+  const idx rank = 7;
+  const Matrix<T> g1 = random_matrix<T>(m, rank, seed);
+  const Matrix<T> g2 = random_matrix<T>(rank, n, seed);
+  Matrix<T> a = multiply(g1, g2);
+  std::vector<R> s(n);
+  ASSERT_EQ(lapack::gesvd(Job::NoVec, Job::NoVec, m, n, a.data(), a.ld(),
+                          s.data(), static_cast<T*>(nullptr), 1,
+                          static_cast<T*>(nullptr), 1),
+            0);
+  EXPECT_GT(s[rank - 1], std::sqrt(eps<T>()));
+  for (idx i = rank; i < n; ++i) {
+    EXPECT_LE(s[i], tol<T>(R(1000)) * s[0]);
+  }
+}
+
+TYPED_TEST(SvdTest, FrobeniusNormMatchesSingularValues) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(159);
+  const idx m = 20;
+  const idx n = 14;
+  const Matrix<T> a = random_matrix<T>(m, n, seed);
+  Matrix<T> f = a;
+  std::vector<R> s(n);
+  ASSERT_EQ(lapack::gesvd(Job::NoVec, Job::NoVec, m, n, f.data(), f.ld(),
+                          s.data(), static_cast<T*>(nullptr), 1,
+                          static_cast<T*>(nullptr), 1),
+            0);
+  R ssum(0);
+  for (idx i = 0; i < n; ++i) {
+    ssum += s[i] * s[i];
+  }
+  const R fro = lapack::lange(Norm::Frobenius, m, n, a.data(), a.ld());
+  EXPECT_NEAR(std::sqrt(ssum), fro, tol<T>(R(100)) * fro);
+}
+
+TYPED_TEST(SvdTest, BdsqrConvergesOnGradedBidiagonal) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  const idx n = 20;
+  std::vector<R> d(n);
+  std::vector<R> e(n - 1);
+  for (idx i = 0; i < n; ++i) {
+    d[i] = std::pow(R(10), -R(i) / R(4));  // heavy grading
+  }
+  for (idx i = 0; i < n - 1; ++i) {
+    e[i] = d[i] / R(3);
+  }
+  auto d2 = d;
+  auto e2 = e;
+  ASSERT_EQ((lapack::bdsqr<R, T>(Uplo::Upper, n, 0, 0, d2.data(), e2.data(),
+                                 nullptr, 1, nullptr, 1)),
+            0);
+  for (idx i = 0; i < n; ++i) {
+    EXPECT_GE(d2[i], R(0));
+    if (i > 0) {
+      EXPECT_LE(d2[i], d2[i - 1] * (R(1) + tol<T>()));
+    }
+  }
+}
+
+TYPED_TEST(SvdTest, GgsvdDecomposesPair) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(160);
+  const idx m = 20;
+  const idx p = 12;
+  const idx n = 10;
+  const Matrix<T> a = random_matrix<T>(m, n, seed);
+  const Matrix<T> b = random_matrix<T>(p, n, seed);
+  Matrix<T> ac = a;
+  Matrix<T> bc = b;
+  std::vector<R> alpha(n);
+  std::vector<R> beta(n);
+  Matrix<T> u(m, n);
+  Matrix<T> v(p, n);
+  Matrix<T> x(n, n);
+  ASSERT_EQ(lapack::ggsvd(m, p, n, ac.data(), ac.ld(), bc.data(), bc.ld(),
+                          alpha.data(), beta.data(), u.data(), u.ld(),
+                          v.data(), v.ld(), x.data(), x.ld()),
+            0);
+  // alpha^2 + beta^2 = 1.
+  for (idx i = 0; i < n; ++i) {
+    EXPECT_NEAR(alpha[i] * alpha[i] + beta[i] * beta[i], R(1),
+                tol<T>(R(100)));
+  }
+  // A = U diag(alpha) X and B = V diag(beta) X.
+  Matrix<T> dax(n, n);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < n; ++i) {
+      dax(i, j) = T(alpha[i]) * x(i, j);
+    }
+  }
+  EXPECT_LE(max_diff(multiply(u, dax), a), tol<T>(R(300)) * R(m + n));
+  Matrix<T> dbx(n, n);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < n; ++i) {
+      dbx(i, j) = T(beta[i]) * x(i, j);
+    }
+  }
+  EXPECT_LE(max_diff(multiply(v, dbx), b), tol<T>(R(300)) * R(p + n));
+  // U has orthonormal columns.
+  EXPECT_LE(orthogonality(u), tol<T>(R(30)) * R(m));
+}
+
+}  // namespace
+}  // namespace la::test

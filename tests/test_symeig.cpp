@@ -1,0 +1,302 @@
+// Symmetric/Hermitian eigensolver tests: reduction, QL iteration, drivers
+// across storage formats, plus the generalized symmetric-definite driver.
+#include <gtest/gtest.h>
+
+#include "test_utils.hpp"
+
+namespace la::test {
+namespace {
+
+template <class T>
+class SymEigTest : public ::testing::Test {};
+TYPED_TEST_SUITE(SymEigTest, AllTypes);
+
+/// ||A Z - Z diag(w)||_max.
+template <Scalar T>
+real_t<T> eig_residual(const Matrix<T>& a, const Matrix<T>& z,
+                       const std::vector<real_t<T>>& w) {
+  Matrix<T> az = multiply(a, z);
+  real_t<T> worst(0);
+  for (idx j = 0; j < z.cols(); ++j) {
+    for (idx i = 0; i < z.rows(); ++i) {
+      worst = std::max(worst,
+                       real_t<T>(std::abs(az(i, j) - T(w[j]) * z(i, j))));
+    }
+  }
+  return worst;
+}
+
+TYPED_TEST(SymEigTest, SytrdPreservesSimilarity) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(121);
+  const idx n = 24;
+  const Matrix<T> a = random_hermitian<T>(n, seed);
+  for (Uplo uplo : {Uplo::Upper, Uplo::Lower}) {
+    Matrix<T> f = a;
+    std::vector<R> d(n);
+    std::vector<R> e(n - 1);
+    std::vector<T> tau(n - 1);
+    lapack::sytrd(uplo, n, f.data(), f.ld(), d.data(), e.data(), tau.data());
+    Matrix<T> q = f;
+    lapack::orgtr(uplo, n, q.data(), q.ld(), tau.data());
+    EXPECT_LE(orthogonality(q), tol<T>() * R(n));
+    // Q T Q^H == A with T tridiagonal(d, e).
+    Matrix<T> t(n, n);
+    for (idx i = 0; i < n; ++i) {
+      t(i, i) = T(d[i]);
+      if (i < n - 1) {
+        t(i + 1, i) = T(e[i]);
+        t(i, i + 1) = T(e[i]);
+      }
+    }
+    Matrix<T> qt = multiply(q, t);
+    Matrix<T> rec = multiply(qt, q, Trans::NoTrans, conj_trans_for<T>());
+    EXPECT_LE(max_diff(rec, a), tol<T>(R(100)) * R(n))
+        << static_cast<char>(uplo);
+  }
+}
+
+TYPED_TEST(SymEigTest, SyevComputesOrthonormalEigendecomposition) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(122);
+  const idx n = 50;
+  const Matrix<T> a = random_hermitian<T>(n, seed);
+  const R anorm = lapack::lange(Norm::Max, n, n, a.data(), a.ld());
+  for (Uplo uplo : {Uplo::Upper, Uplo::Lower}) {
+    Matrix<T> z = a;
+    std::vector<R> w(n);
+    ASSERT_EQ(lapack::syev(Job::Vec, uplo, n, z.data(), z.ld(), w.data()), 0);
+    EXPECT_LE(eig_residual(a, z, w), tol<T>(R(100)) * R(n) * anorm);
+    EXPECT_LE(orthogonality(z), tol<T>() * R(n));
+    for (idx i = 1; i < n; ++i) {
+      EXPECT_LE(w[i - 1], w[i]);
+    }
+    // Values-only run agrees exactly.
+    Matrix<T> z2 = a;
+    std::vector<R> w2(n);
+    ASSERT_EQ(lapack::syev(Job::NoVec, uplo, n, z2.data(), z2.ld(),
+                           w2.data()),
+              0);
+    for (idx i = 0; i < n; ++i) {
+      EXPECT_NEAR(w[i], w2[i], tol<T>(R(100)) * anorm);
+    }
+  }
+}
+
+TYPED_TEST(SymEigTest, SyevRecoversKnownSpectrum) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(123);
+  const idx n = 30;
+  std::vector<R> evals(n);
+  for (idx i = 0; i < n; ++i) {
+    evals[i] = R(i) - R(10);
+  }
+  Matrix<T> a(n, n);
+  lapack::laghe(n, evals.data(), a.data(), a.ld(), seed);
+  Matrix<T> z = a;
+  std::vector<R> w(n);
+  ASSERT_EQ(lapack::syev(Job::Vec, Uplo::Upper, n, z.data(), z.ld(),
+                         w.data()),
+            0);
+  std::sort(evals.begin(), evals.end());
+  for (idx i = 0; i < n; ++i) {
+    EXPECT_NEAR(w[i], evals[i], tol<T>(R(300)) * R(n));
+  }
+}
+
+TYPED_TEST(SymEigTest, TraceAndDeterminantInvariants) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(124);
+  const idx n = 20;
+  const Matrix<T> a = random_hermitian<T>(n, seed);
+  Matrix<T> z = a;
+  std::vector<R> w(n);
+  ASSERT_EQ(lapack::syev(Job::NoVec, Uplo::Lower, n, z.data(), z.ld(),
+                         w.data()),
+            0);
+  R trace(0);
+  for (idx i = 0; i < n; ++i) {
+    trace += real_part(a(i, i));
+  }
+  R wsum(0);
+  for (idx i = 0; i < n; ++i) {
+    wsum += w[i];
+  }
+  EXPECT_NEAR(trace, wsum, tol<T>(R(300)) * R(n) *
+                               (std::abs(trace) + R(1)));
+}
+
+template <class R>
+class SymEigRealTest : public ::testing::Test {};
+TYPED_TEST_SUITE(SymEigRealTest, RealTypes);
+
+TYPED_TEST(SymEigRealTest, StevSolvesTridiagonal) {
+  using R = TypeParam;
+  Iseed seed = seed_for(125);
+  const idx n = 40;
+  std::vector<R> d(n);
+  std::vector<R> e(n - 1);
+  larnv(Dist::Uniform11, seed, n, d.data());
+  larnv(Dist::Uniform11, seed, n - 1, e.data());
+  Matrix<R> dense(n, n);
+  for (idx i = 0; i < n; ++i) {
+    dense(i, i) = d[i];
+    if (i < n - 1) {
+      dense(i + 1, i) = e[i];
+      dense(i, i + 1) = e[i];
+    }
+  }
+  Matrix<R> z(n, n);
+  auto d2 = d;
+  auto e2 = e;
+  ASSERT_EQ(lapack::stev(Job::Vec, n, d2.data(), e2.data(), z.data(),
+                         z.ld()),
+            0);
+  EXPECT_LE(eig_residual(dense, z, d2), tol<R>(R(100)) * R(n));
+  EXPECT_LE(orthogonality(z), tol<R>() * R(n));
+  // sterf agrees on the values.
+  auto d3 = d;
+  auto e3 = e;
+  ASSERT_EQ(lapack::sterf(n, d3.data(), e3.data()), 0);
+  for (idx i = 0; i < n; ++i) {
+    EXPECT_NEAR(d2[i], d3[i], tol<R>(R(100)));
+  }
+}
+
+TYPED_TEST(SymEigTest, SpevMatchesDenseSyev) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(126);
+  const idx n = 22;
+  const Matrix<T> a = random_hermitian<T>(n, seed);
+  Matrix<T> zd = a;
+  std::vector<R> wd(n);
+  ASSERT_EQ(lapack::syev(Job::NoVec, Uplo::Upper, n, zd.data(), zd.ld(),
+                         wd.data()),
+            0);
+  for (Uplo uplo : {Uplo::Upper, Uplo::Lower}) {
+    auto ap = PackedMatrix<T>::from_dense(a, uplo);
+    std::vector<R> w(n);
+    Matrix<T> z(n, n);
+    ASSERT_EQ(lapack::spev(Job::Vec, uplo, n, ap.data(), w.data(), z.data(),
+                           z.ld()),
+              0);
+    for (idx i = 0; i < n; ++i) {
+      EXPECT_NEAR(w[i], wd[i], tol<T>(R(300)) * R(n));
+    }
+    EXPECT_LE(eig_residual(a, z, w), tol<T>(R(300)) * R(n));
+  }
+}
+
+TYPED_TEST(SymEigTest, SbevSolvesBandProblem) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(127);
+  const idx n = 30;
+  const idx kd = 2;
+  Matrix<T> dense = random_hermitian<T>(n, seed);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < n; ++i) {
+      if (std::abs(static_cast<long>(i) - j) > kd) {
+        dense(i, j) = T(0);
+      }
+    }
+  }
+  for (Uplo uplo : {Uplo::Upper, Uplo::Lower}) {
+    auto ab = SymBandMatrix<T>::from_dense(dense, kd, uplo);
+    std::vector<R> w(n);
+    Matrix<T> z(n, n);
+    ASSERT_EQ(lapack::sbev(Job::Vec, uplo, n, kd, ab.data(), ab.ldab(),
+                           w.data(), z.data(), z.ld()),
+              0);
+    EXPECT_LE(eig_residual(dense, z, w), tol<T>(R(300)) * R(n));
+  }
+}
+
+TYPED_TEST(SymEigTest, SygvSolvesGeneralizedProblemAllItypes) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(128);
+  const idx n = 24;
+  const Matrix<T> a = random_hermitian<T>(n, seed);
+  const Matrix<T> b = random_spd<T>(n, seed);
+  // itype 1: A z = w B z.
+  {
+    Matrix<T> af = a;
+    Matrix<T> bf = b;
+    std::vector<R> w(n);
+    ASSERT_EQ(lapack::sygv(1, Job::Vec, Uplo::Upper, n, af.data(), af.ld(),
+                           bf.data(), bf.ld(), w.data()),
+              0);
+    Matrix<T> az = multiply(a, af);
+    Matrix<T> bz = multiply(b, af);
+    R worst(0);
+    for (idx j = 0; j < n; ++j) {
+      for (idx i = 0; i < n; ++i) {
+        worst = std::max(worst,
+                         R(std::abs(az(i, j) - T(w[j]) * bz(i, j))));
+      }
+    }
+    EXPECT_LE(worst, tol<T>(R(2000)) * R(n));
+  }
+  // itype 2: A B z = w z.
+  {
+    Matrix<T> af = a;
+    Matrix<T> bf = b;
+    std::vector<R> w(n);
+    ASSERT_EQ(lapack::sygv(2, Job::Vec, Uplo::Lower, n, af.data(), af.ld(),
+                           bf.data(), bf.ld(), w.data()),
+              0);
+    Matrix<T> bz = multiply(b, af);
+    Matrix<T> abz = multiply(a, bz);
+    R worst(0);
+    for (idx j = 0; j < n; ++j) {
+      for (idx i = 0; i < n; ++i) {
+        worst = std::max(worst,
+                         R(std::abs(abz(i, j) - T(w[j]) * af(i, j))));
+      }
+    }
+    EXPECT_LE(worst, tol<T>(R(5000)) * R(n) * R(n));
+  }
+  // Not-definite B is flagged with info > n.
+  {
+    Matrix<T> af = a;
+    Matrix<T> bf = a;  // indefinite
+    std::vector<R> w(n);
+    const idx info = lapack::sygv(1, Job::NoVec, Uplo::Upper, n, af.data(),
+                                  af.ld(), bf.data(), bf.ld(), w.data());
+    EXPECT_GT(info, n);
+  }
+}
+
+TYPED_TEST(SymEigTest, SpgvAndSbgvAgreeWithSygv) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(129);
+  const idx n = 16;
+  const Matrix<T> a = random_hermitian<T>(n, seed);
+  const Matrix<T> b = random_spd<T>(n, seed);
+  Matrix<T> af = a;
+  Matrix<T> bf = b;
+  std::vector<R> wref(n);
+  ASSERT_EQ(lapack::sygv(1, Job::NoVec, Uplo::Upper, n, af.data(), af.ld(),
+                         bf.data(), bf.ld(), wref.data()),
+            0);
+  auto ap = PackedMatrix<T>::from_dense(a, Uplo::Upper);
+  auto bp = PackedMatrix<T>::from_dense(b, Uplo::Upper);
+  std::vector<R> w(n);
+  Matrix<T> z(n, n);
+  ASSERT_EQ(lapack::spgv(1, Job::Vec, Uplo::Upper, n, ap.data(), bp.data(),
+                         w.data(), z.data(), z.ld()),
+            0);
+  for (idx i = 0; i < n; ++i) {
+    EXPECT_NEAR(w[i], wref[i], tol<T>(R(2000)) * R(n));
+  }
+}
+
+}  // namespace
+}  // namespace la::test

@@ -1,0 +1,232 @@
+// Divide-and-conquer and expert (bisection + inverse iteration) symmetric
+// eigensolver tests.
+#include <gtest/gtest.h>
+
+#include "test_utils.hpp"
+
+namespace la::test {
+namespace {
+
+template <class T>
+class DcTest : public ::testing::Test {};
+TYPED_TEST_SUITE(DcTest, AllTypes);
+
+TYPED_TEST(DcTest, SyevdMatchesSyevAboveRecursionCutoff) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(131);
+  const idx n = 90;  // forces several levels of recursion
+  const Matrix<T> a = random_hermitian<T>(n, seed);
+  Matrix<T> z1 = a;
+  Matrix<T> z2 = a;
+  std::vector<R> w1(n);
+  std::vector<R> w2(n);
+  ASSERT_EQ(lapack::syev(Job::Vec, Uplo::Lower, n, z1.data(), z1.ld(),
+                         w1.data()),
+            0);
+  ASSERT_EQ(lapack::syevd(Job::Vec, Uplo::Lower, n, z2.data(), z2.ld(),
+                          w2.data()),
+            0);
+  const R anorm = lapack::lange(Norm::Max, n, n, a.data(), a.ld());
+  for (idx i = 0; i < n; ++i) {
+    EXPECT_NEAR(w1[i], w2[i], tol<T>(R(300)) * R(n) * anorm);
+  }
+  EXPECT_LE(orthogonality(z2), tol<T>(R(10)) * R(n));
+  // Residual of the D&C vectors against the original matrix.
+  Matrix<T> az = multiply(a, z2);
+  R worst(0);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < n; ++i) {
+      worst = std::max(worst, R(std::abs(az(i, j) - T(w2[j]) * z2(i, j))));
+    }
+  }
+  EXPECT_LE(worst, tol<T>(R(300)) * R(n) * anorm);
+}
+
+TYPED_TEST(DcTest, SyevdHandlesClusteredSpectrum) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(132);
+  const idx n = 60;
+  // Heavy clustering forces the deflation paths.
+  std::vector<R> evals(n);
+  for (idx i = 0; i < n; ++i) {
+    evals[i] = R(i % 4);
+  }
+  Matrix<T> a(n, n);
+  lapack::laghe(n, evals.data(), a.data(), a.ld(), seed);
+  Matrix<T> z = a;
+  std::vector<R> w(n);
+  ASSERT_EQ(lapack::syevd(Job::Vec, Uplo::Upper, n, z.data(), z.ld(),
+                          w.data()),
+            0);
+  EXPECT_LE(orthogonality(z), tol<T>(R(30)) * R(n));
+  std::sort(evals.begin(), evals.end());
+  for (idx i = 0; i < n; ++i) {
+    EXPECT_NEAR(w[i], evals[i], tol<T>(R(300)) * R(n));
+  }
+}
+
+template <class R>
+class DcRealTest : public ::testing::Test {};
+TYPED_TEST_SUITE(DcRealTest, RealTypes);
+
+TYPED_TEST(DcRealTest, StevdMatchesStev) {
+  using R = TypeParam;
+  Iseed seed = seed_for(133);
+  const idx n = 70;
+  std::vector<R> d(n);
+  std::vector<R> e(n - 1);
+  larnv(Dist::Uniform11, seed, n, d.data());
+  larnv(Dist::Uniform11, seed, n - 1, e.data());
+  auto d1 = d;
+  auto e1 = e;
+  auto d2 = d;
+  auto e2 = e;
+  Matrix<R> z1(n, n);
+  Matrix<R> z2(n, n);
+  ASSERT_EQ(lapack::stev(Job::Vec, n, d1.data(), e1.data(), z1.data(),
+                         z1.ld()),
+            0);
+  ASSERT_EQ(lapack::stevd(Job::Vec, n, d2.data(), e2.data(), z2.data(),
+                          z2.ld()),
+            0);
+  for (idx i = 0; i < n; ++i) {
+    EXPECT_NEAR(d1[i], d2[i], tol<R>(R(300)));
+  }
+  EXPECT_LE(orthogonality(z2), tol<R>(R(10)) * R(n));
+}
+
+TYPED_TEST(DcRealTest, StebzCountsAndOrdersEigenvalues) {
+  using R = TypeParam;
+  Iseed seed = seed_for(134);
+  const idx n = 25;
+  std::vector<R> d(n);
+  std::vector<R> e(n - 1);
+  larnv(Dist::Uniform11, seed, n, d.data());
+  larnv(Dist::Uniform11, seed, n - 1, e.data());
+  // Reference spectrum.
+  auto dref = d;
+  auto eref = e;
+  ASSERT_EQ(lapack::sterf(n, dref.data(), eref.data()), 0);
+  // All eigenvalues by bisection.
+  idx m = 0;
+  std::vector<R> w(n);
+  ASSERT_EQ(lapack::stebz(lapack::Range::All, n, R(0), R(0), 0, 0, R(-1),
+                          d.data(), e.data(), m, w.data()),
+            0);
+  ASSERT_EQ(m, n);
+  for (idx i = 0; i < n; ++i) {
+    EXPECT_NEAR(w[i], dref[i], tol<R>(R(1000)));
+  }
+  // Index subrange agrees with the matching slice.
+  idx m2 = 0;
+  std::vector<R> w2(n);
+  ASSERT_EQ(lapack::stebz(lapack::Range::Index, n, R(0), R(0), 3, 7, R(-1),
+                          d.data(), e.data(), m2, w2.data()),
+            0);
+  ASSERT_EQ(m2, 5);
+  for (idx i = 0; i < 5; ++i) {
+    EXPECT_NEAR(w2[i], dref[2 + i], tol<R>(R(1000)));
+  }
+  // Value range returns exactly the eigenvalues inside it; put the
+  // boundaries at gaps so rounding cannot flip a count.
+  const R vl = (dref[n / 4] + dref[n / 4 + 1]) / R(2);
+  const R vu = (dref[3 * n / 4] + dref[3 * n / 4 + 1]) / R(2);
+  idx m3 = 0;
+  std::vector<R> w3(n);
+  ASSERT_EQ(lapack::stebz(lapack::Range::Value, n, vl, vu, 0, 0, R(-1),
+                          d.data(), e.data(), m3, w3.data()),
+            0);
+  idx expected = 0;
+  for (idx i = 0; i < n; ++i) {
+    if (dref[i] > vl && dref[i] <= vu) {
+      ++expected;
+    }
+  }
+  EXPECT_EQ(m3, expected);
+}
+
+TYPED_TEST(DcRealTest, SteinProducesAccurateVectors) {
+  using R = TypeParam;
+  Iseed seed = seed_for(135);
+  const idx n = 30;
+  std::vector<R> d(n);
+  std::vector<R> e(n - 1);
+  larnv(Dist::Uniform11, seed, n, d.data());
+  larnv(Dist::Uniform11, seed, n - 1, e.data());
+  idx m = 0;
+  std::vector<R> w(n);
+  ASSERT_EQ(lapack::stebz(lapack::Range::All, n, R(0), R(0), 0, 0, R(-1),
+                          d.data(), e.data(), m, w.data()),
+            0);
+  Matrix<R> z(n, n);
+  EXPECT_EQ(lapack::stein(n, d.data(), e.data(), m, w.data(), z.data(),
+                          z.ld()),
+            0);
+  // Residual per eigenpair.
+  for (idx k = 0; k < m; ++k) {
+    R worst(0);
+    for (idx i = 0; i < n; ++i) {
+      R s = d[i] * z(i, k);
+      if (i > 0) {
+        s += e[i - 1] * z(i - 1, k);
+      }
+      if (i < n - 1) {
+        s += e[i] * z(i + 1, k);
+      }
+      worst = std::max(worst, std::abs(s - w[k] * z(i, k)));
+    }
+    EXPECT_LE(worst, tol<R>(R(3000)));
+  }
+  EXPECT_LE(orthogonality(z), R(20) * std::sqrt(eps<R>()));
+}
+
+TYPED_TEST(DcTest, SyevxSelectsByIndexAndValue) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(136);
+  const idx n = 40;
+  const Matrix<T> a = random_hermitian<T>(n, seed);
+  Matrix<T> zfull = a;
+  std::vector<R> wfull(n);
+  ASSERT_EQ(lapack::syev(Job::NoVec, Uplo::Upper, n, zfull.data(),
+                         zfull.ld(), wfull.data()),
+            0);
+  // Index range 10..19 (1-based).
+  Matrix<T> a1 = a;
+  std::vector<R> w(n);
+  Matrix<T> z(n, 10);
+  idx m = 0;
+  ASSERT_EQ(lapack::syevx(Job::Vec, lapack::Range::Index, Uplo::Upper, n,
+                          a1.data(), a1.ld(), R(0), R(0), 10, 19, R(-1), m,
+                          w.data(), z.data(), z.ld()),
+            0);
+  ASSERT_EQ(m, 10);
+  for (idx i = 0; i < 10; ++i) {
+    EXPECT_NEAR(w[i], wfull[9 + i], tol<T>(R(3000)) * R(n));
+  }
+  // Eigenvector residual for the selected pairs.
+  Matrix<T> az = multiply(a, z);
+  R worst(0);
+  for (idx j = 0; j < 10; ++j) {
+    for (idx i = 0; i < n; ++i) {
+      worst = std::max(worst, R(std::abs(az(i, j) - T(w[j]) * z(i, j))));
+    }
+  }
+  EXPECT_LE(worst, std::sqrt(eps<T>()));
+  // Value range.
+  Matrix<T> a2 = a;
+  idx m2 = 0;
+  std::vector<R> w2(n);
+  Matrix<T> z2(n, n);
+  ASSERT_EQ(lapack::syevx(Job::NoVec, lapack::Range::Value, Uplo::Upper, n,
+                          a2.data(), a2.ld(), wfull[5] + R(1e-4),
+                          wfull[20] + R(1e-4), 0, 0, R(-1), m2, w2.data(),
+                          z2.data(), z2.ld()),
+            0);
+  EXPECT_EQ(m2, 15);
+}
+
+}  // namespace
+}  // namespace la::test

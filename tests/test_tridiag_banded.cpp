@@ -1,0 +1,287 @@
+// Tridiagonal and band solver tests: gtsv/ptsv/gbsv plus the condition
+// estimators and expert drivers of those families.
+#include <gtest/gtest.h>
+
+#include "test_utils.hpp"
+
+namespace la::test {
+namespace {
+
+template <class T>
+class TridiagTest : public ::testing::Test {};
+TYPED_TEST_SUITE(TridiagTest, AllTypes);
+
+template <Scalar T>
+Matrix<T> tridiag_dense(const std::vector<T>& dl, const std::vector<T>& d,
+                        const std::vector<T>& du) {
+  const idx n = static_cast<idx>(d.size());
+  Matrix<T> a(n, n);
+  for (idx i = 0; i < n; ++i) {
+    a(i, i) = d[i];
+    if (i < n - 1) {
+      a(i + 1, i) = dl[i];
+      a(i, i + 1) = du[i];
+    }
+  }
+  return a;
+}
+
+TYPED_TEST(TridiagTest, GtsvSolvesGeneralTridiagonal) {
+  using T = TypeParam;
+  Iseed seed = seed_for(91);
+  const idx n = 50;
+  const idx nrhs = 3;
+  std::vector<T> dl(n - 1);
+  std::vector<T> d(n);
+  std::vector<T> du(n - 1);
+  larnv(Dist::Uniform11, seed, n - 1, dl.data());
+  larnv(Dist::Uniform11, seed, n - 1, du.data());
+  larnv(Dist::Uniform11, seed, n, d.data());
+  for (idx i = 0; i < n; ++i) {
+    d[i] += T(real_t<T>(4));
+  }
+  const Matrix<T> dense = tridiag_dense(dl, d, du);
+  const Matrix<T> b = random_matrix<T>(n, nrhs, seed);
+  Matrix<T> x = b;
+  auto dl2 = dl;
+  auto d2 = d;
+  auto du2 = du;
+  ASSERT_EQ(lapack::gtsv(n, nrhs, dl2.data(), d2.data(), du2.data(), x.data(),
+                         x.ld()),
+            0);
+  EXPECT_LT(solve_ratio(dense, x, b), real_t<T>(30));
+}
+
+TYPED_TEST(TridiagTest, GtsvPivotingHandlesTinyDiagonal) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  const idx n = 6;
+  std::vector<T> dl(n - 1, T(R(1)));
+  std::vector<T> d(n, T(Machine<T>::eps()));  // tiny diagonal forces swaps
+  std::vector<T> du(n - 1, T(R(1)));
+  const Matrix<T> dense = tridiag_dense(dl, d, du);
+  Matrix<T> x(n, 1);
+  x.fill(T(1));
+  const Matrix<T> b = x;
+  ASSERT_EQ(lapack::gtsv(n, 1, dl.data(), d.data(), du.data(), x.data(),
+                         x.ld()),
+            0);
+  EXPECT_LT(solve_ratio(dense, x, b), real_t<T>(100));
+}
+
+TYPED_TEST(TridiagTest, GttrsSupportsTransposeModes) {
+  using T = TypeParam;
+  Iseed seed = seed_for(92);
+  const idx n = 30;
+  std::vector<T> dl(n - 1);
+  std::vector<T> d(n);
+  std::vector<T> du(n - 1);
+  larnv(Dist::Uniform11, seed, n - 1, dl.data());
+  larnv(Dist::Uniform11, seed, n - 1, du.data());
+  larnv(Dist::Uniform11, seed, n, d.data());
+  for (idx i = 0; i < n; ++i) {
+    d[i] += T(real_t<T>(4));
+  }
+  const Matrix<T> dense = tridiag_dense(dl, d, du);
+  std::vector<T> du2(n - 2);
+  std::vector<idx> ipiv(n);
+  ASSERT_EQ(lapack::gttrf(n, dl.data(), d.data(), du.data(), du2.data(),
+                          ipiv.data()),
+            0);
+  for (Trans trans : {Trans::Trans, Trans::ConjTrans}) {
+    const Matrix<T> xs = random_matrix<T>(n, 1, seed);
+    Matrix<T> b = multiply(dense, xs, trans, Trans::NoTrans);
+    lapack::gttrs(trans, n, 1, dl.data(), d.data(), du.data(), du2.data(),
+                  ipiv.data(), b.data(), b.ld());
+    EXPECT_LE(max_diff(b, xs), tol<T>(real_t<T>(1000)));
+  }
+}
+
+TYPED_TEST(TridiagTest, PtsvSolvesSpdTridiagonal) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(93);
+  const idx n = 60;
+  const idx nrhs = 2;
+  std::vector<R> d(n, R(4));
+  std::vector<T> e(n - 1);
+  larnv(Dist::Uniform11, seed, n - 1, e.data());
+  Matrix<T> dense(n, n);
+  for (idx i = 0; i < n; ++i) {
+    dense(i, i) = T(d[i]);
+    if (i < n - 1) {
+      dense(i + 1, i) = e[i];
+      dense(i, i + 1) = conj_if(e[i]);
+    }
+  }
+  const Matrix<T> b = random_matrix<T>(n, nrhs, seed);
+  Matrix<T> x = b;
+  auto d2 = d;
+  auto e2 = e;
+  ASSERT_EQ(lapack::ptsv<T>(n, nrhs, d2.data(), e2.data(), x.data(), x.ld()),
+            0);
+  EXPECT_LT(solve_ratio(dense, x, b), real_t<T>(30));
+}
+
+TYPED_TEST(TridiagTest, PttrfRejectsIndefinite) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  const idx n = 5;
+  std::vector<R> d = {R(4), R(4), R(-1), R(4), R(4)};
+  std::vector<T> e(n - 1, T(R(0.1)));
+  const idx info = lapack::pttrf<T>(n, d.data(), e.data());
+  EXPECT_EQ(info, 3);
+}
+
+TYPED_TEST(TridiagTest, GbsvSolvesBandSystems) {
+  using T = TypeParam;
+  Iseed seed = seed_for(94);
+  const idx n = 60;
+  const idx nrhs = 3;
+  for (auto [kl, ku] : {std::pair<idx, idx>{1, 1}, {3, 2}, {2, 5}, {0, 2},
+                        {3, 0}}) {
+    Matrix<T> dense = random_matrix<T>(n, n, seed);
+    for (idx j = 0; j < n; ++j) {
+      for (idx i = 0; i < n; ++i) {
+        if (i - j > kl || j - i > ku) {
+          dense(i, j) = T(0);
+        }
+      }
+      dense(j, j) += T(real_t<T>(4));
+    }
+    auto ab = BandMatrix<T>::from_dense(dense, kl, ku);
+    const Matrix<T> b = random_matrix<T>(n, nrhs, seed);
+    Matrix<T> x = b;
+    std::vector<idx> ipiv(n);
+    ASSERT_EQ(lapack::gbsv(n, kl, ku, nrhs, ab.data(), ab.ldab(), ipiv.data(),
+                           x.data(), x.ld()),
+              0)
+        << "kl=" << kl << " ku=" << ku;
+    EXPECT_LT(solve_ratio(dense, x, b), real_t<T>(30))
+        << "kl=" << kl << " ku=" << ku;
+  }
+}
+
+TYPED_TEST(TridiagTest, GbtrsTransposeModes) {
+  using T = TypeParam;
+  Iseed seed = seed_for(95);
+  const idx n = 30;
+  const idx kl = 2;
+  const idx ku = 3;
+  Matrix<T> dense = random_matrix<T>(n, n, seed);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < n; ++i) {
+      if (i - j > kl || j - i > ku) {
+        dense(i, j) = T(0);
+      }
+    }
+    dense(j, j) += T(real_t<T>(4));
+  }
+  auto ab = BandMatrix<T>::from_dense(dense, kl, ku);
+  std::vector<idx> ipiv(n);
+  ASSERT_EQ(lapack::gbtrf(n, kl, ku, ab.data(), ab.ldab(), ipiv.data()), 0);
+  for (Trans trans : {Trans::Trans, Trans::ConjTrans}) {
+    const Matrix<T> xs = random_matrix<T>(n, 1, seed);
+    Matrix<T> b = multiply(dense, xs, trans, Trans::NoTrans);
+    lapack::gbtrs(trans, n, kl, ku, 1, ab.data(), ab.ldab(), ipiv.data(),
+                  b.data(), b.ld());
+    EXPECT_LE(max_diff(b, xs), tol<T>(real_t<T>(1000)));
+  }
+}
+
+TYPED_TEST(TridiagTest, GtsvxAndPtsvxProduceBounds) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(96);
+  const idx n = 32;
+  const idx nrhs = 2;
+  // General tridiagonal expert driver.
+  Vector<T> dl(n - 1);
+  Vector<T> d(n);
+  Vector<T> du(n - 1);
+  larnv(Dist::Uniform11, seed, n - 1, dl.data());
+  larnv(Dist::Uniform11, seed, n - 1, du.data());
+  larnv(Dist::Uniform11, seed, n, d.data());
+  for (idx i = 0; i < n; ++i) {
+    d[i] += T(R(4));
+  }
+  std::vector<T> sdl(dl.data(), dl.data() + n - 1);
+  std::vector<T> sd(d.data(), d.data() + n);
+  std::vector<T> sdu(du.data(), du.data() + n - 1);
+  const Matrix<T> dense = tridiag_dense(sdl, sd, sdu);
+  const Matrix<T> b = random_matrix<T>(n, nrhs, seed);
+  std::vector<T> dlf(n);
+  std::vector<T> df(n);
+  std::vector<T> duf(n);
+  std::vector<T> du2(n);
+  std::vector<idx> ipiv(n);
+  Matrix<T> x(n, nrhs);
+  std::vector<R> ferr(nrhs);
+  std::vector<R> berr(nrhs);
+  R rcond(0);
+  ASSERT_EQ(lapack::gtsvx(Trans::NoTrans, n, nrhs, dl.data(), d.data(),
+                          du.data(), dlf.data(), df.data(), duf.data(),
+                          du2.data(), ipiv.data(), b.data(), b.ld(), x.data(),
+                          x.ld(), rcond, ferr.data(), berr.data()),
+            0);
+  EXPECT_LT(solve_ratio(dense, x, b), real_t<T>(30));
+  EXPECT_GT(rcond, R(0));
+  EXPECT_LE(berr[0], R(4) * eps<T>());
+  // SPD tridiagonal expert driver.
+  std::vector<R> pd(n, R(4));
+  std::vector<T> pe(n - 1, T(R(-1)));
+  Matrix<T> pdense(n, n);
+  for (idx i = 0; i < n; ++i) {
+    pdense(i, i) = T(pd[i]);
+    if (i < n - 1) {
+      pdense(i + 1, i) = pe[i];
+      pdense(i, i + 1) = conj_if(pe[i]);
+    }
+  }
+  std::vector<R> pdf(n);
+  std::vector<T> pef(n);
+  Matrix<T> px(n, nrhs);
+  ASSERT_EQ(lapack::ptsvx<T>(n, nrhs, pd.data(), pe.data(), pdf.data(),
+                             pef.data(), b.data(), b.ld(), px.data(),
+                             px.ld(), rcond, ferr.data(), berr.data()),
+            0);
+  EXPECT_LT(solve_ratio(pdense, px, b), real_t<T>(30));
+}
+
+TYPED_TEST(TridiagTest, GbsvxProducesBounds) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(97);
+  const idx n = 30;
+  const idx kl = 2;
+  const idx ku = 1;
+  const idx nrhs = 2;
+  Matrix<T> dense = random_matrix<T>(n, n, seed);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < n; ++i) {
+      if (i - j > kl || j - i > ku) {
+        dense(i, j) = T(0);
+      }
+    }
+    dense(j, j) += T(R(4));
+  }
+  auto ab = BandMatrix<T>::from_dense(dense, kl, ku);
+  auto afb = BandMatrix<T>(n, kl, ku);
+  const Matrix<T> b = random_matrix<T>(n, nrhs, seed);
+  Matrix<T> x(n, nrhs);
+  std::vector<idx> ipiv(n);
+  std::vector<R> ferr(nrhs);
+  std::vector<R> berr(nrhs);
+  R rcond(0);
+  ASSERT_EQ(lapack::gbsvx(Trans::NoTrans, n, kl, ku, nrhs, ab.data(),
+                          ab.ldab(), afb.data(), afb.ldab(), ipiv.data(),
+                          b.data(), b.ld(), x.data(), x.ld(), rcond,
+                          ferr.data(), berr.data()),
+            0);
+  EXPECT_LT(solve_ratio(dense, x, b), real_t<T>(30));
+  EXPECT_GT(rcond, R(0));
+  EXPECT_LE(berr[0], R(4) * eps<T>());
+}
+
+}  // namespace
+}  // namespace la::test

@@ -1,0 +1,138 @@
+// tests/test_utils.hpp
+//
+// Shared helpers for the gtest suite: the four LAPACK element types as a
+// typed-test list, random matrix construction, residual metrics (the
+// LAPACK scaled ratios), and tolerance selection per precision.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "lapack90/lapack90.hpp"
+
+namespace la::test {
+
+using AllTypes = ::testing::Types<float, double, std::complex<float>,
+                                  std::complex<double>>;
+using RealTypes = ::testing::Types<float, double>;
+using ComplexTypes =
+    ::testing::Types<std::complex<float>, std::complex<double>>;
+
+/// Base tolerance: 30 * eps, LAPACK's own test threshold scale.
+template <Scalar T>
+[[nodiscard]] real_t<T> tol(real_t<T> factor = real_t<T>(30)) {
+  return factor * eps<T>();
+}
+
+/// Deterministic per-test seed.
+[[nodiscard]] inline Iseed seed_for(int salt) {
+  return Iseed{idx(salt % 4096), idx((salt * 7) % 4096),
+               idx((salt * 13) % 4096), idx(((salt * 29) % 4096) | 1)};
+}
+
+/// Random general matrix, entries uniform in (-1, 1).
+template <Scalar T>
+[[nodiscard]] Matrix<T> random_matrix(idx m, idx n, Iseed& seed) {
+  Matrix<T> a(m, n);
+  larnv(Dist::Uniform11, seed, static_cast<idx>(a.size()), a.data());
+  return a;
+}
+
+/// Random symmetric matrix (complex-symmetric for complex T).
+template <Scalar T>
+[[nodiscard]] Matrix<T> random_symmetric(idx n, Iseed& seed) {
+  Matrix<T> a = random_matrix<T>(n, n, seed);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < j; ++i) {
+      a(j, i) = a(i, j);
+    }
+  }
+  return a;
+}
+
+/// Random Hermitian matrix (== symmetric for real T).
+template <Scalar T>
+[[nodiscard]] Matrix<T> random_hermitian(idx n, Iseed& seed) {
+  Matrix<T> a = random_matrix<T>(n, n, seed);
+  for (idx j = 0; j < n; ++j) {
+    a(j, j) = T(real_part(a(j, j)));
+    for (idx i = 0; i < j; ++i) {
+      a(j, i) = conj_if(a(i, j));
+    }
+  }
+  return a;
+}
+
+/// Random Hermitian positive definite matrix: A A^H + n I.
+template <Scalar T>
+[[nodiscard]] Matrix<T> random_spd(idx n, Iseed& seed) {
+  Matrix<T> g = random_matrix<T>(n, n, seed);
+  Matrix<T> a(n, n);
+  blas::gemm(Trans::NoTrans, conj_trans_for<T>(), n, n, n, T(1), g.data(),
+             g.ld(), g.data(), g.ld(), T(0), a.data(), a.ld());
+  for (idx i = 0; i < n; ++i) {
+    a(i, i) += T(real_t<T>(n));
+  }
+  return a;
+}
+
+/// Dense product C = op(A) op(B) via the reference kernel.
+template <Scalar T>
+[[nodiscard]] Matrix<T> multiply(const Matrix<T>& a, const Matrix<T>& b,
+                                 Trans ta = Trans::NoTrans,
+                                 Trans tb = Trans::NoTrans) {
+  const idx m = ta == Trans::NoTrans ? a.rows() : a.cols();
+  const idx k = ta == Trans::NoTrans ? a.cols() : a.rows();
+  const idx n = tb == Trans::NoTrans ? b.cols() : b.rows();
+  Matrix<T> c(m, n);
+  blas::gemm_naive(ta, tb, m, n, k, T(1), a.data(), a.ld(), b.data(), b.ld(),
+                   T(0), c.data(), c.ld());
+  return c;
+}
+
+/// max |a_ij - b_ij|.
+template <Scalar T>
+[[nodiscard]] real_t<T> max_diff(const Matrix<T>& a, const Matrix<T>& b) {
+  EXPECT_EQ(a.rows(), b.rows());
+  EXPECT_EQ(a.cols(), b.cols());
+  real_t<T> m(0);
+  for (idx j = 0; j < a.cols(); ++j) {
+    for (idx i = 0; i < a.rows(); ++i) {
+      m = std::max(m, real_t<T>(std::abs(a(i, j) - b(i, j))));
+    }
+  }
+  return m;
+}
+
+/// LAPACK solve ratio: ||B - A X||_1 / (||A||_1 ||X||_1 n eps).
+template <Scalar T>
+[[nodiscard]] real_t<T> solve_ratio(const Matrix<T>& a, const Matrix<T>& x,
+                                    const Matrix<T>& b) {
+  using R = real_t<T>;
+  Matrix<T> r = b;
+  blas::gemm_naive(Trans::NoTrans, Trans::NoTrans, a.rows(), x.cols(),
+                   a.cols(), T(-1), a.data(), a.ld(), x.data(), x.ld(), T(1),
+                   r.data(), r.ld());
+  const R rn = lapack::lange(Norm::One, r.rows(), r.cols(), r.data(), r.ld());
+  const R an = lapack::lange(Norm::One, a.rows(), a.cols(), a.data(), a.ld());
+  const R xn = lapack::lange(Norm::One, x.rows(), x.cols(), x.data(), x.ld());
+  const R denom = an * xn * R(a.rows()) * eps<T>();
+  return denom > R(0) ? rn / denom : rn / eps<T>();
+}
+
+/// Orthogonality residual ||Q^H Q - I||_max (columns of Q orthonormal).
+template <Scalar T>
+[[nodiscard]] real_t<T> orthogonality(const Matrix<T>& q) {
+  const idx n = q.cols();
+  Matrix<T> g(n, n);
+  blas::gemm_naive(conj_trans_for<T>(), Trans::NoTrans, n, n, q.rows(), T(1),
+                   q.data(), q.ld(), q.data(), q.ld(), T(0), g.data(),
+                   g.ld());
+  for (idx i = 0; i < n; ++i) {
+    g(i, i) -= T(1);
+  }
+  return lapack::lange(Norm::Max, n, n, g.data(), g.ld());
+}
+
+}  // namespace la::test

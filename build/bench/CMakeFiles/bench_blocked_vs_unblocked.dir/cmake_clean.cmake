@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_blocked_vs_unblocked.dir/bench_blocked_vs_unblocked.cpp.o"
+  "CMakeFiles/bench_blocked_vs_unblocked.dir/bench_blocked_vs_unblocked.cpp.o.d"
+  "bench_blocked_vs_unblocked"
+  "bench_blocked_vs_unblocked.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_blocked_vs_unblocked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_drivers.dir/bench_drivers.cpp.o"
+  "CMakeFiles/bench_drivers.dir/bench_drivers.cpp.o.d"
+  "bench_drivers"
+  "bench_drivers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_drivers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gesv_report.dir/bench_gesv_report.cpp.o"
+  "CMakeFiles/bench_gesv_report.dir/bench_gesv_report.cpp.o.d"
+  "bench_gesv_report"
+  "bench_gesv_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gesv_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

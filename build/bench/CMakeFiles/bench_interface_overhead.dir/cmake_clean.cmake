@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_interface_overhead.dir/bench_interface_overhead.cpp.o"
+  "CMakeFiles/bench_interface_overhead.dir/bench_interface_overhead.cpp.o.d"
+  "bench_interface_overhead"
+  "bench_interface_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interface_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eigenmodes.dir/eigenmodes.cpp.o"
+  "CMakeFiles/eigenmodes.dir/eigenmodes.cpp.o.d"
+  "eigenmodes"
+  "eigenmodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eigenmodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example1_f77.dir/example1_f77.cpp.o"
+  "CMakeFiles/example1_f77.dir/example1_f77.cpp.o.d"
+  "example1_f77"
+  "example1_f77.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example1_f77.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example1_f77.
+# This may be replaced when dependencies are built.

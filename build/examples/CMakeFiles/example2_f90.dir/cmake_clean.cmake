@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example2_f90.dir/example2_f90.cpp.o"
+  "CMakeFiles/example2_f90.dir/example2_f90.cpp.o.d"
+  "example2_f90"
+  "example2_f90.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example2_f90.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example3_timing.dir/example3_timing.cpp.o"
+  "CMakeFiles/example3_timing.dir/example3_timing.cpp.o.d"
+  "example3_timing"
+  "example3_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example3_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/least_squares_fit.dir/least_squares_fit.cpp.o"
+  "CMakeFiles/least_squares_fit.dir/least_squares_fit.cpp.o.d"
+  "least_squares_fit"
+  "least_squares_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/least_squares_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svd_compress.dir/svd_compress.cpp.o"
+  "CMakeFiles/svd_compress.dir/svd_compress.cpp.o.d"
+  "svd_compress"
+  "svd_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svd_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

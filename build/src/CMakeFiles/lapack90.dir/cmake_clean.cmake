@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapack90.dir/env.cpp.o"
+  "CMakeFiles/lapack90.dir/env.cpp.o.d"
+  "CMakeFiles/lapack90.dir/erinfo.cpp.o"
+  "CMakeFiles/lapack90.dir/erinfo.cpp.o.d"
+  "CMakeFiles/lapack90.dir/version.cpp.o"
+  "CMakeFiles/lapack90.dir/version.cpp.o.d"
+  "liblapack90.a"
+  "liblapack90.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapack90.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblapack90.a"
+)

@@ -1,0 +1,2 @@
+src/CMakeFiles/lapack90.dir/version.cpp.o: /root/repo/src/version.cpp \
+ /usr/include/stdc-predef.h /root/repo/include/lapack90/version.hpp

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/main.cpp" "tests/CMakeFiles/lapack90_tests.dir/main.cpp.o" "gcc" "tests/CMakeFiles/lapack90_tests.dir/main.cpp.o.d"
+  "/root/repo/tests/test_blas1.cpp" "tests/CMakeFiles/lapack90_tests.dir/test_blas1.cpp.o" "gcc" "tests/CMakeFiles/lapack90_tests.dir/test_blas1.cpp.o.d"
+  "/root/repo/tests/test_blas2.cpp" "tests/CMakeFiles/lapack90_tests.dir/test_blas2.cpp.o" "gcc" "tests/CMakeFiles/lapack90_tests.dir/test_blas2.cpp.o.d"
+  "/root/repo/tests/test_blas3.cpp" "tests/CMakeFiles/lapack90_tests.dir/test_blas3.cpp.o" "gcc" "tests/CMakeFiles/lapack90_tests.dir/test_blas3.cpp.o.d"
+  "/root/repo/tests/test_cholesky.cpp" "tests/CMakeFiles/lapack90_tests.dir/test_cholesky.cpp.o" "gcc" "tests/CMakeFiles/lapack90_tests.dir/test_cholesky.cpp.o.d"
+  "/root/repo/tests/test_eigcond.cpp" "tests/CMakeFiles/lapack90_tests.dir/test_eigcond.cpp.o" "gcc" "tests/CMakeFiles/lapack90_tests.dir/test_eigcond.cpp.o.d"
+  "/root/repo/tests/test_f90_eigen_variants.cpp" "tests/CMakeFiles/lapack90_tests.dir/test_f90_eigen_variants.cpp.o" "gcc" "tests/CMakeFiles/lapack90_tests.dir/test_f90_eigen_variants.cpp.o.d"
+  "/root/repo/tests/test_f90_interface.cpp" "tests/CMakeFiles/lapack90_tests.dir/test_f90_interface.cpp.o" "gcc" "tests/CMakeFiles/lapack90_tests.dir/test_f90_interface.cpp.o.d"
+  "/root/repo/tests/test_gesv_driver.cpp" "tests/CMakeFiles/lapack90_tests.dir/test_gesv_driver.cpp.o" "gcc" "tests/CMakeFiles/lapack90_tests.dir/test_gesv_driver.cpp.o.d"
+  "/root/repo/tests/test_ldlt.cpp" "tests/CMakeFiles/lapack90_tests.dir/test_ldlt.cpp.o" "gcc" "tests/CMakeFiles/lapack90_tests.dir/test_ldlt.cpp.o.d"
+  "/root/repo/tests/test_lls.cpp" "tests/CMakeFiles/lapack90_tests.dir/test_lls.cpp.o" "gcc" "tests/CMakeFiles/lapack90_tests.dir/test_lls.cpp.o.d"
+  "/root/repo/tests/test_lu.cpp" "tests/CMakeFiles/lapack90_tests.dir/test_lu.cpp.o" "gcc" "tests/CMakeFiles/lapack90_tests.dir/test_lu.cpp.o.d"
+  "/root/repo/tests/test_matgen.cpp" "tests/CMakeFiles/lapack90_tests.dir/test_matgen.cpp.o" "gcc" "tests/CMakeFiles/lapack90_tests.dir/test_matgen.cpp.o.d"
+  "/root/repo/tests/test_nonsymeig.cpp" "tests/CMakeFiles/lapack90_tests.dir/test_nonsymeig.cpp.o" "gcc" "tests/CMakeFiles/lapack90_tests.dir/test_nonsymeig.cpp.o.d"
+  "/root/repo/tests/test_norms_aux.cpp" "tests/CMakeFiles/lapack90_tests.dir/test_norms_aux.cpp.o" "gcc" "tests/CMakeFiles/lapack90_tests.dir/test_norms_aux.cpp.o.d"
+  "/root/repo/tests/test_paper_examples.cpp" "tests/CMakeFiles/lapack90_tests.dir/test_paper_examples.cpp.o" "gcc" "tests/CMakeFiles/lapack90_tests.dir/test_paper_examples.cpp.o.d"
+  "/root/repo/tests/test_property_sweeps.cpp" "tests/CMakeFiles/lapack90_tests.dir/test_property_sweeps.cpp.o" "gcc" "tests/CMakeFiles/lapack90_tests.dir/test_property_sweeps.cpp.o.d"
+  "/root/repo/tests/test_qr.cpp" "tests/CMakeFiles/lapack90_tests.dir/test_qr.cpp.o" "gcc" "tests/CMakeFiles/lapack90_tests.dir/test_qr.cpp.o.d"
+  "/root/repo/tests/test_robustness.cpp" "tests/CMakeFiles/lapack90_tests.dir/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/lapack90_tests.dir/test_robustness.cpp.o.d"
+  "/root/repo/tests/test_svd.cpp" "tests/CMakeFiles/lapack90_tests.dir/test_svd.cpp.o" "gcc" "tests/CMakeFiles/lapack90_tests.dir/test_svd.cpp.o.d"
+  "/root/repo/tests/test_symeig.cpp" "tests/CMakeFiles/lapack90_tests.dir/test_symeig.cpp.o" "gcc" "tests/CMakeFiles/lapack90_tests.dir/test_symeig.cpp.o.d"
+  "/root/repo/tests/test_symeig_dc_x.cpp" "tests/CMakeFiles/lapack90_tests.dir/test_symeig_dc_x.cpp.o" "gcc" "tests/CMakeFiles/lapack90_tests.dir/test_symeig_dc_x.cpp.o.d"
+  "/root/repo/tests/test_tridiag_banded.cpp" "tests/CMakeFiles/lapack90_tests.dir/test_tridiag_banded.cpp.o" "gcc" "tests/CMakeFiles/lapack90_tests.dir/test_tridiag_banded.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lapack90.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -2,10 +2,12 @@
 // exercised through the generic interface on a representative problem.
 // This is the "every catalog entry is alive and converges" series that
 // accompanies the per-table benches.
+// Emits BENCH_drivers.json by default (see bench_json_main.hpp).
 #include <benchmark/benchmark.h>
 
 #include <vector>
 
+#include "bench_json_main.hpp"
 #include "lapack90/lapack90.hpp"
 
 namespace {
@@ -223,4 +225,6 @@ BENCHMARK(BM_DriverGesvx)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return la::bench::run_with_json_default(argc, argv, "BENCH_drivers.json");
+}

@@ -1,8 +1,11 @@
 // The §1.1 performance claim: Level-3 matrix multiply is the engine, and
 // cache-blocked GEMM beats the naive triple loop with a widening gap.
-// Reports GFLOP/s for both kernels across sizes (real and complex double).
+// Reports GFLOP/s for both kernels across sizes (real and complex double),
+// plus a worker-count sweep of the threaded runtime at n = 1024.
+// Emits BENCH_gemm.json by default (see bench_json_main.hpp).
 #include <benchmark/benchmark.h>
 
+#include "bench_json_main.hpp"
 #include "lapack90/lapack90.hpp"
 
 namespace {
@@ -47,7 +50,7 @@ void BM_ZGemmNaive(benchmark::State& s) {
   BM_Gemm<std::complex<double>, false>(s);
 }
 
-BENCHMARK(BM_DGemmBlocked)->Arg(64)->Arg(128)->Arg(256)->Arg(512)
+BENCHMARK(BM_DGemmBlocked)->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Arg(1024)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DGemmNaive)->Arg(64)->Arg(128)->Arg(256)->Arg(512)
     ->Unit(benchmark::kMillisecond);
@@ -56,6 +59,35 @@ BENCHMARK(BM_ZGemmBlocked)->Arg(64)->Arg(128)->Arg(256)
 BENCHMARK(BM_ZGemmNaive)->Arg(64)->Arg(128)->Arg(256)
     ->Unit(benchmark::kMillisecond);
 
+/// Worker-count scaling of the threaded gemm at fixed n = 1024; the Arg is
+/// the forced worker count. Wall-clock time is the quantity of interest.
+void BM_DGemmThreads(benchmark::State& state) {
+  const idx n = 1024;
+  const idx nt = static_cast<idx>(state.range(0));
+  la::set_num_threads(nt);
+  la::Iseed seed = la::default_iseed();
+  la::Matrix<double> a(n, n);
+  la::Matrix<double> b(n, n);
+  la::Matrix<double> c(n, n);
+  la::larnv(la::Dist::Uniform11, seed, n * n, a.data());
+  la::larnv(la::Dist::Uniform11, seed, n * n, b.data());
+  for (auto _ : state) {
+    la::blas::gemm(la::Trans::NoTrans, la::Trans::NoTrans, n, n, n, 1.0,
+                   a.data(), a.ld(), b.data(), b.ld(), 0.0, c.data(), c.ld());
+    benchmark::DoNotOptimize(c.data());
+  }
+  la::set_num_threads(0);
+  const double flops_per_iter = 2.0 * double(n) * n * n;
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      flops_per_iter * static_cast<double>(state.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+  state.counters["threads"] = static_cast<double>(nt);
+}
+BENCHMARK(BM_DGemmThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return la::bench::run_with_json_default(argc, argv, "BENCH_gemm.json");
+}

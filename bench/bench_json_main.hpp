@@ -1,0 +1,42 @@
+// Shared bench entry point: run google-benchmark with a machine-readable
+// JSON report on by default. Unless the caller passes --benchmark_out
+// themselves, results land in the named BENCH_*.json next to the binary,
+// so CI and the roadmap's reproduced-experiment scripts can diff runs
+// without scraping the console table.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace la::bench {
+
+inline int run_with_json_default(int argc, char** argv,
+                                 const char* default_out) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) {
+      has_out = true;
+    }
+  }
+  std::string out_flag;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    out_flag = std::string("--benchmark_out=") + default_out;
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace la::bench

@@ -2,23 +2,25 @@
 //
 // Templated Level-3 BLAS. `gemm` is the performance core the paper's §1.1
 // leans on ("LAPACK ... use[s] block matrix operations, such as matrix
-// multiplication, in the innermost loops"): it is implemented with cache
-// blocking (KC x MC panel packing) and a register-tiled micro-kernel, with
-// optional OpenMP over the N-panel loop. A straightforward triple loop is
-// kept as `gemm_naive` for the bench_gemm ablation. The remaining routines
-// (symm/syrk/trmm/trsm/...) follow the reference-BLAS control structure.
+// multiplication, in the innermost loops"): cache blocking (KC x MC panel
+// packing), a register-tiled micro-kernel, and a threaded IC macro loop on
+// top of la::parallel_for. The packed B panel is shared by the team, each
+// worker packs its own A block into a reusable thread-local workspace and
+// owns a disjoint row band of C, so the result is bit-identical for every
+// worker count. A straightforward triple loop is kept as `gemm_naive` for
+// the bench_gemm ablation. symm/syrk/trmm/trsm keep the reference-BLAS
+// control structure for small operands and recast large ones onto blocked
+// gemm calls so they inherit the threading.
 #pragma once
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <vector>
 
 #include "lapack90/blas/level1.hpp"
+#include "lapack90/core/parallel.hpp"
 #include "lapack90/core/types.hpp"
-
-#ifdef LAPACK90_HAVE_OPENMP
-#include <omp.h>
-#endif
 
 namespace la::blas {
 
@@ -131,6 +133,28 @@ void micro_kernel(idx kc, T alpha, const T* ap, const T* bp, T* c, idx ldc,
   }
 }
 
+/// Reusable per-thread packing buffers. Workers keep their A buffer across
+/// gemm calls; the caller's B buffer is lent to its team for the duration
+/// of one panel. The buffers never shrink, so steady-state gemm performs
+/// no heap allocation on the hot path.
+template <Scalar T>
+[[nodiscard]] inline T* pack_workspace_a(std::size_t n) {
+  thread_local std::vector<T> buf;
+  if (buf.size() < n) {
+    buf.resize(n);
+  }
+  return buf.data();
+}
+
+template <Scalar T>
+[[nodiscard]] inline T* pack_workspace_b(std::size_t n) {
+  thread_local std::vector<T> buf;
+  if (buf.size() < n) {
+    buf.resize(n);
+  }
+  return buf.data();
+}
+
 }  // namespace detail
 
 /// Reference three-loop GEMM: C := alpha*op(A)*op(B) + beta*C. Kept public
@@ -176,44 +200,59 @@ void gemm(Trans ta, Trans tb, idx m, idx n, idx k, T alpha, const T* a,
     return;
   }
   // Small problems: the packing overhead dominates; use the direct loops.
-  if (static_cast<long>(m) * n * k < 32L * 32L * 32L) {
+  // The flop count is formed in 64-bit — m*n*k overflows a 32-bit long on
+  // LLP64 targets well before the operands themselves get large.
+  if (static_cast<std::int64_t>(m) * n * k <
+      static_cast<std::int64_t>(32) * 32 * 32) {
     gemm_naive(ta, tb, m, n, k, alpha, a, lda, b, ldb, T(1), c, ldc);
     return;
   }
 
-  std::vector<T> apack(static_cast<std::size_t>(B::MC + B::MR) * B::KC);
-  std::vector<T> bpack(static_cast<std::size_t>(B::KC) *
-                       (static_cast<std::size_t>(B::NC) + B::NR));
+  constexpr std::size_t a_ws =
+      static_cast<std::size_t>(B::MC + B::MR) * B::KC;
+  T* const bpack = detail::pack_workspace_b<T>(
+      static_cast<std::size_t>(B::KC) *
+      (static_cast<std::size_t>(B::NC) + B::NR));
 
   for (idx jc = 0; jc < n; jc += B::NC) {
     const idx nc = std::min<idx>(B::NC, n - jc);
+    const idx nstrips = (nc + B::NR - 1) / B::NR;
     for (idx kc0 = 0; kc0 < k; kc0 += B::KC) {
       const idx kc = std::min<idx>(B::KC, k - kc0);
-      detail::pack_b(kc, nc, b, ldb, tb, kc0, jc, bpack.data());
-      for (idx ic = 0; ic < m; ic += B::MC) {
+      // The team packs the shared B panel cooperatively, one NR strip per
+      // chunk; strips occupy disjoint slices of bpack.
+      parallel_for(nstrips, [&](idx js, int) {
+        const idx j = js * B::NR;
+        detail::pack_b(kc, std::min<idx>(B::NR, nc - j), b, ldb, tb, kc0,
+                       jc + j,
+                       bpack + static_cast<std::size_t>(js) * kc * B::NR);
+      });
+      // IC macro loop: each worker packs its own A block into a reusable
+      // thread-local buffer and owns a disjoint row band of C, so every
+      // reduction order lives inside a chunk and the result cannot depend
+      // on the worker count.
+      const idx mblocks = (m + B::MC - 1) / B::MC;
+      parallel_for(mblocks, [&](idx icb, int) {
+        const idx ic = icb * B::MC;
         const idx mc = std::min<idx>(B::MC, m - ic);
-        detail::pack_a(mc, kc, a, lda, ta, ic, kc0, apack.data());
+        T* const apack = detail::pack_workspace_a<T>(a_ws);
+        detail::pack_a(mc, kc, a, lda, ta, ic, kc0, apack);
         const idx mstrips = (mc + B::MR - 1) / B::MR;
-        const idx nstrips = (nc + B::NR - 1) / B::NR;
-#ifdef LAPACK90_HAVE_OPENMP
-#pragma omp parallel for if (mstrips * nstrips > 16) schedule(static)
-#endif
         for (idx js = 0; js < nstrips; ++js) {
           const idx j = js * B::NR;
           const idx nr = std::min<idx>(B::NR, nc - j);
-          const T* bp = bpack.data() + static_cast<std::size_t>(js) * kc * B::NR;
+          const T* bp = bpack + static_cast<std::size_t>(js) * kc * B::NR;
           for (idx is = 0; is < mstrips; ++is) {
             const idx i = is * B::MR;
             const idx mr = std::min<idx>(B::MR, mc - i);
-            const T* ap =
-                apack.data() + static_cast<std::size_t>(is) * kc * B::MR;
-            detail::micro_kernel(kc, alpha, ap, bp,
-                                 c + static_cast<std::size_t>(jc + j) * ldc +
-                                     ic + i,
-                                 ldc, mr, nr);
+            const T* ap = apack + static_cast<std::size_t>(is) * kc * B::MR;
+            detail::micro_kernel(
+                kc, alpha, ap, bp,
+                c + static_cast<std::size_t>(jc + j) * ldc + ic + i, ldc, mr,
+                nr);
           }
         }
-      }
+      });
     }
   }
 }
@@ -275,31 +314,96 @@ void symm_impl(Side side, Uplo uplo, idx m, idx n, T alpha, const T* a,
   }
 }
 
+/// Blocked symm/hemm: tile the symmetric operand into MC x MC blocks.
+/// Diagonal blocks go through the reference kernel (which completes the
+/// stored triangle); off-diagonal blocks are general and flow through the
+/// threaded gemm. Each output block applies beta exactly once (l0 == 0).
+template <Scalar T, bool Herm>
+void symm_blocked(Side side, Uplo uplo, idx m, idx n, T alpha, const T* a,
+                  idx lda, const T* b, idx ldb, T beta, T* c, idx ldc) {
+  constexpr idx nb = GemmBlocking<T>::MC;
+  const Trans tt = Herm ? Trans::ConjTrans : Trans::Trans;
+  const idx an = side == Side::Left ? m : n;
+  for (idx i0 = 0; i0 < an; i0 += nb) {
+    const idx ib = std::min<idx>(nb, an - i0);
+    for (idx l0 = 0; l0 < an; l0 += nb) {
+      const idx lb = std::min<idx>(nb, an - l0);
+      const T betaeff = l0 == 0 ? beta : T(1);
+      if (side == Side::Left) {
+        // C(i0 rows, :) += alpha * A(i0, l0) * B(l0 rows, :)
+        if (i0 == l0) {
+          symm_impl<T, Herm>(side, uplo, ib, n, alpha,
+                             a + static_cast<std::size_t>(i0) * lda + i0, lda,
+                             b + l0, ldb, betaeff, c + i0, ldc);
+        } else {
+          const bool stored = (uplo == Uplo::Upper) == (i0 < l0);
+          const T* blk = stored
+                             ? a + static_cast<std::size_t>(l0) * lda + i0
+                             : a + static_cast<std::size_t>(i0) * lda + l0;
+          gemm(stored ? Trans::NoTrans : tt, Trans::NoTrans, ib, n, lb, alpha,
+               blk, lda, b + l0, ldb, betaeff, c + i0, ldc);
+        }
+      } else {
+        // C(:, i0 cols) += alpha * B(:, l0 cols) * A(l0, i0)
+        if (i0 == l0) {
+          symm_impl<T, Herm>(side, uplo, m, ib, alpha,
+                             a + static_cast<std::size_t>(i0) * lda + i0, lda,
+                             b + static_cast<std::size_t>(l0) * ldb, ldb,
+                             betaeff, c + static_cast<std::size_t>(i0) * ldc,
+                             ldc);
+        } else {
+          const bool stored = (uplo == Uplo::Upper) == (l0 < i0);
+          const T* blk = stored
+                             ? a + static_cast<std::size_t>(i0) * lda + l0
+                             : a + static_cast<std::size_t>(l0) * lda + i0;
+          gemm(Trans::NoTrans, stored ? Trans::NoTrans : tt, m, ib, lb, alpha,
+               b + static_cast<std::size_t>(l0) * ldb, ldb, blk, lda, betaeff,
+               c + static_cast<std::size_t>(i0) * ldc, ldc);
+        }
+      }
+    }
+  }
+}
+
 }  // namespace detail
 
-/// Symmetric matrix-matrix product (xSYMM).
+/// Symmetric matrix-matrix product (xSYMM). Large symmetric operands are
+/// recast onto blocked gemm; small ones use the reference kernel.
 template <Scalar T>
 void symm(Side side, Uplo uplo, idx m, idx n, T alpha, const T* a, idx lda,
           const T* b, idx ldb, T beta, T* c, idx ldc) noexcept {
-  detail::symm_impl<T, false>(side, uplo, m, n, alpha, a, lda, b, ldb, beta, c,
-                              ldc);
+  const idx an = side == Side::Left ? m : n;
+  if (m <= 0 || n <= 0 || alpha == T(0) ||
+      an <= detail::GemmBlocking<T>::MC) {
+    detail::symm_impl<T, false>(side, uplo, m, n, alpha, a, lda, b, ldb, beta,
+                                c, ldc);
+    return;
+  }
+  detail::symm_blocked<T, false>(side, uplo, m, n, alpha, a, lda, b, ldb, beta,
+                                 c, ldc);
 }
 
 /// Hermitian matrix-matrix product (xHEMM).
 template <Scalar T>
 void hemm(Side side, Uplo uplo, idx m, idx n, T alpha, const T* a, idx lda,
           const T* b, idx ldb, T beta, T* c, idx ldc) noexcept {
-  detail::symm_impl<T, is_complex_v<T>>(side, uplo, m, n, alpha, a, lda, b,
-                                        ldb, beta, c, ldc);
+  const idx an = side == Side::Left ? m : n;
+  if (m <= 0 || n <= 0 || alpha == T(0) ||
+      an <= detail::GemmBlocking<T>::MC) {
+    detail::symm_impl<T, is_complex_v<T>>(side, uplo, m, n, alpha, a, lda, b,
+                                          ldb, beta, c, ldc);
+    return;
+  }
+  detail::symm_blocked<T, is_complex_v<T>>(side, uplo, m, n, alpha, a, lda, b,
+                                           ldb, beta, c, ldc);
 }
 
-/// Symmetric rank-k update (xSYRK):
-///   C := alpha*A*A^T + beta*C   (trans == NoTrans, A n x k)
-///   C := alpha*A^T*A + beta*C   (trans == Trans,   A k x n)
-/// Only the `uplo` triangle of C is referenced/updated.
+namespace detail {
+
+/// Reference xSYRK kernel (see the public syrk for the blocked dispatch).
 template <Scalar T>
-void syrk(Uplo uplo, Trans trans, idx n, idx k, T alpha, const T* a, idx lda,
-          T beta, T* c, idx ldc) noexcept {
+void syrk_ref(Uplo uplo, Trans trans, idx n, idx k, T alpha, const T* a,
+              idx lda, T beta, T* c, idx ldc) noexcept {
   if (n <= 0) {
     return;
   }
@@ -340,13 +444,13 @@ void syrk(Uplo uplo, Trans trans, idx n, idx k, T alpha, const T* a, idx lda,
   }
 }
 
-/// Hermitian rank-k update (xHERK); alpha/beta are real, trans is N or C.
+/// Reference xHERK kernel; alpha/beta are real, trans is N or C.
 template <Scalar T>
-void herk(Uplo uplo, Trans trans, idx n, idx k, real_t<T> alpha, const T* a,
-          idx lda, real_t<T> beta, T* c, idx ldc) noexcept {
+void herk_ref(Uplo uplo, Trans trans, idx n, idx k, real_t<T> alpha,
+              const T* a, idx lda, real_t<T> beta, T* c, idx ldc) noexcept {
   if constexpr (!is_complex_v<T>) {
-    syrk(uplo, trans == Trans::ConjTrans ? Trans::Trans : trans, n, k,
-         T(alpha), a, lda, T(beta), c, ldc);
+    syrk_ref(uplo, trans == Trans::ConjTrans ? Trans::Trans : trans, n, k,
+             T(alpha), a, lda, T(beta), c, ldc);
     return;
   } else {
     if (n <= 0) {
@@ -390,6 +494,93 @@ void herk(Uplo uplo, Trans trans, idx n, idx k, real_t<T> alpha, const T* a,
       }
       // Force an exactly-real diagonal, as xHERK guarantees.
       ccol[j] = T(real_part(ccol[j]));
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Symmetric rank-k update (xSYRK):
+///   C := alpha*A*A^T + beta*C   (trans == NoTrans, A n x k)
+///   C := alpha*A^T*A + beta*C   (trans == Trans,   A k x n)
+/// Only the `uplo` triangle of C is referenced/updated. Large updates tile
+/// C into MC-wide block columns: the diagonal block stays on the reference
+/// kernel, the off-diagonal panel is a plain product and runs through the
+/// threaded gemm. Each block of C is touched exactly once, so beta applies
+/// correctly.
+template <Scalar T>
+void syrk(Uplo uplo, Trans trans, idx n, idx k, T alpha, const T* a, idx lda,
+          T beta, T* c, idx ldc) noexcept {
+  constexpr idx nb = detail::GemmBlocking<T>::MC;
+  if (n <= nb || k <= 0 || alpha == T(0)) {
+    detail::syrk_ref(uplo, trans, n, k, alpha, a, lda, beta, c, ldc);
+    return;
+  }
+  const bool nt = trans == Trans::NoTrans;
+  for (idx j0 = 0; j0 < n; j0 += nb) {
+    const idx jb = std::min<idx>(nb, n - j0);
+    const T* aj = nt ? a + j0 : a + static_cast<std::size_t>(j0) * lda;
+    detail::syrk_ref(uplo, trans, jb, k, alpha, aj, lda, beta,
+                     c + static_cast<std::size_t>(j0) * ldc + j0, ldc);
+    if (uplo == Uplo::Upper) {
+      if (j0 > 0) {
+        gemm(nt ? Trans::NoTrans : Trans::Trans,
+             nt ? Trans::Trans : Trans::NoTrans, j0, jb, k, alpha, a, lda, aj,
+             lda, beta, c + static_cast<std::size_t>(j0) * ldc, ldc);
+      }
+    } else {
+      const idx rem = n - j0 - jb;
+      if (rem > 0) {
+        const T* ar =
+            nt ? a + j0 + jb : a + static_cast<std::size_t>(j0 + jb) * lda;
+        gemm(nt ? Trans::NoTrans : Trans::Trans,
+             nt ? Trans::Trans : Trans::NoTrans, rem, jb, k, alpha, ar, lda,
+             aj, lda, beta, c + static_cast<std::size_t>(j0) * ldc + j0 + jb,
+             ldc);
+      }
+    }
+  }
+}
+
+/// Hermitian rank-k update (xHERK); alpha/beta are real, trans is N or C.
+/// Same blocked shape as syrk with conjugate transposes; diagonal blocks
+/// keep the reference kernel's exactly-real-diagonal guarantee.
+template <Scalar T>
+void herk(Uplo uplo, Trans trans, idx n, idx k, real_t<T> alpha, const T* a,
+          idx lda, real_t<T> beta, T* c, idx ldc) noexcept {
+  if constexpr (!is_complex_v<T>) {
+    syrk(uplo, trans == Trans::ConjTrans ? Trans::Trans : trans, n, k,
+         T(alpha), a, lda, T(beta), c, ldc);
+  } else {
+    constexpr idx nb = detail::GemmBlocking<T>::MC;
+    if (n <= nb || k <= 0 || alpha == real_t<T>(0)) {
+      detail::herk_ref(uplo, trans, n, k, alpha, a, lda, beta, c, ldc);
+      return;
+    }
+    const bool nt = trans == Trans::NoTrans;
+    for (idx j0 = 0; j0 < n; j0 += nb) {
+      const idx jb = std::min<idx>(nb, n - j0);
+      const T* aj = nt ? a + j0 : a + static_cast<std::size_t>(j0) * lda;
+      detail::herk_ref(uplo, trans, jb, k, alpha, aj, lda, beta,
+                       c + static_cast<std::size_t>(j0) * ldc + j0, ldc);
+      if (uplo == Uplo::Upper) {
+        if (j0 > 0) {
+          gemm(nt ? Trans::NoTrans : Trans::ConjTrans,
+               nt ? Trans::ConjTrans : Trans::NoTrans, j0, jb, k, T(alpha), a,
+               lda, aj, lda, T(beta),
+               c + static_cast<std::size_t>(j0) * ldc, ldc);
+        }
+      } else {
+        const idx rem = n - j0 - jb;
+        if (rem > 0) {
+          const T* ar =
+              nt ? a + j0 + jb : a + static_cast<std::size_t>(j0 + jb) * lda;
+          gemm(nt ? Trans::NoTrans : Trans::ConjTrans,
+               nt ? Trans::ConjTrans : Trans::NoTrans, rem, jb, k, T(alpha),
+               ar, lda, aj, lda, T(beta),
+               c + static_cast<std::size_t>(j0) * ldc + j0 + jb, ldc);
+        }
+      }
     }
   }
 }
@@ -491,11 +682,12 @@ void her2k(Uplo uplo, Trans trans, idx n, idx k, T alpha, const T* a, idx lda,
   }
 }
 
-/// Triangular matrix-matrix multiply (xTRMM):
-///   B := alpha * op(A) * B  (Left)   or   B := alpha * B * op(A)  (Right).
+namespace detail {
+
+/// Reference xTRMM kernel (see the public trmm for the blocked dispatch).
 template <Scalar T>
-void trmm(Side side, Uplo uplo, Trans trans, Diag diag, idx m, idx n, T alpha,
-          const T* a, idx lda, T* b, idx ldb) noexcept {
+void trmm_ref(Side side, Uplo uplo, Trans trans, Diag diag, idx m, idx n,
+              T alpha, const T* a, idx lda, T* b, idx ldb) noexcept {
   if (m <= 0 || n <= 0) {
     return;
   }
@@ -646,12 +838,10 @@ void trmm(Side side, Uplo uplo, Trans trans, Diag diag, idx m, idx n, T alpha,
   }
 }
 
-/// Triangular solve with multiple right-hand sides (xTRSM):
-///   op(A) * X = alpha * B  (Left)   or   X * op(A) = alpha * B  (Right),
-/// X overwriting B.
+/// Reference xTRSM kernel (see the public trsm for the blocked dispatch).
 template <Scalar T>
-void trsm(Side side, Uplo uplo, Trans trans, Diag diag, idx m, idx n, T alpha,
-          const T* a, idx lda, T* b, idx ldb) noexcept {
+void trsm_ref(Side side, Uplo uplo, Trans trans, Diag diag, idx m, idx n,
+              T alpha, const T* a, idx lda, T* b, idx ldb) noexcept {
   if (m <= 0 || n <= 0) {
     return;
   }
@@ -840,6 +1030,163 @@ void trsm(Side side, Uplo uplo, Trans trans, Diag diag, idx m, idx n, T alpha,
           }
         }
       }
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Triangular matrix-matrix multiply (xTRMM):
+///   B := alpha * op(A) * B  (Left)   or   B := alpha * B * op(A)  (Right).
+/// Large triangular operands are tiled into MC x MC blocks: diagonal blocks
+/// keep the reference kernel, off-diagonal contributions are general
+/// products through the threaded gemm. Working in effective-triangle order
+/// (eff_upper folds uplo with trans) means every block of B is finished
+/// before any block that depends on its old value is overwritten.
+template <Scalar T>
+void trmm(Side side, Uplo uplo, Trans trans, Diag diag, idx m, idx n, T alpha,
+          const T* a, idx lda, T* b, idx ldb) noexcept {
+  if (m <= 0 || n <= 0) {
+    return;
+  }
+  if (alpha == T(0)) {
+    detail::scale_c(m, n, T(0), b, ldb);
+    return;
+  }
+  constexpr idx nb = detail::GemmBlocking<T>::MC;
+  const idx an = side == Side::Left ? m : n;
+  if (an <= nb) {
+    detail::trmm_ref(side, uplo, trans, diag, m, n, alpha, a, lda, b, ldb);
+    return;
+  }
+  const bool nt = trans == Trans::NoTrans;
+  const bool eff_upper = (uplo == Uplo::Upper) == nt;
+  const idx nblk = (an + nb - 1) / nb;
+  if (side == Side::Left) {
+    for (idx t = 0; t < nblk; ++t) {
+      const idx bi = eff_upper ? t : nblk - 1 - t;
+      const idx k0 = bi * nb;
+      const idx kb = std::min<idx>(nb, m - k0);
+      detail::trmm_ref(side, uplo, trans, diag, kb, n, alpha,
+                       a + static_cast<std::size_t>(k0) * lda + k0, lda,
+                       b + k0, ldb);
+      if (eff_upper) {
+        const idx rem = m - k0 - kb;
+        if (rem > 0) {
+          const T* blk =
+              nt ? a + static_cast<std::size_t>(k0 + kb) * lda + k0
+                 : a + static_cast<std::size_t>(k0) * lda + k0 + kb;
+          gemm(nt ? Trans::NoTrans : trans, Trans::NoTrans, kb, n, rem, alpha,
+               blk, lda, b + k0 + kb, ldb, T(1), b + k0, ldb);
+        }
+      } else if (k0 > 0) {
+        const T* blk = nt ? a + k0 : a + static_cast<std::size_t>(k0) * lda;
+        gemm(nt ? Trans::NoTrans : trans, Trans::NoTrans, kb, n, k0, alpha,
+             blk, lda, b, ldb, T(1), b + k0, ldb);
+      }
+    }
+  } else {
+    for (idx t = 0; t < nblk; ++t) {
+      const idx bi = eff_upper ? nblk - 1 - t : t;
+      const idx j0 = bi * nb;
+      const idx jb = std::min<idx>(nb, n - j0);
+      detail::trmm_ref(side, uplo, trans, diag, m, jb, alpha,
+                       a + static_cast<std::size_t>(j0) * lda + j0, lda,
+                       b + static_cast<std::size_t>(j0) * ldb, ldb);
+      if (eff_upper) {
+        if (j0 > 0) {
+          const T* blk = nt ? a + static_cast<std::size_t>(j0) * lda : a + j0;
+          gemm(Trans::NoTrans, nt ? Trans::NoTrans : trans, m, jb, j0, alpha,
+               b, ldb, blk, lda, T(1),
+               b + static_cast<std::size_t>(j0) * ldb, ldb);
+        }
+      } else {
+        const idx rem = n - j0 - jb;
+        if (rem > 0) {
+          const T* blk =
+              nt ? a + static_cast<std::size_t>(j0) * lda + j0 + jb
+                 : a + static_cast<std::size_t>(j0 + jb) * lda + j0;
+          gemm(Trans::NoTrans, nt ? Trans::NoTrans : trans, m, jb, rem, alpha,
+               b + static_cast<std::size_t>(j0 + jb) * ldb, ldb, blk, lda,
+               T(1), b + static_cast<std::size_t>(j0) * ldb, ldb);
+        }
+      }
+    }
+  }
+}
+
+/// Triangular solve with multiple right-hand sides (xTRSM):
+///   op(A) * X = alpha * B  (Left)   or   X * op(A) = alpha * B  (Right),
+/// X overwriting B. Left-looking blocked form: each block of B first
+/// subtracts the already-solved blocks through the threaded gemm (which
+/// also applies alpha, as its beta), then finishes with a reference solve
+/// against the diagonal block.
+template <Scalar T>
+void trsm(Side side, Uplo uplo, Trans trans, Diag diag, idx m, idx n, T alpha,
+          const T* a, idx lda, T* b, idx ldb) noexcept {
+  if (m <= 0 || n <= 0) {
+    return;
+  }
+  if (alpha == T(0)) {
+    detail::scale_c(m, n, T(0), b, ldb);
+    return;
+  }
+  constexpr idx nb = detail::GemmBlocking<T>::MC;
+  const idx an = side == Side::Left ? m : n;
+  if (an <= nb) {
+    detail::trsm_ref(side, uplo, trans, diag, m, n, alpha, a, lda, b, ldb);
+    return;
+  }
+  const bool nt = trans == Trans::NoTrans;
+  const bool eff_upper = (uplo == Uplo::Upper) == nt;
+  const idx nblk = (an + nb - 1) / nb;
+  if (side == Side::Left) {
+    for (idx t = 0; t < nblk; ++t) {
+      const idx bi = eff_upper ? nblk - 1 - t : t;
+      const idx k0 = bi * nb;
+      const idx kb = std::min<idx>(nb, m - k0);
+      if (t > 0) {
+        if (eff_upper) {
+          const T* blk =
+              nt ? a + static_cast<std::size_t>(k0 + kb) * lda + k0
+                 : a + static_cast<std::size_t>(k0) * lda + k0 + kb;
+          gemm(nt ? Trans::NoTrans : trans, Trans::NoTrans, kb, n,
+               m - k0 - kb, T(-1), blk, lda, b + k0 + kb, ldb, alpha, b + k0,
+               ldb);
+        } else {
+          const T* blk = nt ? a + k0 : a + static_cast<std::size_t>(k0) * lda;
+          gemm(nt ? Trans::NoTrans : trans, Trans::NoTrans, kb, n, k0, T(-1),
+               blk, lda, b, ldb, alpha, b + k0, ldb);
+        }
+      }
+      detail::trsm_ref(side, uplo, trans, diag, kb, n, t == 0 ? alpha : T(1),
+                       a + static_cast<std::size_t>(k0) * lda + k0, lda,
+                       b + k0, ldb);
+    }
+  } else {
+    for (idx t = 0; t < nblk; ++t) {
+      const idx bi = eff_upper ? t : nblk - 1 - t;
+      const idx j0 = bi * nb;
+      const idx jb = std::min<idx>(nb, n - j0);
+      if (t > 0) {
+        if (eff_upper) {
+          const T* blk = nt ? a + static_cast<std::size_t>(j0) * lda : a + j0;
+          gemm(Trans::NoTrans, nt ? Trans::NoTrans : trans, m, jb, j0, T(-1),
+               b, ldb, blk, lda, alpha,
+               b + static_cast<std::size_t>(j0) * ldb, ldb);
+        } else {
+          const T* blk =
+              nt ? a + static_cast<std::size_t>(j0) * lda + j0 + jb
+                 : a + static_cast<std::size_t>(j0 + jb) * lda + j0;
+          gemm(Trans::NoTrans, nt ? Trans::NoTrans : trans, m, jb,
+               n - j0 - jb, T(-1),
+               b + static_cast<std::size_t>(j0 + jb) * ldb, ldb, blk, lda,
+               alpha, b + static_cast<std::size_t>(j0) * ldb, ldb);
+        }
+      }
+      detail::trsm_ref(side, uplo, trans, diag, m, jb, t == 0 ? alpha : T(1),
+                       a + static_cast<std::size_t>(j0) * lda + j0, lda,
+                       b + static_cast<std::size_t>(j0) * ldb, ldb);
     }
   }
 }

@@ -16,6 +16,8 @@ enum class EnvSpec : int {
   BlockSize = 1,       ///< optimal block size NB
   MinBlockSize = 2,    ///< minimum block size for the blocked path
   Crossover = 3,       ///< crossover point N below which unblocked is used
+  Threads = 4,         ///< worker count for the parallel Level-3 runtime
+                       ///< (our extension; not a reference ILAENV ISPEC)
 };
 
 /// Routine families with distinct tuning entries.

@@ -15,6 +15,7 @@
 #include "lapack90/core/error.hpp"
 #include "lapack90/core/matrix.hpp"
 #include "lapack90/core/packed.hpp"
+#include "lapack90/core/parallel.hpp"
 #include "lapack90/core/precision.hpp"
 #include "lapack90/core/random.hpp"
 #include "lapack90/core/types.hpp"

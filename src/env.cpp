@@ -5,12 +5,14 @@
 #include <array>
 #include <atomic>
 
+#include "lapack90/core/parallel.hpp"
+
 namespace la {
 
 namespace {
 
 constexpr int kRoutines = static_cast<int>(EnvRoutine::count_);
-constexpr int kSpecs = 3;
+constexpr int kSpecs = 4;
 
 struct Defaults {
   idx nb;
@@ -61,6 +63,11 @@ idx ilaenv(EnvSpec spec, EnvRoutine routine, idx n) noexcept {
       break;
     case EnvSpec::Crossover:
       v = d.nx;
+      break;
+    case EnvSpec::Threads:
+      // Defers to the parallel runtime's environment-derived default
+      // (LAPACK90_NUM_THREADS / OMP_NUM_THREADS / hardware concurrency).
+      v = detail::default_thread_count();
       break;
   }
   // Never hand back a block larger than the problem (matches the paper's

@@ -1,0 +1,199 @@
+// Thread runtime for the Level-3 BLAS — see include/lapack90/core/parallel.hpp.
+//
+// Two interchangeable backends sit behind detail::parallel_run:
+//   * OpenMP (LAPACK90_HAVE_OPENMP): a parallel region with a dynamically
+//     scheduled chunk loop — the runtime we expect on HPC toolchains.
+//   * A persistent std::thread pool, spun up lazily on first use, for
+//     builds without an OpenMP runtime. The calling thread participates as
+//     tid 0; top-level parallel_run calls are serialized against each
+//     other (one team at a time), matching the single-team OpenMP shape.
+
+#include "lapack90/core/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#ifdef LAPACK90_HAVE_OPENMP
+#include <omp.h>
+#endif
+
+namespace la {
+
+idx hardware_threads() noexcept {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<idx>(hc);
+}
+
+namespace detail {
+
+namespace {
+
+idx env_thread_count(const char* name) noexcept {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return 0;
+  }
+  const long n = std::strtol(v, nullptr, 10);
+  return n > 0 ? static_cast<idx>(n) : 0;
+}
+
+thread_local bool t_in_parallel = false;
+
+}  // namespace
+
+idx default_thread_count() noexcept {
+  static const idx cached = [] {
+    if (const idx n = env_thread_count("LAPACK90_NUM_THREADS")) {
+      return n;
+    }
+    if (const idx n = env_thread_count("OMP_NUM_THREADS")) {
+      return n;
+    }
+    return hardware_threads();
+  }();
+  return cached;
+}
+
+bool in_parallel_region() noexcept {
+#ifdef LAPACK90_HAVE_OPENMP
+  return t_in_parallel || omp_in_parallel() != 0;
+#else
+  return t_in_parallel;
+#endif
+}
+
+#ifdef LAPACK90_HAVE_OPENMP
+
+void parallel_run(idx nchunks, idx nthreads,
+                  const std::function<void(idx, int)>& body) {
+#pragma omp parallel num_threads(static_cast<int>(nthreads))
+  {
+    const int tid = omp_get_thread_num();
+#pragma omp for schedule(dynamic, 1)
+    for (idx i = 0; i < nchunks; ++i) {
+      body(i, tid);
+    }
+  }
+}
+
+#else  // std::thread pool fallback
+
+namespace {
+
+class ThreadPool {
+ public:
+  static ThreadPool& instance() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  void run(idx nchunks, idx nthreads,
+           const std::function<void(idx, int)>& body) {
+    // One team at a time; concurrent top-level callers queue up here.
+    std::lock_guard<std::mutex> team(team_mutex_);
+    const idx want = std::min<idx>(nthreads - 1,
+                                   static_cast<idx>(workers_.size()));
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      body_ = &body;
+      nchunks_ = nchunks;
+      next_.store(0, std::memory_order_relaxed);
+      participants_ = want;
+      remaining_ = want;
+      ++generation_;
+    }
+    work_cv_.notify_all();
+    // The caller is tid 0 and works alongside the pool.
+    t_in_parallel = true;
+    drain(0);
+    t_in_parallel = false;
+    std::unique_lock<std::mutex> lk(mutex_);
+    done_cv_.wait(lk, [&] { return remaining_ == 0; });
+    body_ = nullptr;
+  }
+
+ private:
+  ThreadPool() {
+    const idx n = hardware_threads() - 1;
+    workers_.reserve(static_cast<std::size_t>(n > 0 ? n : 0));
+    for (idx w = 0; w < n; ++w) {
+      workers_.emplace_back([this, w] { worker_loop(static_cast<int>(w)); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& t : workers_) {
+      t.join();
+    }
+  }
+
+  void drain(int tid) {
+    for (idx i = next_.fetch_add(1, std::memory_order_relaxed); i < nchunks_;
+         i = next_.fetch_add(1, std::memory_order_relaxed)) {
+      (*body_)(i, tid);
+    }
+  }
+
+  void worker_loop(int windex) {
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lk(mutex_);
+    for (;;) {
+      work_cv_.wait(lk, [&] {
+        return stop_ || (generation_ != seen && windex < participants_);
+      });
+      if (stop_) {
+        return;
+      }
+      seen = generation_;
+      lk.unlock();
+      t_in_parallel = true;
+      drain(windex + 1);
+      t_in_parallel = false;
+      lk.lock();
+      if (--remaining_ == 0) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex team_mutex_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  const std::function<void(idx, int)>* body_ = nullptr;
+  std::atomic<idx> next_{0};
+  idx nchunks_ = 0;
+  idx participants_ = 0;
+  idx remaining_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+void parallel_run(idx nchunks, idx nthreads,
+                  const std::function<void(idx, int)>& body) {
+  ThreadPool& pool = ThreadPool::instance();
+  if (hardware_threads() <= 1 || nthreads <= 1) {
+    for (idx i = 0; i < nchunks; ++i) {
+      body(i, 0);
+    }
+    return;
+  }
+  pool.run(nchunks, nthreads, body);
+}
+
+#endif  // LAPACK90_HAVE_OPENMP
+
+}  // namespace detail
+}  // namespace la

@@ -1,0 +1,188 @@
+// Two-sided reduction ablation: blocked (latrd/labrd/lahr2 panels with
+// syr2k/gemm/larfb trailing updates) versus the unblocked Level-2 base
+// cases, an NB sweep at n=1024, and a worker sweep showing the threaded
+// Level-3 runtime pulling the blocked path further ahead. Both paths run
+// the same code base, selected through the ilaenv override hooks.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_json_main.hpp"
+#include "lapack90/lapack90.hpp"
+
+namespace {
+
+using la::idx;
+
+void set_blocking(la::EnvRoutine r, idx nb) {
+  // nb == 0 restores the defaults; nb == 1 forces the unblocked path.
+  la::set_env_override(la::EnvSpec::BlockSize, r, nb);
+  la::set_env_override(la::EnvSpec::Crossover, r, nb == 1 ? 1 << 28 : 2);
+}
+
+la::Matrix<double> random_square(idx n) {
+  la::Iseed seed = la::default_iseed();
+  la::Matrix<double> a(n, n);
+  la::larnv(la::Dist::Uniform11, seed, n * n, a.data());
+  return a;
+}
+
+// --- sytrd: Hermitian -> tridiagonal --------------------------------------
+
+void run_sytrd(benchmark::State& state, idx n, idx nb, idx nt) {
+  la::Matrix<double> a0 = random_square(n);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < j; ++i) {
+      a0(j, i) = a0(i, j);
+    }
+  }
+  la::Matrix<double> a(n, n);
+  std::vector<double> d(n), e(n > 1 ? n - 1 : 1), tau(n > 1 ? n - 1 : 1);
+  set_blocking(la::EnvRoutine::sytrd, nb);
+  la::set_num_threads(nt);
+  for (auto _ : state) {
+    state.PauseTiming();
+    a = a0;
+    state.ResumeTiming();
+    la::lapack::sytrd(la::Uplo::Lower, n, a.data(), a.ld(), d.data(),
+                      e.data(), tau.data());
+  }
+  la::set_num_threads(0);
+  set_blocking(la::EnvRoutine::sytrd, 0);
+  const double flops = 4.0 / 3.0 * double(n) * n * n;
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      flops * static_cast<double>(state.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["nb"] = static_cast<double>(nb);
+  state.counters["threads"] = static_cast<double>(nt);
+}
+
+void BM_SytrdUnblocked(benchmark::State& state) {
+  run_sytrd(state, static_cast<idx>(state.range(0)), 1, 1);
+}
+BENCHMARK(BM_SytrdUnblocked)->Arg(128)->Arg(256)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_SytrdBlocked(benchmark::State& state) {
+  run_sytrd(state, static_cast<idx>(state.range(0)), 32, 1);
+}
+BENCHMARK(BM_SytrdBlocked)->Arg(128)->Arg(256)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_SytrdNbSweep(benchmark::State& state) {
+  run_sytrd(state, 1024, static_cast<idx>(state.range(0)), 1);
+}
+BENCHMARK(BM_SytrdNbSweep)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_SytrdThreads(benchmark::State& state) {
+  run_sytrd(state, 1024, 32, static_cast<idx>(state.range(0)));
+}
+BENCHMARK(BM_SytrdThreads)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// --- gebrd: general -> bidiagonal -----------------------------------------
+
+void run_gebrd(benchmark::State& state, idx n, idx nb, idx nt) {
+  la::Matrix<double> a0 = random_square(n);
+  la::Matrix<double> a(n, n);
+  std::vector<double> d(n), e(n), tauq(n), taup(n);
+  set_blocking(la::EnvRoutine::gebrd, nb);
+  la::set_num_threads(nt);
+  for (auto _ : state) {
+    state.PauseTiming();
+    a = a0;
+    state.ResumeTiming();
+    la::lapack::gebrd(n, n, a.data(), a.ld(), d.data(), e.data(),
+                      tauq.data(), taup.data());
+  }
+  la::set_num_threads(0);
+  set_blocking(la::EnvRoutine::gebrd, 0);
+  const double flops = 8.0 / 3.0 * double(n) * n * n;
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      flops * static_cast<double>(state.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["nb"] = static_cast<double>(nb);
+  state.counters["threads"] = static_cast<double>(nt);
+}
+
+void BM_GebrdUnblocked(benchmark::State& state) {
+  run_gebrd(state, static_cast<idx>(state.range(0)), 1, 1);
+}
+BENCHMARK(BM_GebrdUnblocked)->Arg(128)->Arg(256)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_GebrdBlocked(benchmark::State& state) {
+  run_gebrd(state, static_cast<idx>(state.range(0)), 32, 1);
+}
+BENCHMARK(BM_GebrdBlocked)->Arg(128)->Arg(256)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_GebrdNbSweep(benchmark::State& state) {
+  run_gebrd(state, 1024, static_cast<idx>(state.range(0)), 1);
+}
+BENCHMARK(BM_GebrdNbSweep)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_GebrdThreads(benchmark::State& state) {
+  run_gebrd(state, 1024, 32, static_cast<idx>(state.range(0)));
+}
+BENCHMARK(BM_GebrdThreads)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// --- gehrd: general -> Hessenberg -----------------------------------------
+
+void run_gehrd(benchmark::State& state, idx n, idx nb, idx nt) {
+  la::Matrix<double> a0 = random_square(n);
+  la::Matrix<double> a(n, n);
+  std::vector<double> tau(n > 1 ? n - 1 : 1);
+  set_blocking(la::EnvRoutine::gehrd, nb);
+  la::set_num_threads(nt);
+  for (auto _ : state) {
+    state.PauseTiming();
+    a = a0;
+    state.ResumeTiming();
+    la::lapack::gehrd(n, 0, n - 1, a.data(), a.ld(), tau.data());
+  }
+  la::set_num_threads(0);
+  set_blocking(la::EnvRoutine::gehrd, 0);
+  const double flops = 10.0 / 3.0 * double(n) * n * n;
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      flops * static_cast<double>(state.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["nb"] = static_cast<double>(nb);
+  state.counters["threads"] = static_cast<double>(nt);
+}
+
+void BM_GehrdUnblocked(benchmark::State& state) {
+  run_gehrd(state, static_cast<idx>(state.range(0)), 1, 1);
+}
+BENCHMARK(BM_GehrdUnblocked)->Arg(128)->Arg(256)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_GehrdBlocked(benchmark::State& state) {
+  run_gehrd(state, static_cast<idx>(state.range(0)), 32, 1);
+}
+BENCHMARK(BM_GehrdBlocked)->Arg(128)->Arg(256)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_GehrdNbSweep(benchmark::State& state) {
+  run_gehrd(state, 1024, static_cast<idx>(state.range(0)), 1);
+}
+BENCHMARK(BM_GehrdNbSweep)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_GehrdThreads(benchmark::State& state) {
+  run_gehrd(state, 1024, 32, static_cast<idx>(state.range(0)));
+}
+BENCHMARK(BM_GehrdThreads)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return la::bench::run_with_json_default(argc, argv, "BENCH_reductions.json");
+}

@@ -35,32 +35,110 @@ void gemv(Trans trans, idx m, idx n, T alpha, const T* a, idx lda, const T* x,
   }
   const T* xb = detail::stride_base(x, lenx, incx);
   if (trans == Trans::NoTrans) {
-    // y += alpha * A * x: accumulate column-by-column (unit-stride in A).
-    for (idx j = 0; j < n; ++j) {
-      const T t = alpha * xb[j * incx];
-      if (t == T(0)) {
-        continue;
+    if (incy == 1) {
+      // y += alpha * A * x, four columns at a time: each y element is
+      // loaded/stored once per four A columns instead of once per column.
+      // This nt gemv carries the V/W correction updates of the
+      // latrd/labrd/lahr2 panel kernels.
+      idx j = 0;
+      for (; j + 4 <= n; j += 4) {
+        const T t0 = alpha * xb[j * incx];
+        const T t1 = alpha * xb[(j + 1) * incx];
+        const T t2 = alpha * xb[(j + 2) * incx];
+        const T t3 = alpha * xb[(j + 3) * incx];
+        const T* c0 = a + static_cast<std::size_t>(j) * lda;
+        const T* c1 = c0 + lda;
+        const T* c2 = c1 + lda;
+        const T* c3 = c2 + lda;
+        if (t0 != T(0) && t1 != T(0) && t2 != T(0) && t3 != T(0)) {
+          for (idx i = 0; i < m; ++i) {
+            yb[i] += t0 * c0[i] + t1 * c1[i] + t2 * c2[i] + t3 * c3[i];
+          }
+        } else {
+          // Keep the reference-BLAS skip of exact-zero coefficients.
+          const T ts[4] = {t0, t1, t2, t3};
+          const T* cs[4] = {c0, c1, c2, c3};
+          for (int q = 0; q < 4; ++q) {
+            if (ts[q] == T(0)) {
+              continue;
+            }
+            for (idx i = 0; i < m; ++i) {
+              yb[i] += ts[q] * cs[q][i];
+            }
+          }
+        }
       }
-      const T* col = a + static_cast<std::size_t>(j) * lda;
-      for (idx i = 0; i < m; ++i) {
-        yb[i * incy] += t * col[i];
+      for (; j < n; ++j) {
+        const T t = alpha * xb[j * incx];
+        if (t == T(0)) {
+          continue;
+        }
+        const T* col = a + static_cast<std::size_t>(j) * lda;
+        for (idx i = 0; i < m; ++i) {
+          yb[i] += t * col[i];
+        }
+      }
+    } else {
+      // Strided y: accumulate column-by-column (unit-stride in A).
+      for (idx j = 0; j < n; ++j) {
+        const T t = alpha * xb[j * incx];
+        if (t == T(0)) {
+          continue;
+        }
+        const T* col = a + static_cast<std::size_t>(j) * lda;
+        for (idx i = 0; i < m; ++i) {
+          yb[i * incy] += t * col[i];
+        }
       }
     }
   } else {
     const bool conj = trans == Trans::ConjTrans;
-    for (idx j = 0; j < n; ++j) {
-      const T* col = a + static_cast<std::size_t>(j) * lda;
-      T s(0);
-      if (conj) {
-        for (idx i = 0; i < m; ++i) {
-          s += conj_if(col[i]) * xb[i * incx];
+    if (incx == 1) {
+      // Unit-stride fast path: four independent partial sums break the
+      // serial FMA dependency chain of the naive dot (the column reduce
+      // is the flop carrier of the latrd/labrd/lahr2 panel kernels).
+      for (idx j = 0; j < n; ++j) {
+        const T* col = a + static_cast<std::size_t>(j) * lda;
+        T s0(0), s1(0), s2(0), s3(0);
+        idx i = 0;
+        if (conj) {
+          for (; i + 4 <= m; i += 4) {
+            s0 += conj_if(col[i]) * xb[i];
+            s1 += conj_if(col[i + 1]) * xb[i + 1];
+            s2 += conj_if(col[i + 2]) * xb[i + 2];
+            s3 += conj_if(col[i + 3]) * xb[i + 3];
+          }
+          for (; i < m; ++i) {
+            s0 += conj_if(col[i]) * xb[i];
+          }
+        } else {
+          for (; i + 4 <= m; i += 4) {
+            s0 += col[i] * xb[i];
+            s1 += col[i + 1] * xb[i + 1];
+            s2 += col[i + 2] * xb[i + 2];
+            s3 += col[i + 3] * xb[i + 3];
+          }
+          for (; i < m; ++i) {
+            s0 += col[i] * xb[i];
+          }
         }
-      } else {
-        for (idx i = 0; i < m; ++i) {
-          s += col[i] * xb[i * incx];
-        }
+        yb[j * incy] += alpha * ((s0 + s1) + (s2 + s3));
       }
-      yb[j * incy] += alpha * s;
+    } else {
+      for (idx j = 0; j < n; ++j) {
+        const T* col = a + static_cast<std::size_t>(j) * lda;
+        T s(0);
+        if (conj) {
+          for (idx i = 0; i < m; ++i) {
+            s += conj_if(col[i]) * xb[i * incx];
+          }
+        } else {
+          for (idx i = 0; i < m; ++i) {
+            s += col[i] * xb[i * incx];
+          }
+        }
+        yb[j * incy] += alpha * s;
+      }
     }
   }
 }
@@ -136,14 +214,41 @@ void symv_impl(Uplo uplo, idx n, T alpha, const T* a, idx lda, const T* x,
     return;
   }
   auto cj = [](const T& v) { return Conj ? conj_if(v) : v; };
+  // Unit-stride fast path: the fused update/reduce sweep carries half the
+  // sytrd flops; four partial sums break the dot's FMA dependency chain.
+  auto fused_sweep = [&](const T* col, const T t1, T* yu, const T* xu,
+                         idx len) -> T {
+    T t2a(0), t2b(0), t2c(0), t2d(0);
+    idx i = 0;
+    for (; i + 4 <= len; i += 4) {
+      yu[i] += t1 * col[i];
+      t2a += cj(col[i]) * xu[i];
+      yu[i + 1] += t1 * col[i + 1];
+      t2b += cj(col[i + 1]) * xu[i + 1];
+      yu[i + 2] += t1 * col[i + 2];
+      t2c += cj(col[i + 2]) * xu[i + 2];
+      yu[i + 3] += t1 * col[i + 3];
+      t2d += cj(col[i + 3]) * xu[i + 3];
+    }
+    for (; i < len; ++i) {
+      yu[i] += t1 * col[i];
+      t2a += cj(col[i]) * xu[i];
+    }
+    return (t2a + t2b) + (t2c + t2d);
+  };
+  const bool unit = incx == 1 && incy == 1;
   if (uplo == Uplo::Upper) {
     for (idx j = 0; j < n; ++j) {
       const T* col = a + static_cast<std::size_t>(j) * lda;
       const T t1 = alpha * xb[j * incx];
       T t2(0);
-      for (idx i = 0; i < j; ++i) {
-        yb[i * incy] += t1 * col[i];
-        t2 += cj(col[i]) * xb[i * incx];
+      if (unit) {
+        t2 = fused_sweep(col, t1, yb, xb, j);
+      } else {
+        for (idx i = 0; i < j; ++i) {
+          yb[i * incy] += t1 * col[i];
+          t2 += cj(col[i]) * xb[i * incx];
+        }
       }
       const T diag = Conj ? T(real_part(col[j])) : col[j];
       yb[j * incy] += t1 * diag + alpha * t2;
@@ -155,9 +260,13 @@ void symv_impl(Uplo uplo, idx n, T alpha, const T* a, idx lda, const T* x,
       T t2(0);
       const T diag = Conj ? T(real_part(col[j])) : col[j];
       yb[j * incy] += t1 * diag;
-      for (idx i = j + 1; i < n; ++i) {
-        yb[i * incy] += t1 * col[i];
-        t2 += cj(col[i]) * xb[i * incx];
+      if (unit) {
+        t2 = fused_sweep(col + j + 1, t1, yb + j + 1, xb + j + 1, n - j - 1);
+      } else {
+        for (idx i = j + 1; i < n; ++i) {
+          yb[i * incy] += t1 * col[i];
+          t2 += cj(col[i]) * xb[i * incx];
+        }
       }
       yb[j * incy] += alpha * t2;
     }

@@ -434,11 +434,17 @@ void syrk_ref(Uplo uplo, Trans trans, idx n, idx k, T alpha, const T* a,
       for (idx i = lo; i <= hi; ++i) {
         const T* ai = a + static_cast<std::size_t>(i) * lda;
         const T* aj = a + static_cast<std::size_t>(j) * lda;
-        T s(0);
-        for (idx l = 0; l < k; ++l) {
-          s += ai[l] * aj[l];
+        // Two independent partial sums break the serial FMA chain.
+        T s0(0), s1(0);
+        idx l = 0;
+        for (; l + 1 < k; l += 2) {
+          s0 += ai[l] * aj[l];
+          s1 += ai[l + 1] * aj[l + 1];
         }
-        ccol[i] += alpha * s;
+        for (; l < k; ++l) {
+          s0 += ai[l] * aj[l];
+        }
+        ccol[i] += alpha * (s0 + s1);
       }
     }
   }
@@ -485,11 +491,16 @@ void herk_ref(Uplo uplo, Trans trans, idx n, idx k, real_t<T> alpha,
         for (idx i = lo; i <= hi; ++i) {
           const T* ai = a + static_cast<std::size_t>(i) * lda;
           const T* aj = a + static_cast<std::size_t>(j) * lda;
-          T s(0);
-          for (idx l = 0; l < k; ++l) {
-            s += conj_if(ai[l]) * aj[l];
+          T s0(0), s1(0);
+          idx l = 0;
+          for (; l + 1 < k; l += 2) {
+            s0 += conj_if(ai[l]) * aj[l];
+            s1 += conj_if(ai[l + 1]) * aj[l + 1];
           }
-          ccol[i] += T(alpha) * s;
+          for (; l < k; ++l) {
+            s0 += conj_if(ai[l]) * aj[l];
+          }
+          ccol[i] += T(alpha) * (s0 + s1);
         }
       }
       // Force an exactly-real diagonal, as xHERK guarantees.
@@ -585,12 +596,13 @@ void herk(Uplo uplo, Trans trans, idx n, idx k, real_t<T> alpha, const T* a,
   }
 }
 
-/// Symmetric rank-2k update (xSYR2K):
-///   C := alpha*A*B^T + alpha*B*A^T + beta*C  (NoTrans)
-///   C := alpha*A^T*B + alpha*B^T*A + beta*C  (Trans)
+namespace detail {
+
+/// Reference xSYR2K kernel (see the public syr2k for the blocked dispatch).
 template <Scalar T>
-void syr2k(Uplo uplo, Trans trans, idx n, idx k, T alpha, const T* a, idx lda,
-           const T* b, idx ldb, T beta, T* c, idx ldc) noexcept {
+void syr2k_ref(Uplo uplo, Trans trans, idx n, idx k, T alpha, const T* a,
+               idx lda, const T* b, idx ldb, T beta, T* c,
+               idx ldc) noexcept {
   if (n <= 0) {
     return;
   }
@@ -606,38 +618,52 @@ void syr2k(Uplo uplo, Trans trans, idx n, idx k, T alpha, const T* a, idx lda,
     if (alpha == T(0) || k <= 0) {
       continue;
     }
-    for (idx i = lo; i <= hi; ++i) {
-      T s(0);
-      if (trans == Trans::NoTrans) {
-        const T* arow = a;
-        const T* brow = b;
-        for (idx l = 0; l < k; ++l) {
-          s += arow[static_cast<std::size_t>(l) * lda + i] *
-                   brow[static_cast<std::size_t>(l) * ldb + j] +
-               brow[static_cast<std::size_t>(l) * ldb + i] *
-                   arow[static_cast<std::size_t>(l) * lda + j];
+    if (trans == Trans::NoTrans) {
+      // Axpy form: stream down the columns of A and B (unit stride) instead
+      // of dotting across rows with stride lda — this block is the diagonal
+      // kernel of the blocked syr2k that carries sytrd's trailing update.
+      for (idx l = 0; l < k; ++l) {
+        const T t1 = alpha * b[static_cast<std::size_t>(l) * ldb + j];
+        const T t2 = alpha * a[static_cast<std::size_t>(l) * lda + j];
+        if (t1 == T(0) && t2 == T(0)) {
+          continue;
         }
-      } else {
+        const T* acol = a + static_cast<std::size_t>(l) * lda;
+        const T* bcol = b + static_cast<std::size_t>(l) * ldb;
+        for (idx i = lo; i <= hi; ++i) {
+          ccol[i] += acol[i] * t1 + bcol[i] * t2;
+        }
+      }
+    } else {
+      for (idx i = lo; i <= hi; ++i) {
         const T* ai = a + static_cast<std::size_t>(i) * lda;
         const T* aj = a + static_cast<std::size_t>(j) * lda;
         const T* bi = b + static_cast<std::size_t>(i) * ldb;
         const T* bj = b + static_cast<std::size_t>(j) * ldb;
-        for (idx l = 0; l < k; ++l) {
-          s += ai[l] * bj[l] + bi[l] * aj[l];
+        // Two independent partial sums break the serial FMA chain.
+        T s0(0), s1(0);
+        idx l = 0;
+        for (; l + 1 < k; l += 2) {
+          s0 += ai[l] * bj[l] + bi[l] * aj[l];
+          s1 += ai[l + 1] * bj[l + 1] + bi[l + 1] * aj[l + 1];
         }
+        for (; l < k; ++l) {
+          s0 += ai[l] * bj[l] + bi[l] * aj[l];
+        }
+        ccol[i] += alpha * (s0 + s1);
       }
-      ccol[i] += alpha * s;
     }
   }
 }
 
-/// Hermitian rank-2k update (xHER2K); beta real.
+/// Reference xHER2K kernel; beta real.
 template <Scalar T>
-void her2k(Uplo uplo, Trans trans, idx n, idx k, T alpha, const T* a, idx lda,
-           const T* b, idx ldb, real_t<T> beta, T* c, idx ldc) noexcept {
+void her2k_ref(Uplo uplo, Trans trans, idx n, idx k, T alpha, const T* a,
+               idx lda, const T* b, idx ldb, real_t<T> beta, T* c,
+               idx ldc) noexcept {
   if constexpr (!is_complex_v<T>) {
-    syr2k(uplo, trans == Trans::ConjTrans ? Trans::Trans : trans, n, k, alpha,
-          a, lda, b, ldb, T(beta), c, ldc);
+    syr2k_ref(uplo, trans == Trans::ConjTrans ? Trans::Trans : trans, n, k,
+              alpha, a, lda, b, ldb, T(beta), c, ldc);
     return;
   } else {
     if (n <= 0) {
@@ -654,30 +680,229 @@ void her2k(Uplo uplo, Trans trans, idx n, idx k, T alpha, const T* a, idx lda,
       if (alpha == T(0) || k <= 0) {
         continue;
       }
-      for (idx i = lo; i <= hi; ++i) {
-        T s(0);
-        if (trans == Trans::NoTrans) {
-          // alpha*A*B^H + conj(alpha)*B*A^H
-          for (idx l = 0; l < k; ++l) {
-            s += alpha * a[static_cast<std::size_t>(l) * lda + i] *
-                     conj_if(b[static_cast<std::size_t>(l) * ldb + j]) +
-                 conj_if(alpha) * b[static_cast<std::size_t>(l) * ldb + i] *
-                     conj_if(a[static_cast<std::size_t>(l) * lda + j]);
+      if (trans == Trans::NoTrans) {
+        // alpha*A*B^H + conj(alpha)*B*A^H in axpy form: unit-stride column
+        // sweeps rather than stride-lda dots (mirrors syr2k_ref).
+        for (idx l = 0; l < k; ++l) {
+          const T t1 =
+              alpha * conj_if(b[static_cast<std::size_t>(l) * ldb + j]);
+          const T t2 = conj_if(alpha) *
+                       conj_if(a[static_cast<std::size_t>(l) * lda + j]);
+          if (t1 == T(0) && t2 == T(0)) {
+            continue;
           }
-        } else {
-          // alpha*A^H*B + conj(alpha)*B^H*A
+          const T* acol = a + static_cast<std::size_t>(l) * lda;
+          const T* bcol = b + static_cast<std::size_t>(l) * ldb;
+          for (idx i = lo; i <= hi; ++i) {
+            ccol[i] += acol[i] * t1 + bcol[i] * t2;
+          }
+        }
+      } else {
+        // alpha*A^H*B + conj(alpha)*B^H*A
+        for (idx i = lo; i <= hi; ++i) {
           const T* ai = a + static_cast<std::size_t>(i) * lda;
           const T* aj = a + static_cast<std::size_t>(j) * lda;
           const T* bi = b + static_cast<std::size_t>(i) * ldb;
           const T* bj = b + static_cast<std::size_t>(j) * ldb;
-          for (idx l = 0; l < k; ++l) {
-            s += alpha * conj_if(ai[l]) * bj[l] +
-                 conj_if(alpha) * conj_if(bi[l]) * aj[l];
+          T sa0(0), sa1(0), sb0(0), sb1(0);
+          idx l = 0;
+          for (; l + 1 < k; l += 2) {
+            sa0 += conj_if(ai[l]) * bj[l];
+            sb0 += conj_if(bi[l]) * aj[l];
+            sa1 += conj_if(ai[l + 1]) * bj[l + 1];
+            sb1 += conj_if(bi[l + 1]) * aj[l + 1];
           }
+          for (; l < k; ++l) {
+            sa0 += conj_if(ai[l]) * bj[l];
+            sb0 += conj_if(bi[l]) * aj[l];
+          }
+          ccol[i] += alpha * (sa0 + sa1) + conj_if(alpha) * (sb0 + sb1);
         }
-        ccol[i] += s;
       }
       ccol[j] = T(real_part(ccol[j]));
+    }
+  }
+}
+
+/// Concatenation scratch for the rank-2k NoTrans fast path: S = [A B] and
+/// the scaled twin, both n x 2k column-major. Never shrinks, so the
+/// steady-state sytrd/hetrd trailing updates do no heap allocation.
+template <Scalar T>
+T* rank2k_workspace(int which, std::size_t elems) {
+  thread_local std::vector<T> buf[2];
+  std::vector<T>& v = buf[which];
+  if (v.size() < elems) {
+    v.resize(elems);
+  }
+  return v.data();
+}
+
+}  // namespace detail
+
+/// Symmetric rank-2k update (xSYR2K):
+///   C := alpha*A*B^T + alpha*B*A^T + beta*C  (NoTrans)
+///   C := alpha*A^T*B + alpha*B^T*A + beta*C  (Trans)
+/// Same blocked shape as syrk: diagonal blocks stay on the reference
+/// kernel; off-diagonal panels run through the threaded gemm. For NoTrans
+/// (the blocked sytrd trailing update) the two rank-k products are merged
+/// into ONE gemm of depth 2k over concatenated operands S = [A B] and
+/// Tm = [alpha*B alpha*A]: C += S*Tm^T makes a single pass over the
+/// trailing matrix instead of two — the update is bandwidth-bound on C,
+/// so this nearly halves its cost on top of the better k-depth.
+template <Scalar T>
+void syr2k(Uplo uplo, Trans trans, idx n, idx k, T alpha, const T* a, idx lda,
+           const T* b, idx ldb, T beta, T* c, idx ldc) noexcept {
+  constexpr idx nb = detail::GemmBlocking<T>::MC;
+  if (n <= nb || k <= 0 || alpha == T(0)) {
+    detail::syr2k_ref(uplo, trans, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+    return;
+  }
+  const bool nt = trans == Trans::NoTrans;
+  const T* s = nullptr;   // [A B], n x 2k
+  const T* tm = nullptr;  // [alpha*B alpha*A], n x 2k
+  if (nt) {
+    T* sw = detail::rank2k_workspace<T>(
+        0, static_cast<std::size_t>(n) * 2 * static_cast<std::size_t>(k));
+    T* tw = detail::rank2k_workspace<T>(
+        1, static_cast<std::size_t>(n) * 2 * static_cast<std::size_t>(k));
+    for (idx l = 0; l < k; ++l) {
+      const T* acol = a + static_cast<std::size_t>(l) * lda;
+      const T* bcol = b + static_cast<std::size_t>(l) * ldb;
+      T* s1 = sw + static_cast<std::size_t>(l) * n;
+      T* s2 = sw + static_cast<std::size_t>(k + l) * n;
+      T* t1 = tw + static_cast<std::size_t>(l) * n;
+      T* t2 = tw + static_cast<std::size_t>(k + l) * n;
+      for (idx i = 0; i < n; ++i) {
+        s1[i] = acol[i];
+        s2[i] = bcol[i];
+        t1[i] = alpha * bcol[i];
+        t2[i] = alpha * acol[i];
+      }
+    }
+    s = sw;
+    tm = tw;
+  }
+  for (idx j0 = 0; j0 < n; j0 += nb) {
+    const idx jb = std::min<idx>(nb, n - j0);
+    const T* aj = nt ? a + j0 : a + static_cast<std::size_t>(j0) * lda;
+    const T* bj = nt ? b + j0 : b + static_cast<std::size_t>(j0) * ldb;
+    detail::syr2k_ref(uplo, trans, jb, k, alpha, aj, lda, bj, ldb, beta,
+                      c + static_cast<std::size_t>(j0) * ldc + j0, ldc);
+    if (uplo == Uplo::Upper) {
+      if (j0 > 0) {
+        T* cj = c + static_cast<std::size_t>(j0) * ldc;
+        if (nt) {
+          gemm(Trans::NoTrans, Trans::Trans, j0, jb, 2 * k, T(1), s, n,
+               tm + j0, n, beta, cj, ldc);
+        } else {
+          gemm(Trans::Trans, Trans::NoTrans, j0, jb, k, alpha, a, lda, bj,
+               ldb, beta, cj, ldc);
+          gemm(Trans::Trans, Trans::NoTrans, j0, jb, k, alpha, b, ldb, aj,
+               lda, T(1), cj, ldc);
+        }
+      }
+    } else {
+      const idx rem = n - j0 - jb;
+      if (rem > 0) {
+        T* cj = c + static_cast<std::size_t>(j0) * ldc + j0 + jb;
+        if (nt) {
+          gemm(Trans::NoTrans, Trans::Trans, rem, jb, 2 * k, T(1),
+               s + j0 + jb, n, tm + j0, n, beta, cj, ldc);
+        } else {
+          const T* ar = a + static_cast<std::size_t>(j0 + jb) * lda;
+          const T* br = b + static_cast<std::size_t>(j0 + jb) * ldb;
+          gemm(Trans::Trans, Trans::NoTrans, rem, jb, k, alpha, ar, lda, bj,
+               ldb, beta, cj, ldc);
+          gemm(Trans::Trans, Trans::NoTrans, rem, jb, k, alpha, br, ldb, aj,
+               lda, T(1), cj, ldc);
+        }
+      }
+    }
+  }
+}
+
+/// Hermitian rank-2k update (xHER2K); beta real:
+///   C := alpha*A*B^H + conj(alpha)*B*A^H + beta*C  (NoTrans)
+///   C := alpha*A^H*B + conj(alpha)*B^H*A + beta*C  (ConjTrans)
+/// Blocked like its real twin: the NoTrans path (blocked hetrd's trailing
+/// update) merges the two rank-k products into one gemm of depth 2k over
+/// S = [A B] and Tm = [conj(alpha)*B alpha*A] (so S*Tm^H gives both
+/// terms), making a single pass over the trailing matrix.
+template <Scalar T>
+void her2k(Uplo uplo, Trans trans, idx n, idx k, T alpha, const T* a, idx lda,
+           const T* b, idx ldb, real_t<T> beta, T* c, idx ldc) noexcept {
+  if constexpr (!is_complex_v<T>) {
+    syr2k(uplo, trans == Trans::ConjTrans ? Trans::Trans : trans, n, k, alpha,
+          a, lda, b, ldb, T(beta), c, ldc);
+  } else {
+    constexpr idx nb = detail::GemmBlocking<T>::MC;
+    if (n <= nb || k <= 0 || alpha == T(0)) {
+      detail::her2k_ref(uplo, trans, n, k, alpha, a, lda, b, ldb, beta, c,
+                        ldc);
+      return;
+    }
+    const bool nt = trans == Trans::NoTrans;
+    const T* s = nullptr;   // [A B], n x 2k
+    const T* tm = nullptr;  // [conj(alpha)*B alpha*A], n x 2k
+    if (nt) {
+      T* sw = detail::rank2k_workspace<T>(
+          0, static_cast<std::size_t>(n) * 2 * static_cast<std::size_t>(k));
+      T* tw = detail::rank2k_workspace<T>(
+          1, static_cast<std::size_t>(n) * 2 * static_cast<std::size_t>(k));
+      const T ca = conj_if(alpha);
+      for (idx l = 0; l < k; ++l) {
+        const T* acol = a + static_cast<std::size_t>(l) * lda;
+        const T* bcol = b + static_cast<std::size_t>(l) * ldb;
+        T* s1 = sw + static_cast<std::size_t>(l) * n;
+        T* s2 = sw + static_cast<std::size_t>(k + l) * n;
+        T* t1 = tw + static_cast<std::size_t>(l) * n;
+        T* t2 = tw + static_cast<std::size_t>(k + l) * n;
+        for (idx i = 0; i < n; ++i) {
+          s1[i] = acol[i];
+          s2[i] = bcol[i];
+          t1[i] = ca * bcol[i];
+          t2[i] = alpha * acol[i];
+        }
+      }
+      s = sw;
+      tm = tw;
+    }
+    for (idx j0 = 0; j0 < n; j0 += nb) {
+      const idx jb = std::min<idx>(nb, n - j0);
+      const T* aj = nt ? a + j0 : a + static_cast<std::size_t>(j0) * lda;
+      const T* bj = nt ? b + j0 : b + static_cast<std::size_t>(j0) * ldb;
+      detail::her2k_ref(uplo, trans, jb, k, alpha, aj, lda, bj, ldb, beta,
+                        c + static_cast<std::size_t>(j0) * ldc + j0, ldc);
+      if (uplo == Uplo::Upper) {
+        if (j0 > 0) {
+          T* cj = c + static_cast<std::size_t>(j0) * ldc;
+          if (nt) {
+            gemm(Trans::NoTrans, Trans::ConjTrans, j0, jb, 2 * k, T(1), s, n,
+                 tm + j0, n, T(beta), cj, ldc);
+          } else {
+            gemm(Trans::ConjTrans, Trans::NoTrans, j0, jb, k, alpha, a, lda,
+                 bj, ldb, T(beta), cj, ldc);
+            gemm(Trans::ConjTrans, Trans::NoTrans, j0, jb, k, conj_if(alpha),
+                 b, ldb, aj, lda, T(1), cj, ldc);
+          }
+        }
+      } else {
+        const idx rem = n - j0 - jb;
+        if (rem > 0) {
+          T* cj = c + static_cast<std::size_t>(j0) * ldc + j0 + jb;
+          if (nt) {
+            gemm(Trans::NoTrans, Trans::ConjTrans, rem, jb, 2 * k, T(1),
+                 s + j0 + jb, n, tm + j0, n, T(beta), cj, ldc);
+          } else {
+            const T* ar = a + static_cast<std::size_t>(j0 + jb) * lda;
+            const T* br = b + static_cast<std::size_t>(j0 + jb) * ldb;
+            gemm(Trans::ConjTrans, Trans::NoTrans, rem, jb, k, alpha, ar, lda,
+                 bj, ldb, T(beta), cj, ldc);
+            gemm(Trans::ConjTrans, Trans::NoTrans, rem, jb, k, conj_if(alpha),
+                 br, ldb, aj, lda, T(1), cj, ldc);
+          }
+        }
+      }
     }
   }
 }

@@ -40,6 +40,23 @@ bool allocate(std::vector<T>& buf, std::size_t n, idx& linfo) {
   return true;
 }
 
+/// Reusable pivot workspace for the simple drivers when the caller omits
+/// IPIV. The buffer is thread-local and never shrinks, so the steady-state
+/// solve path performs no heap allocation (mirrors the gemm pack buffers
+/// in the threaded BLAS runtime). The -100 failure-injection hook is
+/// checked on every call, exactly like allocate().
+inline idx* pivot_workspace(idx n, idx& linfo) {
+  if (alloc_should_fail()) {
+    linfo = -100;
+    return nullptr;
+  }
+  thread_local std::vector<idx> buf;
+  if (static_cast<idx>(buf.size()) < n) {
+    buf.resize(static_cast<std::size_t>(n));
+  }
+  return buf.data();
+}
+
 }  // namespace detail
 
 /// LA_GESV( A, B, IPIV=ipiv, INFO=info ) — solves A X = B.
@@ -51,7 +68,6 @@ void gesv(Matrix<T>& a, Matrix<T>& b, std::span<idx> ipiv = {},
   idx linfo = 0;
   const idx n = a.rows();
   const idx nrhs = b.cols();
-  std::vector<idx> lpiv_store;
   idx* lpiv = ipiv.data();
   if (a.cols() != n) {
     linfo = -1;
@@ -61,9 +77,7 @@ void gesv(Matrix<T>& a, Matrix<T>& b, std::span<idx> ipiv = {},
     linfo = -3;
   } else if (n > 0) {
     if (ipiv.empty()) {
-      if (detail::allocate(lpiv_store, static_cast<std::size_t>(n), linfo)) {
-        lpiv = lpiv_store.data();
-      }
+      lpiv = detail::pivot_workspace(n, linfo);
     }
     if (linfo == 0) {
       f77::la_gesv(n, nrhs, a.data(), a.ld(), lpiv, b.data(), b.ld(), linfo);
@@ -79,7 +93,6 @@ void gesv(Matrix<T>& a, Vector<T>& b, std::span<idx> ipiv = {},
           idx* info = nullptr) {
   idx linfo = 0;
   const idx n = a.rows();
-  std::vector<idx> lpiv_store;
   idx* lpiv = ipiv.data();
   if (a.cols() != n) {
     linfo = -1;
@@ -89,9 +102,7 @@ void gesv(Matrix<T>& a, Vector<T>& b, std::span<idx> ipiv = {},
     linfo = -3;
   } else if (n > 0) {
     if (ipiv.empty()) {
-      if (detail::allocate(lpiv_store, static_cast<std::size_t>(n), linfo)) {
-        lpiv = lpiv_store.data();
-      }
+      lpiv = detail::pivot_workspace(n, linfo);
     }
     if (linfo == 0) {
       f77::la_gesv(n, idx{1}, a.data(), a.ld(), lpiv, b.data(),
@@ -107,7 +118,6 @@ void gbsv(BandMatrix<T>& ab, Matrix<T>& b, std::span<idx> ipiv = {},
           idx* info = nullptr) {
   idx linfo = 0;
   const idx n = ab.n();
-  std::vector<idx> lpiv_store;
   idx* lpiv = ipiv.data();
   if (b.rows() != n) {
     linfo = -2;
@@ -115,9 +125,7 @@ void gbsv(BandMatrix<T>& ab, Matrix<T>& b, std::span<idx> ipiv = {},
     linfo = -3;
   } else if (n > 0) {
     if (ipiv.empty()) {
-      if (detail::allocate(lpiv_store, static_cast<std::size_t>(n), linfo)) {
-        lpiv = lpiv_store.data();
-      }
+      lpiv = detail::pivot_workspace(n, linfo);
     }
     if (linfo == 0) {
       f77::la_gbsv(n, ab.kl(), ab.ku(), b.cols(), ab.data(), ab.ldab(), lpiv,
@@ -228,7 +236,6 @@ void sysv(Matrix<T>& a, Matrix<T>& b, Uplo uplo = Uplo::Upper,
           std::span<idx> ipiv = {}, idx* info = nullptr) {
   idx linfo = 0;
   const idx n = a.rows();
-  std::vector<idx> lpiv_store;
   idx* lpiv = ipiv.data();
   if (a.cols() != n) {
     linfo = -1;
@@ -238,9 +245,7 @@ void sysv(Matrix<T>& a, Matrix<T>& b, Uplo uplo = Uplo::Upper,
     linfo = -4;
   } else if (n > 0) {
     if (ipiv.empty()) {
-      if (detail::allocate(lpiv_store, static_cast<std::size_t>(n), linfo)) {
-        lpiv = lpiv_store.data();
-      }
+      lpiv = detail::pivot_workspace(n, linfo);
     }
     if (linfo == 0) {
       f77::la_sysv(uplo, n, b.cols(), a.data(), a.ld(), lpiv, b.data(),
@@ -256,7 +261,6 @@ void hesv(Matrix<T>& a, Matrix<T>& b, Uplo uplo = Uplo::Upper,
           std::span<idx> ipiv = {}, idx* info = nullptr) {
   idx linfo = 0;
   const idx n = a.rows();
-  std::vector<idx> lpiv_store;
   idx* lpiv = ipiv.data();
   if (a.cols() != n) {
     linfo = -1;
@@ -266,9 +270,7 @@ void hesv(Matrix<T>& a, Matrix<T>& b, Uplo uplo = Uplo::Upper,
     linfo = -4;
   } else if (n > 0) {
     if (ipiv.empty()) {
-      if (detail::allocate(lpiv_store, static_cast<std::size_t>(n), linfo)) {
-        lpiv = lpiv_store.data();
-      }
+      lpiv = detail::pivot_workspace(n, linfo);
     }
     if (linfo == 0) {
       f77::la_hesv(uplo, n, b.cols(), a.data(), a.ld(), lpiv, b.data(),
@@ -284,7 +286,6 @@ void spsv(PackedMatrix<T>& ap, Matrix<T>& b, std::span<idx> ipiv = {},
           idx* info = nullptr) {
   idx linfo = 0;
   const idx n = ap.n();
-  std::vector<idx> lpiv_store;
   idx* lpiv = ipiv.data();
   if (b.rows() != n) {
     linfo = -2;
@@ -292,9 +293,7 @@ void spsv(PackedMatrix<T>& ap, Matrix<T>& b, std::span<idx> ipiv = {},
     linfo = -4;
   } else if (n > 0) {
     if (ipiv.empty()) {
-      if (detail::allocate(lpiv_store, static_cast<std::size_t>(n), linfo)) {
-        lpiv = lpiv_store.data();
-      }
+      lpiv = detail::pivot_workspace(n, linfo);
     }
     if (linfo == 0) {
       f77::la_spsv(ap.uplo(), n, b.cols(), ap.data(), lpiv, b.data(), b.ld(),
@@ -310,7 +309,6 @@ void hpsv(PackedMatrix<T>& ap, Matrix<T>& b, std::span<idx> ipiv = {},
           idx* info = nullptr) {
   idx linfo = 0;
   const idx n = ap.n();
-  std::vector<idx> lpiv_store;
   idx* lpiv = ipiv.data();
   if (b.rows() != n) {
     linfo = -2;
@@ -318,9 +316,7 @@ void hpsv(PackedMatrix<T>& ap, Matrix<T>& b, std::span<idx> ipiv = {},
     linfo = -4;
   } else if (n > 0) {
     if (ipiv.empty()) {
-      if (detail::allocate(lpiv_store, static_cast<std::size_t>(n), linfo)) {
-        lpiv = lpiv_store.data();
-      }
+      lpiv = detail::pivot_workspace(n, linfo);
     }
     if (linfo == 0) {
       f77::la_hpsv(ap.uplo(), n, b.cols(), ap.data(), lpiv, b.data(), b.ld(),

@@ -31,6 +31,29 @@
 
 namespace la::lapack {
 
+namespace detail {
+
+/// Reusable per-thread workspace for blocked factorizations, reductions
+/// and Q accumulation. Keyed by a tag type so that nested calls from
+/// different routine families (orgtr -> orgqr, gesvd -> gebrd -> orgbr)
+/// never alias the same buffer. The buffer never shrinks, so steady-state
+/// drivers perform no heap allocation per factorization — the same
+/// contract as the gemm pack buffers in blas/level3.hpp.
+template <Scalar T, class Tag>
+[[nodiscard]] inline T* work_buffer(std::size_t n) {
+  thread_local std::vector<T> buf;
+  if (buf.size() < n) {
+    buf.resize(n);
+  }
+  return buf.data();
+}
+
+struct OrgQrTag {};
+struct OrgLqTag {};
+struct OrgQlTag {};
+
+}  // namespace detail
+
 /// Conjugate the elements of a vector in place (xLACGV); no-op for real.
 template <Scalar T>
 void lacgv(idx n, T* x, idx incx) noexcept {
@@ -209,6 +232,166 @@ void larfb(Side side, Trans trans, idx m, idx n, idx k, const T* v, idx ldv,
   }
 }
 
+/// Form the lower-triangular factor T of a block reflector from k
+/// backward, columnwise-stored reflectors (xLARFT 'B','C'):
+/// H = H(k) ... H(2) H(1) with reflector i in column i of the n x k V,
+/// unit entry at row n-k+i and zeros below it (the xGEQLF / orgql layout).
+template <Scalar T>
+void larft_back(idx n, idx k, T* v, idx ldv, const T* tau, T* t,
+                idx ldt) noexcept {
+  for (idx i = k - 1; i >= 0; --i) {
+    T* ti = t + static_cast<std::size_t>(i) * ldt;
+    if (tau[i] == T(0)) {
+      for (idx j = i; j < k; ++j) {
+        ti[j] = T(0);
+      }
+    } else {
+      if (i < k - 1) {
+        T* vi = v + static_cast<std::size_t>(i) * ldv;
+        const idx nrow = n - k + i + 1;  // rows 0 .. n-k+i hold H(i)'s vector
+        const T vlast = vi[nrow - 1];
+        vi[nrow - 1] = T(1);
+        // T(i+1:k-1, i) = -tau(i) * V(0:n-k+i, i+1:k-1)^H * V(0:n-k+i, i).
+        blas::gemv(conj_trans_for<T>(), nrow, k - i - 1, -tau[i],
+                   v + static_cast<std::size_t>(i + 1) * ldv, ldv, vi, 1,
+                   T(0), ti + i + 1, 1);
+        vi[nrow - 1] = vlast;
+        // T(i+1:k-1, i) := T(i+1:k-1, i+1:k-1) * T(i+1:k-1, i).
+        blas::trmv(Uplo::Lower, Trans::NoTrans, Diag::NonUnit, k - i - 1,
+                   t + static_cast<std::size_t>(i + 1) * ldt + i + 1, ldt,
+                   ti + i + 1, 1);
+      }
+      ti[i] = tau[i];
+    }
+  }
+}
+
+/// Apply a backward, columnwise block reflector H = I - V T V^H (or H^H)
+/// to C from the left (xLARFB 'B','C' side 'L' — the only side orgql
+/// needs). V = [V1; V2] with V2 the k x k unit upper-triangular tail; T is
+/// lower triangular from larft_back. `work` is n x k with leading
+/// dimension ldwork.
+template <Scalar T>
+void larfb_back(Trans trans, idx m, idx n, idx k, const T* v, idx ldv,
+                const T* t, idx ldt, T* c, idx ldc, T* work,
+                idx ldwork) noexcept {
+  if (m <= 0 || n <= 0 || k <= 0) {
+    return;
+  }
+  const Trans ct = conj_trans_for<T>();
+  const Trans transt = trans == Trans::NoTrans ? ct : Trans::NoTrans;
+  const T* v2 = v + (m - k);
+  T* c2 = c + (m - k);
+  // W := C^H V = C1^H V1 + C2^H V2 (C2 = last k rows of C).
+  for (idx j = 0; j < k; ++j) {
+    blas::copy(n, c2 + j, ldc, work + static_cast<std::size_t>(j) * ldwork,
+               1);
+    lacgv(n, work + static_cast<std::size_t>(j) * ldwork, 1);
+  }
+  blas::trmm(Side::Right, Uplo::Upper, Trans::NoTrans, Diag::Unit, n, k, T(1),
+             v2, ldv, work, ldwork);
+  if (m > k) {
+    blas::gemm(ct, Trans::NoTrans, n, k, m - k, T(1), c, ldc, v, ldv, T(1),
+               work, ldwork);
+  }
+  blas::trmm(Side::Right, Uplo::Lower, transt, Diag::NonUnit, n, k, T(1), t,
+             ldt, work, ldwork);
+  // C -= V W^H.
+  if (m > k) {
+    blas::gemm(Trans::NoTrans, ct, m - k, n, k, T(-1), v, ldv, work, ldwork,
+               T(1), c, ldc);
+  }
+  blas::trmm(Side::Right, Uplo::Upper, ct, Diag::Unit, n, k, T(1), v2, ldv,
+             work, ldwork);
+  for (idx j = 0; j < k; ++j) {
+    T* cj = c2 + j;
+    const T* wj = work + static_cast<std::size_t>(j) * ldwork;
+    for (idx i = 0; i < n; ++i) {
+      cj[static_cast<std::size_t>(i) * ldc] -= conj_if(wj[i]);
+    }
+  }
+}
+
+/// Form the upper-triangular factor T of a block reflector from k forward,
+/// rowwise-stored reflectors (xLARFT 'F','R'): row i of the k x n V holds
+/// reflector i as stored by gelqf (conjugated for complex), with an
+/// implicit unit at (i, i). Used by the blocked orglq.
+template <Scalar T>
+void larft_row(idx n, idx k, T* v, idx ldv, const T* tau, T* t,
+               idx ldt) noexcept {
+  for (idx i = 0; i < k; ++i) {
+    T* ti = t + static_cast<std::size_t>(i) * ldt;
+    if (tau[i] == T(0)) {
+      for (idx j = 0; j < i; ++j) {
+        ti[j] = T(0);
+      }
+    } else {
+      if (i > 0) {
+        T& vii = v[static_cast<std::size_t>(i) * ldv + i];
+        const T save = vii;
+        vii = T(1);
+        // T(j, i) = -tau(i) * V(j, i:n-1) * V(i, i:n-1)^H for j < i.
+        for (idx j = 0; j < i; ++j) {
+          ti[j] =
+              -tau[i] *
+              conj_if(blas::dotc(
+                  n - i, v + static_cast<std::size_t>(i) * ldv + j, ldv,
+                  v + static_cast<std::size_t>(i) * ldv + i, ldv));
+        }
+        vii = save;
+        // T(0:i-1, i) := T(0:i-1, 0:i-1) * T(0:i-1, i).
+        blas::trmv(Uplo::Upper, Trans::NoTrans, Diag::NonUnit, i, t, ldt, ti,
+                   1);
+      }
+      ti[i] = tau[i];
+    }
+  }
+}
+
+/// Apply a forward, rowwise block reflector to C from the right
+/// (xLARFB 'F','R' side 'R' — the only side orglq needs). V is k x n with
+/// unit upper-triangular V1 = V(:, 0:k-1); `work` is m x k with leading
+/// dimension ldwork.
+template <Scalar T>
+void larfb_row(Trans trans, idx m, idx n, idx k, const T* v, idx ldv,
+               const T* t, idx ldt, T* c, idx ldc, T* work,
+               idx ldwork) noexcept {
+  if (m <= 0 || n <= 0 || k <= 0) {
+    return;
+  }
+  const Trans ct = conj_trans_for<T>();
+  // W := C V^H = C1 V1^H + C2 V2^H.
+  for (idx j = 0; j < k; ++j) {
+    blas::copy(m, c + static_cast<std::size_t>(j) * ldc, 1,
+               work + static_cast<std::size_t>(j) * ldwork, 1);
+  }
+  blas::trmm(Side::Right, Uplo::Upper, ct, Diag::Unit, m, k, T(1), v, ldv,
+             work, ldwork);
+  if (n > k) {
+    blas::gemm(Trans::NoTrans, ct, m, k, n - k, T(1),
+               c + static_cast<std::size_t>(k) * ldc, ldc,
+               v + static_cast<std::size_t>(k) * ldv, ldv, T(1), work,
+               ldwork);
+  }
+  blas::trmm(Side::Right, Uplo::Upper, trans, Diag::NonUnit, m, k, T(1), t,
+             ldt, work, ldwork);
+  // C -= W V.
+  if (n > k) {
+    blas::gemm(Trans::NoTrans, Trans::NoTrans, m, n - k, k, T(-1), work,
+               ldwork, v + static_cast<std::size_t>(k) * ldv, ldv, T(1),
+               c + static_cast<std::size_t>(k) * ldc, ldc);
+  }
+  blas::trmm(Side::Right, Uplo::Upper, Trans::NoTrans, Diag::Unit, m, k, T(1),
+             v, ldv, work, ldwork);
+  for (idx j = 0; j < k; ++j) {
+    T* cj = c + static_cast<std::size_t>(j) * ldc;
+    const T* wj = work + static_cast<std::size_t>(j) * ldwork;
+    for (idx i = 0; i < m; ++i) {
+      cj[i] -= wj[i];
+    }
+  }
+}
+
 /// Unblocked QR factorization (xGEQR2): A = Q R, reflectors below the
 /// diagonal, tau has min(m,n) entries. `work` needs n elements.
 template <Scalar T>
@@ -257,14 +440,15 @@ void geqrf(idx m, idx n, T* a, idx lda, T* tau) {
   }
 }
 
-/// Form the leading n columns of Q from geqrf output (xORGQR / xUNGQR):
-/// A becomes m x n with orthonormal columns; k reflectors, m >= n >= k.
+namespace detail {
+
+/// Unblocked orgqr (xORG2R); `work` needs n elements.
 template <Scalar T>
-void orgqr(idx m, idx n, idx k, T* a, idx lda, const T* tau) {
+void org2r(idx m, idx n, idx k, T* a, idx lda, const T* tau,
+           T* work) noexcept {
   if (n <= 0) {
     return;
   }
-  std::vector<T> work(static_cast<std::size_t>(std::max<idx>(n, 1)));
   // Columns k..n-1 start as unit vectors.
   for (idx j = k; j < n; ++j) {
     T* col = a + static_cast<std::size_t>(j) * lda;
@@ -278,7 +462,7 @@ void orgqr(idx m, idx n, idx k, T* a, idx lda, const T* tau) {
     if (i < n - 1) {
       col[i] = T(1);
       larf(Side::Left, m - i, n - i - 1, col + i, 1, tau[i],
-           a + static_cast<std::size_t>(i + 1) * lda + i, lda, work.data());
+           a + static_cast<std::size_t>(i + 1) * lda + i, lda, work);
     }
     if (i < m - 1) {
       blas::scal(m - i - 1, -tau[i], col + i + 1, 1);
@@ -286,6 +470,152 @@ void orgqr(idx m, idx n, idx k, T* a, idx lda, const T* tau) {
     col[i] = T(1) - tau[i];
     for (idx j = 0; j < i; ++j) {
       col[j] = T(0);
+    }
+  }
+}
+
+/// Unblocked orgql (xORG2L): Q = H(k) ... H(1) with reflector i stored in
+/// column n-k+i, unit entry at row m-k+i. `work` needs n elements.
+template <Scalar T>
+void org2l(idx m, idx n, idx k, T* a, idx lda, const T* tau,
+           T* work) noexcept {
+  if (n <= 0) {
+    return;
+  }
+  // Columns 0..n-k-1 start as unit vectors ending at row m-n+j.
+  for (idx j = 0; j < n - k; ++j) {
+    T* col = a + static_cast<std::size_t>(j) * lda;
+    for (idx i = 0; i < m; ++i) {
+      col[i] = T(0);
+    }
+    col[m - n + j] = T(1);
+  }
+  for (idx i = 0; i < k; ++i) {
+    const idx ii = n - k + i;  // column holding H(i)
+    const idx mi = m - k + i;  // row of its unit entry
+    T* col = a + static_cast<std::size_t>(ii) * lda;
+    col[mi] = T(1);
+    larf(Side::Left, mi + 1, ii, col, 1, tau[i], a, lda, work);
+    blas::scal(mi, -tau[i], col, 1);
+    col[mi] = T(1) - tau[i];
+    for (idx l = mi + 1; l < m; ++l) {
+      col[l] = T(0);
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Form the leading n columns of Q from geqrf output (xORGQR / xUNGQR):
+/// A becomes m x n with orthonormal columns; k reflectors, m >= n >= k.
+/// Blocked through larft/larfb (ormqr-family tuning); org2r base case.
+template <Scalar T>
+void orgqr(idx m, idx n, idx k, T* a, idx lda, const T* tau) {
+  if (n <= 0) {
+    return;
+  }
+  const idx nb = std::max<idx>(block_size(EnvRoutine::ormqr, k), 1);
+  T* const ws = detail::work_buffer<T, detail::OrgQrTag>(
+      static_cast<std::size_t>(nb) * nb +
+      static_cast<std::size_t>(std::max<idx>(n, 1)) * nb);
+  T* const t = ws;
+  T* const work = ws + static_cast<std::size_t>(nb) * nb;
+  if (nb <= 1 || nb >= k) {
+    detail::org2r(m, n, k, a, lda, tau, work);
+    return;
+  }
+  const idx nx =
+      std::max(nb, ilaenv(EnvSpec::Crossover, EnvRoutine::ormqr, k));
+  idx ki = 0;
+  idx kk = 0;
+  if (k > nx) {
+    ki = ((k - nx - 1) / nb) * nb;
+    kk = std::min(k, ki + nb);
+    // The blocked sweep owns columns 0..kk-1; their rows above the
+    // diagonal blocks start from zero.
+    for (idx j = kk; j < n; ++j) {
+      T* col = a + static_cast<std::size_t>(j) * lda;
+      for (idx i = 0; i < kk; ++i) {
+        col[i] = T(0);
+      }
+    }
+  }
+  if (kk < n) {
+    detail::org2r(m - kk, n - kk, k - kk,
+                  a + static_cast<std::size_t>(kk) * lda + kk, lda, tau + kk,
+                  work);
+  }
+  if (kk > 0) {
+    for (idx i = ki; i >= 0; i -= nb) {
+      const idx ib = std::min<idx>(nb, k - i);
+      if (i + ib < n) {
+        larft(m - i, ib, a + static_cast<std::size_t>(i) * lda + i, lda,
+              tau + i, t, nb);
+        larfb(Side::Left, Trans::NoTrans, m - i, n - i - ib, ib,
+              a + static_cast<std::size_t>(i) * lda + i, lda, t, nb,
+              a + static_cast<std::size_t>(i + ib) * lda + i, lda, work,
+              std::max<idx>(n - i - ib, 1));
+      }
+      detail::org2r(m - i, ib, ib, a + static_cast<std::size_t>(i) * lda + i,
+                    lda, tau + i, work);
+      for (idx j = i; j < i + ib; ++j) {
+        T* col = a + static_cast<std::size_t>(j) * lda;
+        for (idx l = 0; l < i; ++l) {
+          col[l] = T(0);
+        }
+      }
+    }
+  }
+}
+
+/// Form the last n columns of Q from a QL reflector set (xORGQL / xUNGQL):
+/// Q = H(k) ... H(1), reflector i in column n-k+i with unit entry at row
+/// m-k+i; m >= n >= k. Blocked through larft_back/larfb_back; org2l base
+/// case. This is the engine of the upper-triangle orgtr.
+template <Scalar T>
+void orgql(idx m, idx n, idx k, T* a, idx lda, const T* tau) {
+  if (n <= 0) {
+    return;
+  }
+  const idx nb = std::max<idx>(block_size(EnvRoutine::ormqr, k), 1);
+  T* const ws = detail::work_buffer<T, detail::OrgQlTag>(
+      static_cast<std::size_t>(nb) * nb +
+      static_cast<std::size_t>(std::max<idx>(n, 1)) * nb);
+  T* const t = ws;
+  T* const work = ws + static_cast<std::size_t>(nb) * nb;
+  if (nb <= 1 || nb >= k) {
+    detail::org2l(m, n, k, a, lda, tau, work);
+    return;
+  }
+  const idx nx =
+      std::max(nb, ilaenv(EnvSpec::Crossover, EnvRoutine::ormqr, k));
+  idx kk = 0;
+  if (k > nx) {
+    kk = std::min(k, ((k - nx + nb - 1) / nb) * nb);
+    // Rows m-kk..m-1 of the leading n-kk columns belong to later blocks.
+    for (idx j = 0; j < n - kk; ++j) {
+      T* col = a + static_cast<std::size_t>(j) * lda;
+      for (idx i = m - kk; i < m; ++i) {
+        col[i] = T(0);
+      }
+    }
+  }
+  detail::org2l(m - kk, n - kk, k - kk, a, lda, tau, work);
+  for (idx i = k - kk; i < k; i += nb) {
+    const idx ib = std::min<idx>(nb, k - i);
+    const idx jj = n - k + i;  // first column of this block
+    T* vblk = a + static_cast<std::size_t>(jj) * lda;
+    if (jj > 0) {
+      larft_back(m - k + i + ib, ib, vblk, lda, tau + i, t, nb);
+      larfb_back(Trans::NoTrans, m - k + i + ib, jj, ib, vblk, lda, t, nb, a,
+                 lda, work, std::max<idx>(jj, 1));
+    }
+    detail::org2l(m - k + i + ib, ib, ib, vblk, lda, tau + i, work);
+    for (idx j = jj; j < jj + ib; ++j) {
+      T* col = a + static_cast<std::size_t>(j) * lda;
+      for (idx l = m - k + i + ib; l < m; ++l) {
+        col[l] = T(0);
+      }
     }
   }
 }
@@ -358,14 +688,15 @@ void gelqf(idx m, idx n, T* a, idx lda, T* tau) {
   gelq2(m, n, a, lda, tau, work.data());
 }
 
-/// Form the leading m rows of Q from gelqf output (xORGLQ / xUNGLQ):
-/// A becomes m x n with orthonormal rows; k reflectors, n >= m >= k.
+namespace detail {
+
+/// Unblocked orglq (xORGL2); `work` needs m elements.
 template <Scalar T>
-void orglq(idx m, idx n, idx k, T* a, idx lda, const T* tau) {
+void orgl2(idx m, idx n, idx k, T* a, idx lda, const T* tau,
+           T* work) noexcept {
   if (m <= 0) {
     return;
   }
-  std::vector<T> work(static_cast<std::size_t>(std::max<idx>(m, 1)));
   for (idx i = k; i < m; ++i) {
     // Rows k..m-1 start as unit vectors.
     for (idx j = 0; j < n; ++j) {
@@ -381,7 +712,7 @@ void orglq(idx m, idx n, idx k, T* a, idx lda, const T* tau) {
     if (i < m - 1) {
       *aii = T(1);
       larf(Side::Right, m - i - 1, n - i, aii, lda, conj_if(tau[i]),
-           a + static_cast<std::size_t>(i) * lda + i + 1, lda, work.data());
+           a + static_cast<std::size_t>(i) * lda + i + 1, lda, work);
     }
     blas::scal(n - i - 1, -tau[i],
                a + static_cast<std::size_t>(i + 1) * lda + i, lda);
@@ -391,6 +722,67 @@ void orglq(idx m, idx n, idx k, T* a, idx lda, const T* tau) {
     *aii = T(1) - conj_if(tau[i]);
     for (idx j = 0; j < i; ++j) {
       a[static_cast<std::size_t>(j) * lda + i] = T(0);
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Form the leading m rows of Q from gelqf output (xORGLQ / xUNGLQ):
+/// A becomes m x n with orthonormal rows; k reflectors, n >= m >= k.
+/// Blocked through larft_row/larfb_row; orgl2 base case.
+template <Scalar T>
+void orglq(idx m, idx n, idx k, T* a, idx lda, const T* tau) {
+  if (m <= 0) {
+    return;
+  }
+  const idx nb = std::max<idx>(block_size(EnvRoutine::ormqr, k), 1);
+  T* const ws = detail::work_buffer<T, detail::OrgLqTag>(
+      static_cast<std::size_t>(nb) * nb +
+      static_cast<std::size_t>(std::max<idx>(m, 1)) * nb);
+  T* const t = ws;
+  T* const work = ws + static_cast<std::size_t>(nb) * nb;
+  if (nb <= 1 || nb >= k) {
+    detail::orgl2(m, n, k, a, lda, tau, work);
+    return;
+  }
+  const idx nx =
+      std::max(nb, ilaenv(EnvSpec::Crossover, EnvRoutine::ormqr, k));
+  idx ki = 0;
+  idx kk = 0;
+  if (k > nx) {
+    ki = ((k - nx - 1) / nb) * nb;
+    kk = std::min(k, ki + nb);
+    // The blocked sweep owns rows 0..kk-1; zero their tail below.
+    for (idx j = 0; j < kk; ++j) {
+      T* col = a + static_cast<std::size_t>(j) * lda;
+      for (idx i = kk; i < m; ++i) {
+        col[i] = T(0);
+      }
+    }
+  }
+  if (kk < m) {
+    detail::orgl2(m - kk, n - kk, k - kk,
+                  a + static_cast<std::size_t>(kk) * lda + kk, lda, tau + kk,
+                  work);
+  }
+  if (kk > 0) {
+    for (idx i = ki; i >= 0; i -= nb) {
+      const idx ib = std::min<idx>(nb, k - i);
+      T* vblk = a + static_cast<std::size_t>(i) * lda + i;
+      if (i + ib < m) {
+        larft_row(n - i, ib, vblk, lda, tau + i, t, nb);
+        larfb_row(conj_trans_for<T>(), m - i - ib, n - i, ib, vblk, lda, t,
+                  nb, a + static_cast<std::size_t>(i) * lda + i + ib, lda,
+                  work, std::max<idx>(m - i - ib, 1));
+      }
+      detail::orgl2(ib, n - i, ib, vblk, lda, tau + i, work);
+      for (idx j = 0; j < i; ++j) {
+        T* col = a + static_cast<std::size_t>(j) * lda;
+        for (idx l = i; l < i + ib; ++l) {
+          col[l] = T(0);
+        }
+      }
     }
   }
 }

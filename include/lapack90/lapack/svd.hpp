@@ -16,25 +16,26 @@
 #include <vector>
 
 #include "lapack90/blas/level1.hpp"
+#include "lapack90/blas/level3.hpp"
+#include "lapack90/core/env.hpp"
 #include "lapack90/core/precision.hpp"
 #include "lapack90/core/types.hpp"
 #include "lapack90/lapack/aux.hpp"
 #include "lapack90/lapack/qr.hpp"
+#include "lapack90/lapack/reduce_aux.hpp"
 
 namespace la::lapack {
 
-/// Bidiagonalize an m x n matrix (xGEBD2): Q^H A P = B with B upper
-/// bidiagonal for m >= n, lower bidiagonal otherwise. d gets min(m,n)
-/// diagonal entries, e the min(m,n)-1 off-diagonal ones (both real);
-/// tauq/taup the reflector scalars (min(m,n) each).
+namespace detail {
+
+/// Unblocked bidiagonalization (xGEBD2); `work` needs max(m, n) elements.
 template <Scalar T>
-void gebrd(idx m, idx n, T* a, idx lda, real_t<T>* d, real_t<T>* e, T* tauq,
-           T* taup) {
+void gebd2(idx m, idx n, T* a, idx lda, real_t<T>* d, real_t<T>* e, T* tauq,
+           T* taup, T* work) noexcept {
   const idx k = std::min(m, n);
   if (k == 0) {
     return;
   }
-  std::vector<T> work(static_cast<std::size_t>(std::max(m, n)));
   auto at = [&](idx i, idx j) -> T& {
     return a[static_cast<std::size_t>(j) * lda + i];
   };
@@ -47,7 +48,7 @@ void gebrd(idx m, idx n, T* a, idx lda, real_t<T>* d, real_t<T>* e, T* tauq,
       col[i] = T(1);
       if (i < n - 1) {
         larf(Side::Left, m - i, n - i - 1, col + i, 1, conj_if(tauq[i]),
-             a + static_cast<std::size_t>(i + 1) * lda + i, lda, work.data());
+             a + static_cast<std::size_t>(i + 1) * lda + i, lda, work);
       }
       col[i] = T(d[i]);
       if (i < n - 1) {
@@ -62,8 +63,7 @@ void gebrd(idx m, idx n, T* a, idx lda, real_t<T>* d, real_t<T>* e, T* tauq,
         aii1 = T(1);
         larf(Side::Right, m - i - 1, n - i - 1,
              a + static_cast<std::size_t>(i + 1) * lda + i, lda, taup[i],
-             a + static_cast<std::size_t>(i + 1) * lda + i + 1, lda,
-             work.data());
+             a + static_cast<std::size_t>(i + 1) * lda + i + 1, lda, work);
         lacgv(n - i - 1, a + static_cast<std::size_t>(i + 1) * lda + i, lda);
         aii1 = T(e[i]);
       } else {
@@ -84,7 +84,7 @@ void gebrd(idx m, idx n, T* a, idx lda, real_t<T>* d, real_t<T>* e, T* tauq,
       if (i < m - 1) {
         larf(Side::Right, m - i - 1, n - i,
              a + static_cast<std::size_t>(i) * lda + i, lda, taup[i],
-             a + static_cast<std::size_t>(i) * lda + i + 1, lda, work.data());
+             a + static_cast<std::size_t>(i) * lda + i + 1, lda, work);
       }
       lacgv(n - i, a + static_cast<std::size_t>(i) * lda + i, lda);
       aii = T(d[i]);
@@ -97,14 +97,100 @@ void gebrd(idx m, idx n, T* a, idx lda, real_t<T>* d, real_t<T>* e, T* tauq,
         col[i + 1] = T(1);
         larf(Side::Left, m - i - 1, n - i - 1, col + i + 1, 1,
              conj_if(tauq[i]),
-             a + static_cast<std::size_t>(i + 1) * lda + i + 1, lda,
-             work.data());
+             a + static_cast<std::size_t>(i + 1) * lda + i + 1, lda, work);
         col[i + 1] = T(e[i]);
       } else {
         tauq[i] = T(0);
       }
     }
   }
+}
+
+}  // namespace detail
+
+/// Bidiagonalize an m x n matrix (xGEBRD): Q^H A P = B with B upper
+/// bidiagonal for m >= n, lower bidiagonal otherwise. d gets min(m,n)
+/// diagonal entries, e the min(m,n)-1 off-diagonal ones (both real);
+/// tauq/taup the reflector scalars (min(m,n) each). Blocked: labrd panels
+/// + two gemm rank-nb trailing updates per panel (the Level-3 hot path);
+/// gebd2 base case below the ilaenv crossover.
+template <Scalar T>
+void gebrd(idx m, idx n, T* a, idx lda, real_t<T>* d, real_t<T>* e, T* tauq,
+           T* taup) {
+  const idx minmn = std::min(m, n);
+  if (minmn == 0) {
+    return;
+  }
+  const idx nb = std::max<idx>(block_size(EnvRoutine::gebrd, minmn), 1);
+  // Workspace: X (m x nb) + Y (n x nb), the concatenation scratch for the
+  // merged trailing update (S: m x 2nb, Dm: 2nb x n), and the unblocked
+  // kernel's max(m, n)-vector.
+  T* const ws = detail::work_buffer<T, detail::WsGebrdTag>(
+      3 * static_cast<std::size_t>(m + n) * nb +
+      static_cast<std::size_t>(std::max<idx>(std::max(m, n), 1)));
+  T* const x = ws;
+  T* const y = ws + static_cast<std::size_t>(m) * nb;
+  T* const cat = y + static_cast<std::size_t>(n) * nb;
+  T* const work = cat + 2 * static_cast<std::size_t>(m + n) * nb;
+  const idx ldx = m;
+  const idx ldy = n;
+  auto at = [&](idx i, idx j) -> T& {
+    return a[static_cast<std::size_t>(j) * lda + i];
+  };
+  idx i = 0;
+  if (nb > 1 && nb < minmn) {
+    const idx nx =
+        std::max(nb, ilaenv(EnvSpec::Crossover, EnvRoutine::gebrd, minmn));
+    for (; i < minmn - nx; i += nb) {
+      // Panel: reduce rows/columns i..i+nb-1, forming X and Y.
+      detail::labrd(m - i, n - i, nb, a + static_cast<std::size_t>(i) * lda + i,
+                    lda, d + i, e + i, tauq + i, taup + i, x, ldx, y, ldy);
+      // Trailing update A22 -= V2 Y2^H + X2 U2 (U rows already conjugated
+      // by labrd for complex types). The two rank-nb products are merged
+      // into ONE gemm of depth 2nb over S = [V2 X2] and Dm = [Y2^H ; U2],
+      // so the trailing matrix — the bandwidth carrier — is read and
+      // written once per panel instead of twice.
+      const idx m2 = m - i - nb;
+      const idx n2 = n - i - nb;
+      const idx k2 = 2 * nb;
+      T* const s = cat;                                     // m2 x 2nb
+      T* const dm = cat + static_cast<std::size_t>(m2) * k2;  // 2nb x n2
+      for (idx l = 0; l < nb; ++l) {
+        const T* v2 = a + static_cast<std::size_t>(i + l) * lda + i + nb;
+        const T* x2 = x + static_cast<std::size_t>(l) * ldx + nb;
+        T* s1 = s + static_cast<std::size_t>(l) * m2;
+        T* s2 = s + static_cast<std::size_t>(nb + l) * m2;
+        for (idx r = 0; r < m2; ++r) {
+          s1[r] = v2[r];
+          s2[r] = x2[r];
+        }
+      }
+      for (idx j = 0; j < n2; ++j) {
+        const T* y2 = y + nb + j;                    // row j of Y2 (ldy)
+        const T* u2 = a + static_cast<std::size_t>(i + nb + j) * lda + i;
+        T* dcol = dm + static_cast<std::size_t>(j) * k2;
+        for (idx l = 0; l < nb; ++l) {
+          dcol[l] = conj_if(y2[static_cast<std::size_t>(l) * ldy]);
+          dcol[nb + l] = u2[l];
+        }
+      }
+      blas::gemm(Trans::NoTrans, Trans::NoTrans, m2, n2, k2, T(-1), s, m2,
+                 dm, k2, T(1),
+                 a + static_cast<std::size_t>(i + nb) * lda + i + nb, lda);
+      // Restore the diagonal/off-diagonal entries overwritten by the unit
+      // entries of the panel reflectors.
+      for (idx j = i; j < i + nb; ++j) {
+        at(j, j) = T(d[j]);
+        if (m >= n) {
+          at(j, j + 1) = T(e[j]);
+        } else {
+          at(j + 1, j) = T(e[j]);
+        }
+      }
+    }
+  }
+  detail::gebd2(m - i, n - i, a + static_cast<std::size_t>(i) * lda + i, lda,
+                d + i, e + i, tauq + i, taup + i, work);
 }
 
 /// Which factor orgbr accumulates.

@@ -25,19 +25,22 @@
 #include "lapack90/core/packed.hpp"
 #include "lapack90/core/precision.hpp"
 #include "lapack90/core/types.hpp"
+#include "lapack90/blas/level3.hpp"
+#include "lapack90/core/env.hpp"
 #include "lapack90/lapack/aux.hpp"
 #include "lapack90/lapack/norms.hpp"
 #include "lapack90/lapack/qr.hpp"
+#include "lapack90/lapack/reduce_aux.hpp"
 
 namespace la::lapack {
 
-/// Reduce a symmetric/Hermitian matrix to real tridiagonal form by a
-/// unitary similarity Q^H A Q = T (xSYTD2 / xHETD2, unblocked).
-/// d (n) and e (n-1) receive the tridiagonal; tau the n-1 reflector
-/// scalars. The reflectors remain in the `uplo` triangle of A.
+namespace detail {
+
+/// Unblocked tridiagonal reduction (xSYTD2 / xHETD2); `work` needs n
+/// elements.
 template <Scalar T>
-void sytrd(Uplo uplo, idx n, T* a, idx lda, real_t<T>* d, real_t<T>* e,
-           T* tau) {
+void sytd2(Uplo uplo, idx n, T* a, idx lda, real_t<T>* d, real_t<T>* e,
+           T* tau, T* work) noexcept {
   using R = real_t<T>;
   if (n == 0) {
     return;
@@ -45,7 +48,7 @@ void sytrd(Uplo uplo, idx n, T* a, idx lda, real_t<T>* d, real_t<T>* e,
   auto at = [&](idx i, idx j) -> T& {
     return a[static_cast<std::size_t>(j) * lda + i];
   };
-  std::vector<T> w(static_cast<std::size_t>(n));
+  T* w = work;
   const T half = T(R(1) / R(2));
 
   if (uplo == Uplo::Upper) {
@@ -61,11 +64,10 @@ void sytrd(Uplo uplo, idx n, T* a, idx lda, real_t<T>* d, real_t<T>* e,
       if (taui != T(0)) {
         col[i] = T(1);
         // w = tau * A(0:i, 0:i) v.
-        blas::hemv(Uplo::Upper, i + 1, taui, a, lda, col, 1, T(0), w.data(),
-                   1);
-        const T alpha = -half * taui * blas::dotc(i + 1, w.data(), 1, col, 1);
-        blas::axpy(i + 1, alpha, col, 1, w.data(), 1);
-        blas::her2(Uplo::Upper, i + 1, T(-1), col, 1, w.data(), 1, a, lda);
+        blas::hemv(Uplo::Upper, i + 1, taui, a, lda, col, 1, T(0), w, 1);
+        const T alpha = -half * taui * blas::dotc(i + 1, w, 1, col, 1);
+        blas::axpy(i + 1, alpha, col, 1, w, 1);
+        blas::her2(Uplo::Upper, i + 1, T(-1), col, 1, w, 1, a, lda);
         col[i] = T(e[i]);
       } else if constexpr (is_complex_v<T>) {
         at(i, i) = T(real_part(at(i, i)));
@@ -90,11 +92,11 @@ void sytrd(Uplo uplo, idx n, T* a, idx lda, real_t<T>* d, real_t<T>* e,
         col[i + 1] = T(1);
         blas::hemv(Uplo::Lower, n - i - 1, taui,
                    a + static_cast<std::size_t>(i + 1) * lda + i + 1, lda,
-                   col + i + 1, 1, T(0), w.data(), 1);
+                   col + i + 1, 1, T(0), w, 1);
         const T alpha =
-            -half * taui * blas::dotc(n - i - 1, w.data(), 1, col + i + 1, 1);
-        blas::axpy(n - i - 1, alpha, col + i + 1, 1, w.data(), 1);
-        blas::her2(Uplo::Lower, n - i - 1, T(-1), col + i + 1, 1, w.data(), 1,
+            -half * taui * blas::dotc(n - i - 1, w, 1, col + i + 1, 1);
+        blas::axpy(n - i - 1, alpha, col + i + 1, 1, w, 1);
+        blas::her2(Uplo::Lower, n - i - 1, T(-1), col + i + 1, 1, w, 1,
                    a + static_cast<std::size_t>(i + 1) * lda + i + 1, lda);
         col[i + 1] = T(e[i]);
       } else if constexpr (is_complex_v<T>) {
@@ -108,6 +110,73 @@ void sytrd(Uplo uplo, idx n, T* a, idx lda, real_t<T>* d, real_t<T>* e,
   }
 }
 
+}  // namespace detail
+
+/// Reduce a symmetric/Hermitian matrix to real tridiagonal form by a
+/// unitary similarity Q^H A Q = T (xSYTRD / xHETRD). d (n) and e (n-1)
+/// receive the tridiagonal; tau the n-1 reflector scalars. The reflectors
+/// remain in the `uplo` triangle of A. Blocked: latrd panels + a single
+/// syr2k/her2k rank-2nb trailing update per panel (the Level-3 hot path);
+/// sytd2 base case below the ilaenv crossover.
+template <Scalar T>
+void sytrd(Uplo uplo, idx n, T* a, idx lda, real_t<T>* d, real_t<T>* e,
+           T* tau) {
+  using R = real_t<T>;
+  if (n == 0) {
+    return;
+  }
+  const idx nb = std::max<idx>(block_size(EnvRoutine::sytrd, n), 1);
+  T* const ws = detail::work_buffer<T, detail::WsSytrdTag>(
+      static_cast<std::size_t>(n) * nb + static_cast<std::size_t>(n));
+  T* const w = ws;                                      // n x nb panel W
+  T* const work = ws + static_cast<std::size_t>(n) * nb;  // sytd2 scratch
+  const idx nx = std::max(nb, ilaenv(EnvSpec::Crossover, EnvRoutine::sytrd, n));
+  if (nb <= 1 || nb >= n || n <= nx) {
+    detail::sytd2(uplo, n, a, lda, d, e, tau, work);
+    return;
+  }
+  auto at = [&](idx i, idx j) -> T& {
+    return a[static_cast<std::size_t>(j) * lda + i];
+  };
+  const idx ldw = n;
+  if (uplo == Uplo::Upper) {
+    // Peel nb-column panels off the trailing end; kk columns remain for
+    // the unblocked base case.
+    const idx kk = n - ((n - nx + nb - 1) / nb) * nb;
+    for (idx p = n - nb; p >= kk; p -= nb) {
+      // Reduce columns p..p+nb-1 and form W for the leading block.
+      detail::latrd(uplo, p + nb, nb, a, lda, e, tau, w, ldw);
+      // A(0:p-1, 0:p-1) -= V W^H + W V^H.
+      blas::her2k(Uplo::Upper, Trans::NoTrans, p, nb, T(-1),
+                  a + static_cast<std::size_t>(p) * lda, lda, w, ldw, R(1), a,
+                  lda);
+      // Restore the superdiagonal entries overwritten by the unit entries.
+      for (idx j = p; j < p + nb; ++j) {
+        at(j - 1, j) = T(e[j - 1]);
+        d[j] = real_part(at(j, j));
+      }
+    }
+    detail::sytd2(uplo, kk, a, lda, d, e, tau, work);
+  } else {
+    idx p = 0;
+    for (; p < n - nx; p += nb) {
+      detail::latrd(uplo, n - p, nb, a + static_cast<std::size_t>(p) * lda + p,
+                    lda, e + p, tau + p, w, ldw);
+      // A(p+nb:, p+nb:) -= V W^H + W V^H.
+      blas::her2k(Uplo::Lower, Trans::NoTrans, n - p - nb, nb, T(-1),
+                  a + static_cast<std::size_t>(p) * lda + p + nb, lda, w + nb,
+                  ldw, R(1),
+                  a + static_cast<std::size_t>(p + nb) * lda + p + nb, lda);
+      for (idx j = p; j < p + nb; ++j) {
+        at(j + 1, j) = T(e[j]);
+        d[j] = real_part(at(j, j));
+      }
+    }
+    detail::sytd2(uplo, n - p, a + static_cast<std::size_t>(p) * lda + p, lda,
+                  d + p, e + p, tau + p, work);
+  }
+}
+
 /// Hermitian alias — the template above already handles both.
 template <Scalar T>
 void hetrd(Uplo uplo, idx n, T* a, idx lda, real_t<T>* d, real_t<T>* e,
@@ -116,48 +185,49 @@ void hetrd(Uplo uplo, idx n, T* a, idx lda, real_t<T>* d, real_t<T>* e,
 }
 
 /// Accumulate the unitary factor of sytrd in place (xORGTR / xUNGTR):
-/// on exit A holds the n x n Q with Q^H A_orig Q = T.
+/// on exit A holds the n x n Q with Q^H A_orig Q = T. The reflectors are
+/// shifted onto the QR (Lower) or QL (Upper) layout and accumulated by
+/// the blocked orgqr/orgql.
 template <Scalar T>
 void orgtr(Uplo uplo, idx n, T* a, idx lda, const T* tau) {
   if (n == 0) {
     return;
   }
-  std::vector<T> work(static_cast<std::size_t>(n));
-  // Extract all reflectors first (they share storage with the triangle we
-  // are about to overwrite with Q).
-  std::vector<T> refl(static_cast<std::size_t>(n) *
-                      static_cast<std::size_t>(std::max<idx>(n - 1, 1)));
+  auto at = [&](idx i, idx j) -> T& {
+    return a[static_cast<std::size_t>(j) * lda + i];
+  };
   if (uplo == Uplo::Lower) {
-    for (idx i = 0; i < n - 1; ++i) {
-      T* ri = refl.data() + static_cast<std::size_t>(i) * n;
-      ri[0] = T(1);
-      for (idx r = 1; r < n - i - 1; ++r) {
-        ri[r] = a[static_cast<std::size_t>(i) * lda + i + 1 + r];
+    // Q = [1 0; 0 Q1]: shift the reflectors one column right, then
+    // accumulate Q1 with orgqr.
+    for (idx j = n - 1; j >= 1; --j) {
+      at(0, j) = T(0);
+      for (idx i = j + 1; i < n; ++i) {
+        at(i, j) = at(i, j - 1);
       }
     }
-    laset(Part::All, n, n, T(0), T(1), a, lda);
-    // Q = H(0) H(1) ... H(n-2): apply descending onto the identity.
-    for (idx i = n - 2; i >= 0; --i) {
-      larf(Side::Left, n - i - 1, n - i - 1,
-           refl.data() + static_cast<std::size_t>(i) * n, 1, tau[i],
-           a + static_cast<std::size_t>(i + 1) * lda + i + 1, lda,
-           work.data());
+    at(0, 0) = T(1);
+    for (idx i = 1; i < n; ++i) {
+      at(i, 0) = T(0);
+    }
+    if (n > 1) {
+      orgqr(n - 1, n - 1, n - 1, a + static_cast<std::size_t>(1) * lda + 1,
+            lda, tau);
     }
   } else {
-    for (idx i = 0; i < n - 1; ++i) {
-      // H(i)'s vector lives in A(0:i-1, i+1) with a unit entry at row i.
-      T* ri = refl.data() + static_cast<std::size_t>(i) * n;
-      for (idx r = 0; r < i; ++r) {
-        ri[r] = a[static_cast<std::size_t>(i + 1) * lda + r];
+    // Q = [Q1 0; 0 1]: shift the reflectors one column left, then
+    // accumulate Q1 with orgql (the reflectors end at the diagonal).
+    for (idx j = 0; j < n - 1; ++j) {
+      for (idx i = 0; i < j; ++i) {
+        at(i, j) = at(i, j + 1);
       }
-      ri[i] = T(1);
+      at(n - 1, j) = T(0);
     }
-    laset(Part::All, n, n, T(0), T(1), a, lda);
-    // Q = H(n-2) ... H(1) H(0): apply ascending onto the identity.
     for (idx i = 0; i < n - 1; ++i) {
-      larf(Side::Left, i + 1, i + 1,
-           refl.data() + static_cast<std::size_t>(i) * n, 1, tau[i], a, lda,
-           work.data());
+      at(i, n - 1) = T(0);
+    }
+    at(n - 1, n - 1) = T(1);
+    if (n > 1) {
+      orgql(n - 1, n - 1, n - 1, a, lda, tau);
     }
   }
 }

@@ -22,17 +22,24 @@ struct Defaults {
 
 // Defaults follow the reference ILAENV choices (NB=64 for factorizations,
 // 32 for two-sided reductions) with crossover points where the blocked
-// path starts to pay for itself.
+// path starts to pay for itself. The two-sided reduction crossovers were
+// measured with bench_reductions (see EXPERIMENTS.md): the panel kernels
+// stay gemv/hemv-bound, so blocking wins once the her2k/gemm/larfb
+// trailing updates carry enough flops — on the CI box (one core, 105 MB
+// L3 that keeps level-2 streaming unusually competitive) blocked gehrd
+// crosses between n=128 and 256, sytrd and gebrd between 256 and 512.
+// Machines with ordinary cache hierarchies cross earlier; override via
+// set_env_override if tuning matters.
 constexpr std::array<Defaults, kRoutines> kDefaults = {{
     {64, 2, 128},  // getrf
     {64, 2, 128},  // potrf
     {32, 2, 128},  // geqrf
     {32, 2, 128},  // gelqf
-    {32, 2, 128},  // ormqr
+    {32, 2, 128},  // ormqr (also the org* accumulation family)
     {64, 2, 64},   // getri
-    {32, 2, 32},   // sytrd
+    {32, 2, 384},  // sytrd
     {32, 2, 128},  // gehrd
-    {32, 2, 128},  // gebrd
+    {32, 2, 384},  // gebrd
     {64, 1, 0},    // gemm (nb = cache block edge)
 }};
 

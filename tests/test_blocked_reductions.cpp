@@ -1,0 +1,414 @@
+// tests/test_blocked_reductions.cpp
+//
+// Blocked two-sided reductions (latrd/labrd/lahr2 panels + Level-3
+// trailing updates) against the unblocked base cases: elementwise
+// equivalence for sytrd/gebrd/gehrd and the orgtr/orgbr/orghr
+// accumulators at ragged sizes straddling the panel width, env-override
+// control of the crossover, and 1-vs-4 worker bit determinism for the
+// syev/gesvd/geev drivers that now route through the threaded runtime.
+#include <gtest/gtest.h>
+
+#include "test_utils.hpp"
+
+namespace la::test {
+namespace {
+
+/// Scoped BlockSize/Crossover override for one routine slot; restores the
+/// previous override values on scope exit.
+class NbOverride {
+ public:
+  NbOverride(EnvRoutine routine, idx nb, idx nx)
+      : routine_(routine),
+        prev_nb_(set_env_override(EnvSpec::BlockSize, routine, nb)),
+        prev_nx_(set_env_override(EnvSpec::Crossover, routine, nx)) {}
+  ~NbOverride() {
+    set_env_override(EnvSpec::BlockSize, routine_, prev_nb_);
+    set_env_override(EnvSpec::Crossover, routine_, prev_nx_);
+  }
+  NbOverride(const NbOverride&) = delete;
+  NbOverride& operator=(const NbOverride&) = delete;
+
+ private:
+  EnvRoutine routine_;
+  idx prev_nb_;
+  idx prev_nx_;
+};
+
+constexpr idx kNb = 8;
+// NB-1, NB, NB+1 and 2NB+3: the first two stay on the base case (the
+// crossover keeps n <= nx unblocked), the last two take 1 and 2 blocked
+// panels with ragged remainders.
+constexpr idx kSizes[] = {kNb - 1, kNb, kNb + 1, 2 * kNb + 3};
+
+template <class T>
+void expect_close_vec(const std::vector<T>& a, const std::vector<T>& b,
+                      real_t<T> bound) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_LE(std::abs(a[i] - b[i]), bound) << "index " << i;
+  }
+}
+
+template <class T>
+class BlockedReductionTest : public ::testing::Test {};
+TYPED_TEST_SUITE(BlockedReductionTest, AllTypes);
+
+TYPED_TEST(BlockedReductionTest, SytrdMatchesUnblocked) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(301);
+  for (idx n : kSizes) {
+    const Matrix<T> a = random_hermitian<T>(n, seed);
+    for (Uplo uplo : {Uplo::Upper, Uplo::Lower}) {
+      Matrix<T> fu = a;
+      Matrix<T> fb = a;
+      std::vector<R> du(n), db(n), eu(n - 1), eb(n - 1);
+      std::vector<T> tu(n - 1), tb(n - 1);
+      {
+        NbOverride o(EnvRoutine::sytrd, 1, 0);
+        lapack::sytrd(uplo, n, fu.data(), fu.ld(), du.data(), eu.data(),
+                      tu.data());
+      }
+      {
+        NbOverride o(EnvRoutine::sytrd, kNb, 1);
+        lapack::sytrd(uplo, n, fb.data(), fb.ld(), db.data(), eb.data(),
+                      tb.data());
+      }
+      const R bound = tol<T>(R(100)) * R(n);
+      expect_close_vec(du, db, bound);
+      expect_close_vec(eu, eb, bound);
+      expect_close_vec(tu, tb, bound);
+      EXPECT_LE(max_diff(fu, fb), bound)
+          << "n=" << n << " uplo=" << static_cast<char>(uplo);
+    }
+  }
+}
+
+TYPED_TEST(BlockedReductionTest, GebrdMatchesUnblocked) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(302);
+  const std::pair<idx, idx> shapes[] = {
+      {kNb + 1, kNb + 1},         {2 * kNb + 3, kNb + 5},
+      {kNb + 5, 2 * kNb + 3},     {2 * kNb + 3, 2 * kNb + 3},
+      {kNb, kNb - 1}};
+  for (auto [m, n] : shapes) {
+    const idx k = std::min(m, n);
+    const Matrix<T> a = random_matrix<T>(m, n, seed);
+    Matrix<T> fu = a;
+    Matrix<T> fb = a;
+    std::vector<R> du(k), db(k), eu(k), eb(k);
+    std::vector<T> tqu(k), tqb(k), tpu(k), tpb(k);
+    {
+      NbOverride o(EnvRoutine::gebrd, 1, 0);
+      lapack::gebrd(m, n, fu.data(), fu.ld(), du.data(), eu.data(),
+                    tqu.data(), tpu.data());
+    }
+    {
+      NbOverride o(EnvRoutine::gebrd, kNb, 1);
+      lapack::gebrd(m, n, fb.data(), fb.ld(), db.data(), eb.data(),
+                    tqb.data(), tpb.data());
+    }
+    const R bound = tol<T>(R(100)) * R(std::max(m, n));
+    expect_close_vec(du, db, bound);
+    expect_close_vec(eu, eb, bound);
+    expect_close_vec(tqu, tqb, bound);
+    expect_close_vec(tpu, tpb, bound);
+    EXPECT_LE(max_diff(fu, fb), bound) << "m=" << m << " n=" << n;
+  }
+}
+
+TYPED_TEST(BlockedReductionTest, GehrdMatchesUnblocked) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(303);
+  struct Case {
+    idx n, ilo, ihi;
+  };
+  const Case cases[] = {{kNb - 1, 0, kNb - 2},
+                        {kNb + 1, 0, kNb},
+                        {2 * kNb + 3, 0, 2 * kNb + 2},
+                        {2 * kNb + 3, 2, 2 * kNb - 1},
+                        {3 * kNb + 5, 0, 3 * kNb + 4}};
+  for (const Case& c : cases) {
+    const Matrix<T> a = random_matrix<T>(c.n, c.n, seed);
+    Matrix<T> fu = a;
+    Matrix<T> fb = a;
+    std::vector<T> tu(c.n - 1), tb(c.n - 1);
+    {
+      NbOverride o(EnvRoutine::gehrd, 1, 0);
+      lapack::gehrd(c.n, c.ilo, c.ihi, fu.data(), fu.ld(), tu.data());
+    }
+    {
+      NbOverride o(EnvRoutine::gehrd, kNb, 1);
+      lapack::gehrd(c.n, c.ilo, c.ihi, fb.data(), fb.ld(), tb.data());
+    }
+    const R bound = tol<T>(R(100)) * R(c.n);
+    expect_close_vec(tu, tb, bound);
+    EXPECT_LE(max_diff(fu, fb), bound)
+        << "n=" << c.n << " ilo=" << c.ilo << " ihi=" << c.ihi;
+  }
+}
+
+TYPED_TEST(BlockedReductionTest, OrgtrMatchesUnblocked) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(304);
+  for (idx n : {kNb + 1, 2 * kNb + 3}) {
+    const Matrix<T> a = random_hermitian<T>(n, seed);
+    for (Uplo uplo : {Uplo::Upper, Uplo::Lower}) {
+      Matrix<T> f = a;
+      std::vector<R> d(n), e(n - 1);
+      std::vector<T> tau(n - 1);
+      NbOverride red(EnvRoutine::sytrd, 1, 0);  // identical reduction input
+      lapack::sytrd(uplo, n, f.data(), f.ld(), d.data(), e.data(),
+                    tau.data());
+      Matrix<T> qu = f;
+      Matrix<T> qb = f;
+      {
+        NbOverride o(EnvRoutine::ormqr, 1, 0);
+        lapack::orgtr(uplo, n, qu.data(), qu.ld(), tau.data());
+      }
+      {
+        NbOverride o(EnvRoutine::ormqr, kNb, 1);
+        lapack::orgtr(uplo, n, qb.data(), qb.ld(), tau.data());
+      }
+      const R bound = tol<T>(R(100)) * R(n);
+      EXPECT_LE(max_diff(qu, qb), bound)
+          << "n=" << n << " uplo=" << static_cast<char>(uplo);
+      EXPECT_LE(orthogonality(qb), tol<T>() * R(n));
+    }
+  }
+}
+
+TYPED_TEST(BlockedReductionTest, OrgbrMatchesUnblocked) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(305);
+  const std::pair<idx, idx> shapes[] = {{2 * kNb + 3, kNb + 5},
+                                        {kNb + 5, 2 * kNb + 3}};
+  for (auto [m, n] : shapes) {
+    const idx k = std::min(m, n);
+    Matrix<T> f = random_matrix<T>(m, n, seed);
+    std::vector<R> d(k), e(k);
+    std::vector<T> tauq(k), taup(k);
+    NbOverride red(EnvRoutine::gebrd, 1, 0);
+    lapack::gebrd(m, n, f.data(), f.ld(), d.data(), e.data(), tauq.data(),
+                  taup.data());
+    // Q factor, exactly as the gesvd driver requests it.
+    const idx qm = m, qn = (m >= n) ? n : m, qk = n;
+    Matrix<T> qu(qm, std::max(qn, n));
+    Matrix<T> qb(qm, std::max(qn, n));
+    lapack::lacpy(lapack::Part::All, m, std::min<idx>(qu.cols(), n),
+                  f.data(), f.ld(), qu.data(), qu.ld());
+    lapack::lacpy(lapack::Part::All, m, std::min<idx>(qb.cols(), n),
+                  f.data(), f.ld(), qb.data(), qb.ld());
+    {
+      NbOverride o(EnvRoutine::ormqr, 1, 0);
+      lapack::orgbr(lapack::BrVect::Q, qm, qn, qk, qu.data(), qu.ld(),
+                    tauq.data());
+    }
+    {
+      NbOverride o(EnvRoutine::ormqr, kNb, 1);
+      lapack::orgbr(lapack::BrVect::Q, qm, qn, qk, qb.data(), qb.ld(),
+                    tauq.data());
+    }
+    const R bound = tol<T>(R(100)) * R(std::max(m, n));
+    for (idx j = 0; j < qn; ++j) {
+      for (idx i = 0; i < qm; ++i) {
+        EXPECT_LE(std::abs(qu(i, j) - qb(i, j)), bound)
+            << "Q(" << i << "," << j << ") m=" << m << " n=" << n;
+      }
+    }
+    // P^H factor.
+    const idx pm = (m >= n) ? n : m, pn = n, pk = m;
+    Matrix<T> pu(std::max(pm, m), pn);
+    Matrix<T> pb(std::max(pm, m), pn);
+    lapack::lacpy(lapack::Part::All, std::min<idx>(pu.rows(), m), n,
+                  f.data(), f.ld(), pu.data(), pu.ld());
+    lapack::lacpy(lapack::Part::All, std::min<idx>(pb.rows(), m), n,
+                  f.data(), f.ld(), pb.data(), pb.ld());
+    {
+      NbOverride o(EnvRoutine::ormqr, 1, 0);
+      lapack::orgbr(lapack::BrVect::P, pm, pn, pk, pu.data(), pu.ld(),
+                    taup.data());
+    }
+    {
+      NbOverride o(EnvRoutine::ormqr, kNb, 1);
+      lapack::orgbr(lapack::BrVect::P, pm, pn, pk, pb.data(), pb.ld(),
+                    taup.data());
+    }
+    for (idx j = 0; j < pn; ++j) {
+      for (idx i = 0; i < pm; ++i) {
+        EXPECT_LE(std::abs(pu(i, j) - pb(i, j)), bound)
+            << "P(" << i << "," << j << ") m=" << m << " n=" << n;
+      }
+    }
+  }
+}
+
+TYPED_TEST(BlockedReductionTest, OrghrMatchesUnblocked) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(306);
+  struct Case {
+    idx n, ilo, ihi;
+  };
+  const Case cases[] = {{2 * kNb + 3, 0, 2 * kNb + 2},
+                        {2 * kNb + 3, 2, 2 * kNb - 1}};
+  for (const Case& c : cases) {
+    Matrix<T> f = random_matrix<T>(c.n, c.n, seed);
+    std::vector<T> tau(c.n - 1);
+    NbOverride red(EnvRoutine::gehrd, 1, 0);
+    lapack::gehrd(c.n, c.ilo, c.ihi, f.data(), f.ld(), tau.data());
+    Matrix<T> qu = f;
+    Matrix<T> qb = f;
+    {
+      NbOverride o(EnvRoutine::ormqr, 1, 0);
+      lapack::orghr(c.n, c.ilo, c.ihi, qu.data(), qu.ld(), tau.data());
+    }
+    {
+      NbOverride o(EnvRoutine::ormqr, kNb, 1);
+      lapack::orghr(c.n, c.ilo, c.ihi, qb.data(), qb.ld(), tau.data());
+    }
+    const R bound = tol<T>(R(100)) * R(c.n);
+    EXPECT_LE(max_diff(qu, qb), bound)
+        << "n=" << c.n << " ilo=" << c.ilo << " ihi=" << c.ihi;
+    EXPECT_LE(orthogonality(qb), tol<T>() * R(c.n));
+  }
+}
+
+// An NB=1 override must force the pure base-case path and still produce a
+// valid factorization (reconstruction Q T Q^H == A).
+TYPED_TEST(BlockedReductionTest, Nb1OverrideForcesValidUnblockedPath) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Iseed seed = seed_for(307);
+  const idx n = 2 * kNb + 3;
+  const Matrix<T> a = random_hermitian<T>(n, seed);
+  NbOverride o1(EnvRoutine::sytrd, 1, 0);
+  NbOverride o2(EnvRoutine::ormqr, 1, 0);
+  Matrix<T> f = a;
+  std::vector<R> d(n), e(n - 1);
+  std::vector<T> tau(n - 1);
+  lapack::sytrd(Uplo::Lower, n, f.data(), f.ld(), d.data(), e.data(),
+                tau.data());
+  Matrix<T> q = f;
+  lapack::orgtr(Uplo::Lower, n, q.data(), q.ld(), tau.data());
+  EXPECT_LE(orthogonality(q), tol<T>() * R(n));
+  Matrix<T> t(n, n);
+  for (idx i = 0; i < n; ++i) {
+    t(i, i) = T(d[i]);
+    if (i < n - 1) {
+      t(i + 1, i) = T(e[i]);
+      t(i, i + 1) = T(e[i]);
+    }
+  }
+  Matrix<T> qt = multiply(q, t);
+  Matrix<T> rec = multiply(qt, q, Trans::NoTrans, conj_trans_for<T>());
+  EXPECT_LE(max_diff(rec, a), tol<T>(R(100)) * R(n));
+}
+
+// ---------------------------------------------------------------------------
+// Worker-count determinism: the blocked reductions' trailing updates run on
+// the threaded Level-3 runtime, whose partition is worker-count invariant.
+// The full drivers must therefore be bit-identical under 1 and 4 workers.
+// Named *ThreadInvariance* to ride the ctest -L threads matrix.
+// ---------------------------------------------------------------------------
+
+class ReductionThreadInvarianceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_num_threads(0); }
+};
+
+TEST_F(ReductionThreadInvarianceTest, SyevBitIdenticalAcrossWorkerCounts) {
+  Iseed seed = seed_for(308);
+  const idx n = 96;
+  const Matrix<double> a = random_hermitian<double>(n, seed);
+  NbOverride o(EnvRoutine::sytrd, kNb, 1);
+  auto run = [&] {
+    Matrix<double> z = a;
+    std::vector<double> w(n);
+    EXPECT_EQ(lapack::syev(Job::Vec, Uplo::Lower, n, z.data(), z.ld(),
+                           w.data()),
+              0);
+    return std::make_pair(std::move(z), std::move(w));
+  };
+  set_num_threads(1);
+  auto serial = run();
+  set_num_threads(4);
+  auto threaded = run();
+  for (idx j = 0; j < n; ++j) {
+    EXPECT_EQ(serial.second[j], threaded.second[j]) << "w[" << j << "]";
+    for (idx i = 0; i < n; ++i) {
+      EXPECT_EQ(serial.first(i, j), threaded.first(i, j))
+          << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST_F(ReductionThreadInvarianceTest, GesvdBitIdenticalAcrossWorkerCounts) {
+  Iseed seed = seed_for(309);
+  const idx m = 72, n = 56, k = 56;
+  const auto a0 = random_matrix<std::complex<double>>(m, n, seed);
+  NbOverride o1(EnvRoutine::gebrd, kNb, 1);
+  NbOverride o2(EnvRoutine::ormqr, kNb, 1);
+  auto run = [&] {
+    Matrix<std::complex<double>> a = a0;
+    Matrix<std::complex<double>> u(m, k), vt(k, n);
+    std::vector<double> s(k);
+    EXPECT_EQ(lapack::gesvd(Job::Vec, Job::Vec, m, n, a.data(), a.ld(),
+                            s.data(), u.data(), u.ld(), vt.data(), vt.ld()),
+              0);
+    return std::make_tuple(std::move(u), std::move(vt), std::move(s));
+  };
+  set_num_threads(1);
+  auto serial = run();
+  set_num_threads(4);
+  auto threaded = run();
+  for (idx j = 0; j < k; ++j) {
+    EXPECT_EQ(std::get<2>(serial)[j], std::get<2>(threaded)[j]);
+  }
+  for (idx j = 0; j < k; ++j) {
+    for (idx i = 0; i < m; ++i) {
+      EXPECT_EQ(std::get<0>(serial)(i, j), std::get<0>(threaded)(i, j));
+    }
+  }
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < k; ++i) {
+      EXPECT_EQ(std::get<1>(serial)(i, j), std::get<1>(threaded)(i, j));
+    }
+  }
+}
+
+TEST_F(ReductionThreadInvarianceTest, GeevBitIdenticalAcrossWorkerCounts) {
+  Iseed seed = seed_for(310);
+  const idx n = 48;
+  const auto a0 = random_matrix<double>(n, n, seed);
+  NbOverride o1(EnvRoutine::gehrd, kNb, 1);
+  NbOverride o2(EnvRoutine::ormqr, kNb, 1);
+  auto run = [&] {
+    Matrix<double> a = a0;
+    Matrix<double> vl(n, n), vr(n, n);
+    std::vector<double> wr(n), wi(n);
+    EXPECT_EQ(lapack::geev(Job::Vec, Job::Vec, n, a.data(), a.ld(),
+                           wr.data(), wi.data(), vl.data(), vl.ld(),
+                           vr.data(), vr.ld()),
+              0);
+    return std::make_tuple(std::move(vr), std::move(wr), std::move(wi));
+  };
+  set_num_threads(1);
+  auto serial = run();
+  set_num_threads(4);
+  auto threaded = run();
+  for (idx j = 0; j < n; ++j) {
+    EXPECT_EQ(std::get<1>(serial)[j], std::get<1>(threaded)[j]);
+    EXPECT_EQ(std::get<2>(serial)[j], std::get<2>(threaded)[j]);
+    for (idx i = 0; i < n; ++i) {
+      EXPECT_EQ(std::get<0>(serial)(i, j), std::get<0>(threaded)(i, j));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace la::test

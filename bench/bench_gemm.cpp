@@ -1,9 +1,20 @@
 // The §1.1 performance claim: Level-3 matrix multiply is the engine, and
 // cache-blocked GEMM beats the naive triple loop with a widening gap.
-// Reports GFLOP/s for both kernels across sizes (real and complex double),
-// plus a worker-count sweep of the threaded runtime at n = 1024.
+// Reports GFLOP/s for both kernels across sizes (all four element types),
+// the SIMD micro-kernel vs the forced-scalar kernel on the same packed
+// path, plus a worker-count sweep of the threaded runtime at n = 1024.
 // Emits BENCH_gemm.json by default (see bench_json_main.hpp).
+//
+// `bench_gemm --smoke` is a self-checking mode for ctest: it asserts the
+// vectorized kernel is no slower than the forced-scalar fallback (and that
+// the two agree numerically), exiting nonzero on regression.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
 
 #include "bench_json_main.hpp"
 #include "lapack90/lapack90.hpp"
@@ -12,7 +23,9 @@ namespace {
 
 using la::idx;
 
-template <class T, bool Blocked>
+enum class Kernel { Simd, Scalar, Naive };
+
+template <class T, Kernel K>
 void BM_Gemm(benchmark::State& state) {
   const idx n = static_cast<idx>(state.range(0));
   la::Iseed seed = la::default_iseed();
@@ -21,18 +34,20 @@ void BM_Gemm(benchmark::State& state) {
   la::Matrix<T> c(n, n);
   la::larnv(la::Dist::Uniform11, seed, n * n, a.data());
   la::larnv(la::Dist::Uniform11, seed, n * n, b.data());
+  la::blas::set_force_scalar_kernel(K == Kernel::Scalar);
   for (auto _ : state) {
-    if constexpr (Blocked) {
-      la::blas::gemm(la::Trans::NoTrans, la::Trans::NoTrans, n, n, n, T(1),
-                     a.data(), a.ld(), b.data(), b.ld(), T(0), c.data(),
-                     c.ld());
-    } else {
+    if constexpr (K == Kernel::Naive) {
       la::blas::gemm_naive(la::Trans::NoTrans, la::Trans::NoTrans, n, n, n,
                            T(1), a.data(), a.ld(), b.data(), b.ld(), T(0),
                            c.data(), c.ld());
+    } else {
+      la::blas::gemm(la::Trans::NoTrans, la::Trans::NoTrans, n, n, n, T(1),
+                     a.data(), a.ld(), b.data(), b.ld(), T(0), c.data(),
+                     c.ld());
     }
     benchmark::DoNotOptimize(c.data());
   }
+  la::blas::set_force_scalar_kernel(false);
   const double flops_per_iter =
       (la::is_complex_v<T> ? 8.0 : 2.0) * double(n) * n * n;
   state.counters["GFLOP/s"] = benchmark::Counter(
@@ -41,21 +56,45 @@ void BM_Gemm(benchmark::State& state) {
   state.counters["n"] = static_cast<double>(n);
 }
 
-void BM_DGemmBlocked(benchmark::State& s) { BM_Gemm<double, true>(s); }
-void BM_DGemmNaive(benchmark::State& s) { BM_Gemm<double, false>(s); }
+void BM_SGemmBlocked(benchmark::State& s) { BM_Gemm<float, Kernel::Simd>(s); }
+void BM_SGemmScalarKernel(benchmark::State& s) {
+  BM_Gemm<float, Kernel::Scalar>(s);
+}
+void BM_DGemmBlocked(benchmark::State& s) { BM_Gemm<double, Kernel::Simd>(s); }
+void BM_DGemmScalarKernel(benchmark::State& s) {
+  BM_Gemm<double, Kernel::Scalar>(s);
+}
+void BM_DGemmNaive(benchmark::State& s) { BM_Gemm<double, Kernel::Naive>(s); }
+void BM_CGemmBlocked(benchmark::State& s) {
+  BM_Gemm<std::complex<float>, Kernel::Simd>(s);
+}
+void BM_CGemmScalarKernel(benchmark::State& s) {
+  BM_Gemm<std::complex<float>, Kernel::Scalar>(s);
+}
 void BM_ZGemmBlocked(benchmark::State& s) {
-  BM_Gemm<std::complex<double>, true>(s);
+  BM_Gemm<std::complex<double>, Kernel::Simd>(s);
+}
+void BM_ZGemmScalarKernel(benchmark::State& s) {
+  BM_Gemm<std::complex<double>, Kernel::Scalar>(s);
 }
 void BM_ZGemmNaive(benchmark::State& s) {
-  BM_Gemm<std::complex<double>, false>(s);
+  BM_Gemm<std::complex<double>, Kernel::Naive>(s);
 }
 
+BENCHMARK(BM_SGemmBlocked)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SGemmScalarKernel)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DGemmBlocked)->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DGemmScalarKernel)->Arg(256)->Arg(1024)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DGemmNaive)->Arg(64)->Arg(128)->Arg(256)->Arg(512)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CGemmBlocked)->Arg(256)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CGemmScalarKernel)->Arg(256)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ZGemmBlocked)->Arg(64)->Arg(128)->Arg(256)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ZGemmScalarKernel)->Arg(256)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ZGemmNaive)->Arg(64)->Arg(128)->Arg(256)
     ->Unit(benchmark::kMillisecond);
 
@@ -86,8 +125,68 @@ void BM_DGemmThreads(benchmark::State& state) {
 BENCHMARK(BM_DGemmThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
+/// --smoke: assert the vectorized micro-kernel is not slower than the
+/// forced-scalar fallback on the same packed path (and that they agree).
+/// Best-of-reps wall timing at a size big enough to dwarf packing overhead
+/// but quick enough for ctest. The 1.15 slack absorbs timer jitter; on
+/// builds where la::simd lowers to "scalar" both runs hit the same kernel
+/// and the check is a tautology, so it never blocks a scalar platform.
+int run_smoke() {
+  using clock = std::chrono::steady_clock;
+  const idx n = 320;
+  la::Iseed seed = la::default_iseed();
+  la::Matrix<double> a(n, n);
+  la::Matrix<double> b(n, n);
+  la::Matrix<double> c(n, n);
+  la::larnv(la::Dist::Uniform11, seed, n * n, a.data());
+  la::larnv(la::Dist::Uniform11, seed, n * n, b.data());
+  auto run = [&]() {
+    la::blas::gemm(la::Trans::NoTrans, la::Trans::NoTrans, n, n, n, 1.0,
+                   a.data(), a.ld(), b.data(), b.ld(), 0.0, c.data(), c.ld());
+  };
+  auto best_of = [&](int reps) {
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      const auto t0 = clock::now();
+      run();
+      const std::chrono::duration<double> dt = clock::now() - t0;
+      best = std::min(best, dt.count());
+    }
+    return best;
+  };
+
+  la::blas::set_force_scalar_kernel(false);
+  run();  // warm-up + reference result
+  la::Matrix<double> c_vec = c;
+  const double t_vec = best_of(5);
+
+  la::blas::set_force_scalar_kernel(true);
+  run();
+  double max_diff = 0.0;
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < n; ++i) {
+      max_diff = std::max(max_diff, std::abs(c(i, j) - c_vec(i, j)));
+    }
+  }
+  const double t_scalar = best_of(5);
+  la::blas::set_force_scalar_kernel(false);
+
+  const bool agree = max_diff <= 1e-10;
+  const bool fast_enough = t_vec <= t_scalar * 1.15;
+  std::printf(
+      "bench_gemm --smoke (isa=%s, n=%lld): simd %.3f ms, scalar-kernel "
+      "%.3f ms, ratio %.2fx, max|diff| %.2e -> %s\n",
+      la::simd_isa_name(), static_cast<long long>(n), t_vec * 1e3,
+      t_scalar * 1e3, t_scalar / t_vec, max_diff,
+      agree && fast_enough ? "OK" : "FAIL");
+  return agree && fast_enough ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) {
+    return run_smoke();
+  }
   return la::bench::run_with_json_default(argc, argv, "BENCH_gemm.json");
 }

@@ -11,10 +11,18 @@
 #include <string>
 #include <vector>
 
+#include "lapack90/core/simd.hpp"
+#include "lapack90/version.hpp"
+
 namespace la::bench {
 
 inline int run_with_json_default(int argc, char** argv,
                                  const char* default_out) {
+  // Stamp the JSON context with the ISA the la::simd layer lowered to, so
+  // BENCH_*.json files from different builds (default vs -march=native vs
+  // forced-scalar) are distinguishable after the fact.
+  benchmark::AddCustomContext("lapack90_version", la::version());
+  benchmark::AddCustomContext("simd_isa", la::simd_isa_name());
   std::vector<char*> args(argv, argv + argc);
   bool has_out = false;
   for (int i = 1; i < argc; ++i) {

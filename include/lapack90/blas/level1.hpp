@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "lapack90/core/precision.hpp"
+#include "lapack90/core/simd.hpp"
 #include "lapack90/core/types.hpp"
 
 namespace la::blas {
@@ -21,6 +22,118 @@ namespace detail {
 template <class T>
 [[nodiscard]] constexpr T* stride_base(T* x, idx n, idx inc) noexcept {
   return inc >= 0 ? x : x - static_cast<std::ptrdiff_t>(n - 1) * inc;
+}
+
+/// Unit-stride real axpy on la::simd: y += alpha*x, two vectors per trip.
+/// Shared by axpy and the gemv/symv column sweeps.
+template <RealScalar T>
+void axpy_contig(idx n, T alpha, const T* x, T* y) noexcept {
+  using V = simd_native<T>;
+  constexpr idx W = simd_width_v<T>;
+  idx i = 0;
+  if constexpr (W > 1) {
+    const V va = V::broadcast(alpha);
+    for (; i + 2 * W <= n; i += 2 * W) {
+      V::fma(va, V::load(x + i), V::load(y + i)).store(y + i);
+      V::fma(va, V::load(x + i + W), V::load(y + i + W)).store(y + i + W);
+    }
+    if (i + W <= n) {
+      V::fma(va, V::load(x + i), V::load(y + i)).store(y + i);
+      i += W;
+    }
+  }
+  for (; i < n; ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+/// Unit-stride real dot on la::simd: four vector accumulators break the
+/// FMA dependency chain; lanes reduce once at the end. Shared by dotu/dotc
+/// and the transposed gemv column reduce.
+template <RealScalar T>
+[[nodiscard]] T dot_contig(idx n, const T* x, const T* y) noexcept {
+  using V = simd_native<T>;
+  constexpr idx W = simd_width_v<T>;
+  T s(0);
+  idx i = 0;
+  if constexpr (W > 1) {
+    V s0 = V::zero(), s1 = V::zero(), s2 = V::zero(), s3 = V::zero();
+    for (; i + 4 * W <= n; i += 4 * W) {
+      s0 = V::fma(V::load(x + i), V::load(y + i), s0);
+      s1 = V::fma(V::load(x + i + W), V::load(y + i + W), s1);
+      s2 = V::fma(V::load(x + i + 2 * W), V::load(y + i + 2 * W), s2);
+      s3 = V::fma(V::load(x + i + 3 * W), V::load(y + i + 3 * W), s3);
+    }
+    for (; i + W <= n; i += W) {
+      s0 = V::fma(V::load(x + i), V::load(y + i), s0);
+    }
+    s = ((s0 + s1) + (s2 + s3)).reduce();
+  }
+  for (; i < n; ++i) {
+    s += x[i] * y[i];
+  }
+  return s;
+}
+
+/// Four-column fused axpy: y += t0*c0 + t1*c1 + t2*c2 + t3*c3 in one pass
+/// over y — the gemv NoTrans register-blocked column sweep.
+template <RealScalar T>
+void axpy4_contig(idx n, T t0, const T* c0, T t1, const T* c1, T t2,
+                  const T* c2, T t3, const T* c3, T* y) noexcept {
+  using V = simd_native<T>;
+  constexpr idx W = simd_width_v<T>;
+  idx i = 0;
+  if constexpr (W > 1) {
+    const V v0 = V::broadcast(t0), v1 = V::broadcast(t1);
+    const V v2 = V::broadcast(t2), v3 = V::broadcast(t3);
+    for (; i + W <= n; i += W) {
+      V acc = V::load(y + i);
+      acc = V::fma(v0, V::load(c0 + i), acc);
+      acc = V::fma(v1, V::load(c1 + i), acc);
+      acc = V::fma(v2, V::load(c2 + i), acc);
+      acc = V::fma(v3, V::load(c3 + i), acc);
+      acc.store(y + i);
+    }
+  }
+  for (; i < n; ++i) {
+    y[i] += t0 * c0[i] + t1 * c1[i] + t2 * c2[i] + t3 * c3[i];
+  }
+}
+
+/// Fused unit-stride sweep y += t1*col; return dot(col, x) — one pass over
+/// col for the symv/hemv update+reduce. Real types only (complex keeps the
+/// scalar fused loop in level2).
+template <RealScalar T>
+[[nodiscard]] T fused_axpy_dot_contig(idx len, T t1, const T* col, T* y,
+                                      const T* x) noexcept {
+  using V = simd_native<T>;
+  constexpr idx W = simd_width_v<T>;
+  T s(0);
+  idx i = 0;
+  if constexpr (W > 1) {
+    const V vt1 = V::broadcast(t1);
+    V s0 = V::zero(), s1 = V::zero();
+    for (; i + 2 * W <= len; i += 2 * W) {
+      const V c0 = V::load(col + i);
+      const V c1 = V::load(col + i + W);
+      V::fma(vt1, c0, V::load(y + i)).store(y + i);
+      s0 = V::fma(c0, V::load(x + i), s0);
+      V::fma(vt1, c1, V::load(y + i + W)).store(y + i + W);
+      s1 = V::fma(c1, V::load(x + i + W), s1);
+    }
+    if (i + W <= len) {
+      const V c0 = V::load(col + i);
+      V::fma(vt1, c0, V::load(y + i)).store(y + i);
+      s0 = V::fma(c0, V::load(x + i), s0);
+      i += W;
+    }
+    s = (s0 + s1).reduce();
+  }
+  for (; i < len; ++i) {
+    y[i] += t1 * col[i];
+    s += col[i] * x[i];
+  }
+  return s;
 }
 
 }  // namespace detail
@@ -45,8 +158,12 @@ void axpy(idx n, T alpha, const T* x, idx incx, T* y, idx incy) noexcept {
   const T* xb = detail::stride_base(x, n, incx);
   T* yb = detail::stride_base(y, n, incy);
   if (incx == 1 && incy == 1) {
-    for (idx i = 0; i < n; ++i) {
-      y[i] += alpha * x[i];
+    if constexpr (!is_complex_v<T>) {
+      detail::axpy_contig(n, alpha, x, y);
+    } else {
+      for (idx i = 0; i < n; ++i) {
+        y[i] += alpha * x[i];
+      }
     }
     return;
   }
@@ -89,6 +206,11 @@ template <Scalar T>
   if (n <= 0) {
     return s;
   }
+  if constexpr (!is_complex_v<T>) {
+    if (incx == 1 && incy == 1) {
+      return detail::dot_contig(n, x, y);
+    }
+  }
   const T* xb = detail::stride_base(x, n, incx);
   const T* yb = detail::stride_base(y, n, incy);
   for (idx i = 0; i < n; ++i) {
@@ -104,6 +226,11 @@ template <Scalar T>
   T s(0);
   if (n <= 0) {
     return s;
+  }
+  if constexpr (!is_complex_v<T>) {
+    if (incx == 1 && incy == 1) {
+      return detail::dot_contig(n, x, y);
+    }
   }
   const T* xb = detail::stride_base(x, n, incx);
   const T* yb = detail::stride_base(y, n, incy);

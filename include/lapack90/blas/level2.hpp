@@ -51,8 +51,12 @@ void gemv(Trans trans, idx m, idx n, T alpha, const T* a, idx lda, const T* x,
         const T* c2 = c1 + lda;
         const T* c3 = c2 + lda;
         if (t0 != T(0) && t1 != T(0) && t2 != T(0) && t3 != T(0)) {
-          for (idx i = 0; i < m; ++i) {
-            yb[i] += t0 * c0[i] + t1 * c1[i] + t2 * c2[i] + t3 * c3[i];
+          if constexpr (!is_complex_v<T>) {
+            detail::axpy4_contig(m, t0, c0, t1, c1, t2, c2, t3, c3, yb);
+          } else {
+            for (idx i = 0; i < m; ++i) {
+              yb[i] += t0 * c0[i] + t1 * c1[i] + t2 * c2[i] + t3 * c3[i];
+            }
           }
         } else {
           // Keep the reference-BLAS skip of exact-zero coefficients.
@@ -62,8 +66,12 @@ void gemv(Trans trans, idx m, idx n, T alpha, const T* a, idx lda, const T* x,
             if (ts[q] == T(0)) {
               continue;
             }
-            for (idx i = 0; i < m; ++i) {
-              yb[i] += ts[q] * cs[q][i];
+            if constexpr (!is_complex_v<T>) {
+              detail::axpy_contig(m, ts[q], cs[q], yb);
+            } else {
+              for (idx i = 0; i < m; ++i) {
+                yb[i] += ts[q] * cs[q][i];
+              }
             }
           }
         }
@@ -74,8 +82,12 @@ void gemv(Trans trans, idx m, idx n, T alpha, const T* a, idx lda, const T* x,
           continue;
         }
         const T* col = a + static_cast<std::size_t>(j) * lda;
-        for (idx i = 0; i < m; ++i) {
-          yb[i] += t * col[i];
+        if constexpr (!is_complex_v<T>) {
+          detail::axpy_contig(m, t, col, yb);
+        } else {
+          for (idx i = 0; i < m; ++i) {
+            yb[i] += t * col[i];
+          }
         }
       }
     } else {
@@ -99,6 +111,11 @@ void gemv(Trans trans, idx m, idx n, T alpha, const T* a, idx lda, const T* x,
       // is the flop carrier of the latrd/labrd/lahr2 panel kernels).
       for (idx j = 0; j < n; ++j) {
         const T* col = a + static_cast<std::size_t>(j) * lda;
+        if constexpr (!is_complex_v<T>) {
+          // conj is a no-op on reals: one vectorized reduce serves both.
+          yb[j * incy] += alpha * detail::dot_contig(m, col, xb);
+          continue;
+        }
         T s0(0), s1(0), s2(0), s3(0);
         idx i = 0;
         if (conj) {
@@ -218,6 +235,10 @@ void symv_impl(Uplo uplo, idx n, T alpha, const T* a, idx lda, const T* x,
   // sytrd flops; four partial sums break the dot's FMA dependency chain.
   auto fused_sweep = [&](const T* col, const T t1, T* yu, const T* xu,
                          idx len) -> T {
+    if constexpr (!is_complex_v<T>) {
+      // cj is a no-op on reals: the la::simd fused kernel serves both.
+      return fused_axpy_dot_contig(len, t1, col, yu, xu);
+    }
     T t2a(0), t2b(0), t2c(0), t2d(0);
     idx i = 0;
     for (; i + 4 <= len; i += 4) {

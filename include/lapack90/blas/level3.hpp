@@ -3,23 +3,35 @@
 // Templated Level-3 BLAS. `gemm` is the performance core the paper's §1.1
 // leans on ("LAPACK ... use[s] block matrix operations, such as matrix
 // multiplication, in the innermost loops"): cache blocking (KC x MC panel
-// packing), a register-tiled micro-kernel, and a threaded IC macro loop on
-// top of la::parallel_for. The packed B panel is shared by the team, each
-// worker packs its own A block into a reusable thread-local workspace and
-// owns a disjoint row band of C, so the result is bit-identical for every
-// worker count. A straightforward triple loop is kept as `gemm_naive` for
-// the bench_gemm ablation. symm/syrk/trmm/trsm keep the reference-BLAS
-// control structure for small operands and recast large ones onto blocked
-// gemm calls so they inherit the threading.
+// packing), a register-tiled SIMD micro-kernel built on la::simd, and a
+// threaded IC macro loop on top of la::parallel_for. The packed B panel is
+// shared by the team, each worker packs its own A block into a reusable
+// thread-local workspace and owns a disjoint row band of C, so the result
+// is bit-identical for every worker count. Real types run a 2Wx6 register
+// tile (two native vectors tall, six accumulator columns); complex types a
+// Wx4 tile over interleaved [re im] lanes with the conjugate handled at
+// pack time. beta is applied by the micro-kernel on the first k-panel
+// (overwrite when beta == 0, so NaN/Inf in uninitialized C never
+// propagates) instead of a separate pre-pass over C. Remainder strips are
+// packed unpadded and handled with masked vector tails. The cache blocking
+// MC/KC/NC routes through ilaenv (EnvSpec::CacheBlock{M,K,N}) so it is
+// tunable per process; the register tile is a compile-time per-ISA
+// constant. A straightforward triple loop is kept as `gemm_naive` for the
+// bench_gemm ablation. symm/syrk/trmm/trsm keep the reference-BLAS control
+// structure for small operands and recast large ones onto blocked gemm
+// calls so they inherit the threading and the SIMD kernel.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <vector>
 
 #include "lapack90/blas/level1.hpp"
+#include "lapack90/core/env.hpp"
 #include "lapack90/core/parallel.hpp"
+#include "lapack90/core/simd.hpp"
 #include "lapack90/core/types.hpp"
 
 namespace la::blas {
@@ -58,38 +70,80 @@ void scale_c(idx m, idx n, T beta, T* c, idx ldc) noexcept {
   }
 }
 
-// Cache-blocking parameters (elements). Tuned for a ~32 KiB L1 / 1 MiB L2;
-// conservative values that work across the four element widths.
+// Register-tile and cache-blocking parameters. The register tile MR x NR
+// is a compile-time constant fixed by the SIMD ISA the translation unit
+// targets: real kernels are two native vectors tall and six accumulator
+// columns wide (8x6 for AVX2 double, 16x6 for AVX-512 double, ...);
+// complex kernels are one vector of interleaved complex tall per half-tile
+// (W complex rows = two real vectors) and four columns wide. The cache
+// blocking MC/KC/NC is runtime-tunable through the ilaenv machinery
+// (EnvSpec::CacheBlock{M,K,N} on EnvRoutine::gemm, or the
+// LAPACK90_GEMM_{MC,KC,NC} environment variables).
 template <Scalar T>
 struct GemmBlocking {
-  static constexpr idx MR = 4;
-  static constexpr idx NR = 4;
-  static constexpr idx MC = 128;
-  static constexpr idx KC = 256;
-  static constexpr idx NC = 512;
+  using R = real_t<T>;
+  /// Native real-lane vector width for this build.
+  static constexpr idx W = simd_width_v<R>;
+  /// True when the vectorized kernels are usable for T on this target
+  /// (complex needs at least one full complex per vector).
+  static constexpr bool kVectorized = is_complex_v<T> ? W >= 2 : W > 1;
+  static constexpr idx MR =
+      is_complex_v<T> ? (kVectorized ? W : 4) : (kVectorized ? 2 * W : 4);
+  static constexpr idx NR = is_complex_v<T> ? 4 : (kVectorized ? 6 : 4);
+
+  static idx mc() noexcept {
+    const idx v = ilaenv(EnvSpec::CacheBlockM, EnvRoutine::gemm, 0);
+    return std::max<idx>(MR, v - v % MR);
+  }
+  static idx kc() noexcept {
+    return std::max<idx>(1, ilaenv(EnvSpec::CacheBlockK, EnvRoutine::gemm, 0));
+  }
+  static idx nc() noexcept {
+    const idx v = ilaenv(EnvSpec::CacheBlockN, EnvRoutine::gemm, 0);
+    return std::max<idx>(NR, v - v % NR);
+  }
 };
 
+/// Process-wide ablation switch: route every gemm micro-tile through the
+/// scalar reference kernel even when the SIMD kernels are compiled in.
+/// Used by bench_gemm's scalar-vs-SIMD comparison and the --smoke guard.
+inline std::atomic<bool>& scalar_kernel_flag() noexcept {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
 /// Pack the MC x KC block of op(A) into column-panel-major order:
-/// consecutive MR-row strips, each strip KC columns deep.
+/// consecutive MR-row strips, each strip KC columns deep. The tail strip
+/// is packed at its true width ib (no zero padding) — the micro-kernel
+/// covers it with masked loads, so the pack loop never writes filler.
 template <Scalar T>
 void pack_a(idx mc, idx kc, const T* a, idx lda, Trans ta, idx i0, idx k0,
             T* buf) noexcept {
   constexpr idx MR = GemmBlocking<T>::MR;
   for (idx i = 0; i < mc; i += MR) {
     const idx ib = std::min<idx>(MR, mc - i);
-    for (idx k = 0; k < kc; ++k) {
-      for (idx ii = 0; ii < ib; ++ii) {
-        *buf++ = opval(a, lda, ta, i0 + i + ii, k0 + k);
+    if (ta == Trans::NoTrans) {
+      // Strip rows are contiguous in the source column: copy ib-long runs.
+      for (idx k = 0; k < kc; ++k) {
+        const T* src =
+            a + static_cast<std::size_t>(k0 + k) * lda + i0 + i;
+        for (idx ii = 0; ii < ib; ++ii) {
+          *buf++ = src[ii];
+        }
       }
-      for (idx ii = ib; ii < MR; ++ii) {
-        *buf++ = T(0);
+    } else {
+      for (idx k = 0; k < kc; ++k) {
+        for (idx ii = 0; ii < ib; ++ii) {
+          *buf++ = opval(a, lda, ta, i0 + i + ii, k0 + k);
+        }
       }
     }
   }
 }
 
 /// Pack the KC x NC block of op(B) into row-panel-major order:
-/// consecutive NR-column strips, each strip KC rows deep.
+/// consecutive NR-column strips, each strip KC rows deep. Tail strips are
+/// packed at their true width (see pack_a).
 template <Scalar T>
 void pack_b(idx kc, idx nc, const T* b, idx ldb, Trans tb, idx k0, idx j0,
             T* buf) noexcept {
@@ -100,35 +154,372 @@ void pack_b(idx kc, idx nc, const T* b, idx ldb, Trans tb, idx k0, idx j0,
       for (idx jj = 0; jj < jb; ++jj) {
         *buf++ = opval(b, ldb, tb, k0 + k, j0 + j + jj);
       }
-      for (idx jj = jb; jj < NR; ++jj) {
-        *buf++ = T(0);
-      }
     }
   }
 }
 
-/// MR x NR micro-kernel: C(0:mr,0:nr) += alpha * Ap * Bp over kc terms.
-/// Ap/Bp are packed strips; the accumulator block lives in registers.
+/// Scalar reference micro-kernel: C(0:mr,0:nr) := alpha*Ap*Bp + beta*C over
+/// kc terms; Ap/Bp are packed strips of row stride mr/nr. Carries the
+/// scalar-fallback build, the ablation switch, and any tile the vector
+/// kernels cannot (it is shape-agnostic). beta == 0 overwrites C.
 template <Scalar T>
-void micro_kernel(idx kc, T alpha, const T* ap, const T* bp, T* c, idx ldc,
-                  idx mr, idx nr) noexcept {
+void micro_kernel_ref(idx kc, T alpha, const T* ap, idx mr, const T* bp,
+                      idx nr, T beta, T* c, idx ldc) noexcept {
   constexpr idx MR = GemmBlocking<T>::MR;
   constexpr idx NR = GemmBlocking<T>::NR;
   T acc[MR][NR] = {};
-  for (idx k = 0; k < kc; ++k) {
-    const T* arow = ap + static_cast<std::size_t>(k) * MR;
-    const T* brow = bp + static_cast<std::size_t>(k) * NR;
-    for (idx i = 0; i < MR; ++i) {
-      const T ai = arow[i];
-      for (idx j = 0; j < NR; ++j) {
-        acc[i][j] += ai * brow[j];
+  if (mr == MR && nr == NR) {
+    // Full tile: compile-time trip counts so the optimizer can unroll and
+    // keep the accumulator block in registers.
+    for (idx k = 0; k < kc; ++k) {
+      const T* arow = ap + static_cast<std::size_t>(k) * MR;
+      const T* brow = bp + static_cast<std::size_t>(k) * NR;
+      for (idx i = 0; i < MR; ++i) {
+        const T ai = arow[i];
+        for (idx j = 0; j < NR; ++j) {
+          acc[i][j] += ai * brow[j];
+        }
+      }
+    }
+  } else {
+    for (idx k = 0; k < kc; ++k) {
+      const T* arow = ap + static_cast<std::size_t>(k) * mr;
+      const T* brow = bp + static_cast<std::size_t>(k) * nr;
+      for (idx i = 0; i < mr; ++i) {
+        const T ai = arow[i];
+        for (idx j = 0; j < nr; ++j) {
+          acc[i][j] += ai * brow[j];
+        }
       }
     }
   }
   for (idx j = 0; j < nr; ++j) {
     T* col = c + static_cast<std::size_t>(j) * ldc;
-    for (idx i = 0; i < mr; ++i) {
-      col[i] += alpha * acc[i][j];
+    if (beta == T(0)) {
+      for (idx i = 0; i < mr; ++i) {
+        col[i] = alpha * acc[i][j];
+      }
+    } else if (beta == T(1)) {
+      for (idx i = 0; i < mr; ++i) {
+        col[i] += alpha * acc[i][j];
+      }
+    } else {
+      for (idx i = 0; i < mr; ++i) {
+        col[i] = beta * col[i] + alpha * acc[i][j];
+      }
+    }
+  }
+}
+
+/// Vectorized full-tile kernel for real T: MR = 2W rows (two native
+/// vectors), NR = 6 accumulator columns, all twelve accumulators named so
+/// they provably live in registers. Packed strips stream at unit stride;
+/// a short software prefetch keeps the next strip rows in flight.
+template <RealScalar T>
+void micro_kernel_real(idx kc, T alpha, const T* ap, const T* bp, T beta,
+                       T* c, idx ldc) noexcept {
+  using V = simd_native<T>;
+  constexpr idx W = GemmBlocking<T>::W;
+  constexpr idx MR = GemmBlocking<T>::MR;
+  constexpr idx NR = GemmBlocking<T>::NR;
+  static_assert(NR == 6 && MR == 2 * W);
+  V c00 = V::zero(), c01 = V::zero(), c02 = V::zero(), c03 = V::zero(),
+    c04 = V::zero(), c05 = V::zero();
+  V c10 = V::zero(), c11 = V::zero(), c12 = V::zero(), c13 = V::zero(),
+    c14 = V::zero(), c15 = V::zero();
+  for (idx k = 0; k < kc; ++k) {
+    const V a0 = V::load(ap);
+    const V a1 = V::load(ap + W);
+    simd_prefetch(ap + 8 * MR);
+    simd_prefetch(bp + 8 * NR);
+    V b = V::broadcast(bp[0]);
+    c00 = V::fma(a0, b, c00);
+    c10 = V::fma(a1, b, c10);
+    b = V::broadcast(bp[1]);
+    c01 = V::fma(a0, b, c01);
+    c11 = V::fma(a1, b, c11);
+    b = V::broadcast(bp[2]);
+    c02 = V::fma(a0, b, c02);
+    c12 = V::fma(a1, b, c12);
+    b = V::broadcast(bp[3]);
+    c03 = V::fma(a0, b, c03);
+    c13 = V::fma(a1, b, c13);
+    b = V::broadcast(bp[4]);
+    c04 = V::fma(a0, b, c04);
+    c14 = V::fma(a1, b, c14);
+    b = V::broadcast(bp[5]);
+    c05 = V::fma(a0, b, c05);
+    c15 = V::fma(a1, b, c15);
+    ap += MR;
+    bp += NR;
+  }
+  const V va = V::broadcast(alpha);
+  V* lo[NR] = {&c00, &c01, &c02, &c03, &c04, &c05};
+  V* hi[NR] = {&c10, &c11, &c12, &c13, &c14, &c15};
+  for (idx j = 0; j < NR; ++j) {
+    T* col = c + static_cast<std::size_t>(j) * ldc;
+    if (beta == T(0)) {
+      (va * *lo[j]).store(col);
+      (va * *hi[j]).store(col + W);
+    } else if (beta == T(1)) {
+      V::fma(va, *lo[j], V::load(col)).store(col);
+      V::fma(va, *hi[j], V::load(col + W)).store(col + W);
+    } else {
+      const V vb = V::broadcast(beta);
+      V::fma(va, *lo[j], vb * V::load(col)).store(col);
+      V::fma(va, *hi[j], vb * V::load(col + W)).store(col + W);
+    }
+  }
+}
+
+/// Vectorized remainder kernel for real T: any mr <= MR, nr <= NR. The
+/// packed strips carry no zero padding, so the m tail is covered with
+/// masked loads/stores (the masked-tail scheme); accumulators are spilled
+/// arrays, which is fine — at most one strip per block row/column lands
+/// here.
+template <RealScalar T>
+void micro_kernel_real_tail(idx kc, T alpha, const T* ap, idx mr,
+                            const T* bp, idx nr, T beta, T* c,
+                            idx ldc) noexcept {
+  using V = simd_native<T>;
+  constexpr idx W = GemmBlocking<T>::W;
+  constexpr idx NR = GemmBlocking<T>::NR;
+  const idx m0 = std::min<idx>(mr, W);  // lanes in the low vector
+  const idx m1 = mr - m0;               // lanes in the high vector
+  V acc0[NR];
+  V acc1[NR];
+  for (idx j = 0; j < NR; ++j) {
+    acc0[j] = V::zero();
+    acc1[j] = V::zero();
+  }
+  for (idx k = 0; k < kc; ++k) {
+    const V a0 = m0 == W ? V::load(ap) : V::load_partial(ap, m0);
+    const V a1 = m1 == W ? V::load(ap + W)
+                         : (m1 > 0 ? V::load_partial(ap + W, m1) : V::zero());
+    for (idx j = 0; j < nr; ++j) {
+      const V b = V::broadcast(bp[j]);
+      acc0[j] = V::fma(a0, b, acc0[j]);
+      acc1[j] = V::fma(a1, b, acc1[j]);
+    }
+    ap += mr;
+    bp += nr;
+  }
+  const V va = V::broadcast(alpha);
+  for (idx j = 0; j < nr; ++j) {
+    T* col = c + static_cast<std::size_t>(j) * ldc;
+    V r0, r1;
+    if (beta == T(0)) {
+      r0 = va * acc0[j];
+      r1 = va * acc1[j];
+    } else {
+      const V vb = V::broadcast(beta);
+      const V old0 =
+          m0 == W ? V::load(col) : V::load_partial(col, m0);
+      r0 = V::fma(va, acc0[j], beta == T(1) ? old0 : vb * old0);
+      if (m1 > 0) {
+        const V old1 =
+            m1 == W ? V::load(col + W) : V::load_partial(col + W, m1);
+        r1 = V::fma(va, acc1[j], beta == T(1) ? old1 : vb * old1);
+      } else {
+        r1 = V::zero();
+      }
+    }
+    if (m0 == W) {
+      r0.store(col);
+    } else {
+      r0.store_partial(col, m0);
+    }
+    if (m1 == W) {
+      r1.store(col + W);
+    } else if (m1 > 0) {
+      r1.store_partial(col + W, m1);
+    }
+  }
+}
+
+/// alpha * v for a vector of interleaved complex lanes [re im re im ...]:
+/// Re' = ar*re - ai*im, Im' = ar*im + ai*re, synthesized from two real
+/// products via the swapped/sign-flipped twin of v.
+template <class V, class C>
+[[nodiscard]] V cplx_scale(C alpha, V v) noexcept {
+  const V ar = V::broadcast(alpha.real());
+  const V ai = V::broadcast(alpha.imag());
+  return V::fma(ai, v.swap_pairs().neg_evens(), ar * v);
+}
+
+/// Vectorized full-tile kernel for complex T: MR = W complex rows stored
+/// interleaved (two real vectors tall), NR = 4 columns. Each k step fuses
+/// the real/imaginary contributions with two fmas per accumulator using
+/// the swap-pairs + negate-evens twin of the packed A vectors; conjugation
+/// was already resolved at pack time.
+template <ComplexScalar T>
+void micro_kernel_cplx(idx kc, T alpha, const T* ap_, const T* bp_, T beta,
+                       T* c_, idx ldc) noexcept {
+  using R = real_t<T>;
+  using V = simd_native<R>;
+  constexpr idx W = GemmBlocking<T>::W;
+  constexpr idx MR = GemmBlocking<T>::MR;  // complex rows; 2W real lanes
+  constexpr idx NR = GemmBlocking<T>::NR;
+  static_assert(NR == 4 && MR == W);
+  const R* ap = reinterpret_cast<const R*>(ap_);
+  const R* bp = reinterpret_cast<const R*>(bp_);
+  V c00 = V::zero(), c01 = V::zero(), c02 = V::zero(), c03 = V::zero();
+  V c10 = V::zero(), c11 = V::zero(), c12 = V::zero(), c13 = V::zero();
+  for (idx k = 0; k < kc; ++k) {
+    const V a0 = V::load(ap);
+    const V a1 = V::load(ap + W);
+    const V a0s = a0.swap_pairs().neg_evens();  // [-im re -im re ...]
+    const V a1s = a1.swap_pairs().neg_evens();
+    simd_prefetch(ap + 16 * W);
+    simd_prefetch(bp + 8 * NR);
+    V br = V::broadcast(bp[0]);
+    V bi = V::broadcast(bp[1]);
+    c00 = V::fma(a0, br, c00);
+    c10 = V::fma(a1, br, c10);
+    c00 = V::fma(a0s, bi, c00);
+    c10 = V::fma(a1s, bi, c10);
+    br = V::broadcast(bp[2]);
+    bi = V::broadcast(bp[3]);
+    c01 = V::fma(a0, br, c01);
+    c11 = V::fma(a1, br, c11);
+    c01 = V::fma(a0s, bi, c01);
+    c11 = V::fma(a1s, bi, c11);
+    br = V::broadcast(bp[4]);
+    bi = V::broadcast(bp[5]);
+    c02 = V::fma(a0, br, c02);
+    c12 = V::fma(a1, br, c12);
+    c02 = V::fma(a0s, bi, c02);
+    c12 = V::fma(a1s, bi, c12);
+    br = V::broadcast(bp[6]);
+    bi = V::broadcast(bp[7]);
+    c03 = V::fma(a0, br, c03);
+    c13 = V::fma(a1, br, c13);
+    c03 = V::fma(a0s, bi, c03);
+    c13 = V::fma(a1s, bi, c13);
+    ap += 2 * W;
+    bp += 2 * NR;
+  }
+  V* lo[NR] = {&c00, &c01, &c02, &c03};
+  V* hi[NR] = {&c10, &c11, &c12, &c13};
+  R* c = reinterpret_cast<R*>(c_);
+  const std::size_t ldr = 2 * static_cast<std::size_t>(ldc);
+  for (idx j = 0; j < NR; ++j) {
+    R* col = c + static_cast<std::size_t>(j) * ldr;
+    V r0 = cplx_scale(alpha, *lo[j]);
+    V r1 = cplx_scale(alpha, *hi[j]);
+    if (beta != T(0)) {
+      if (beta == T(1)) {
+        r0 = r0 + V::load(col);
+        r1 = r1 + V::load(col + W);
+      } else {
+        r0 = r0 + cplx_scale(beta, V::load(col));
+        r1 = r1 + cplx_scale(beta, V::load(col + W));
+      }
+    }
+    r0.store(col);
+    r1.store(col + W);
+  }
+}
+
+/// Vectorized remainder kernel for complex T (mr <= MR complex rows,
+/// nr <= NR columns): masked loads/stores over the 2*mr interleaved real
+/// lanes of each unpadded strip row.
+template <ComplexScalar T>
+void micro_kernel_cplx_tail(idx kc, T alpha, const T* ap_, idx mr,
+                            const T* bp_, idx nr, T beta, T* c_,
+                            idx ldc) noexcept {
+  using R = real_t<T>;
+  using V = simd_native<R>;
+  constexpr idx W = GemmBlocking<T>::W;
+  constexpr idx NR = GemmBlocking<T>::NR;
+  const idx lanes = 2 * mr;  // interleaved real lanes per strip row
+  const idx m0 = std::min<idx>(lanes, W);
+  const idx m1 = lanes - m0;
+  V acc0[NR];
+  V acc1[NR];
+  for (idx j = 0; j < NR; ++j) {
+    acc0[j] = V::zero();
+    acc1[j] = V::zero();
+  }
+  const R* ap = reinterpret_cast<const R*>(ap_);
+  const R* bp = reinterpret_cast<const R*>(bp_);
+  for (idx k = 0; k < kc; ++k) {
+    const V a0 = m0 == W ? V::load(ap) : V::load_partial(ap, m0);
+    const V a1 = m1 == W ? V::load(ap + W)
+                         : (m1 > 0 ? V::load_partial(ap + W, m1) : V::zero());
+    const V a0s = a0.swap_pairs().neg_evens();
+    const V a1s = a1.swap_pairs().neg_evens();
+    for (idx j = 0; j < nr; ++j) {
+      const V br = V::broadcast(bp[2 * j]);
+      const V bi = V::broadcast(bp[2 * j + 1]);
+      acc0[j] = V::fma(a0, br, acc0[j]);
+      acc0[j] = V::fma(a0s, bi, acc0[j]);
+      acc1[j] = V::fma(a1, br, acc1[j]);
+      acc1[j] = V::fma(a1s, bi, acc1[j]);
+    }
+    ap += lanes;
+    bp += 2 * nr;
+  }
+  R* c = reinterpret_cast<R*>(c_);
+  const std::size_t ldr = 2 * static_cast<std::size_t>(ldc);
+  for (idx j = 0; j < nr; ++j) {
+    R* col = c + static_cast<std::size_t>(j) * ldr;
+    V r0 = cplx_scale(alpha, acc0[j]);
+    V r1 = cplx_scale(alpha, acc1[j]);
+    if (beta != T(0)) {
+      const V old0 = m0 == W ? V::load(col) : V::load_partial(col, m0);
+      const V old1 = m1 == W
+                         ? V::load(col + W)
+                         : (m1 > 0 ? V::load_partial(col + W, m1) : V::zero());
+      if (beta == T(1)) {
+        r0 = r0 + old0;
+        r1 = r1 + old1;
+      } else {
+        r0 = r0 + cplx_scale(beta, old0);
+        r1 = r1 + cplx_scale(beta, old1);
+      }
+    }
+    if (m0 == W) {
+      r0.store(col);
+    } else {
+      r0.store_partial(col, m0);
+    }
+    if (m1 == W) {
+      r1.store(col + W);
+    } else if (m1 > 0) {
+      r1.store_partial(col + W, m1);
+    }
+  }
+}
+
+/// Micro-kernel dispatch: C(0:mr,0:nr) := alpha*Ap*Bp + beta*C over kc
+/// terms. Ap/Bp are unpadded packed strips with row strides mr/nr. Routes
+/// full tiles to the named-register SIMD kernels, remainders to the
+/// masked-tail kernels, and everything to the scalar reference kernel on
+/// targets without usable vectors (or under the ablation switch).
+template <Scalar T>
+void micro_kernel(idx kc, T alpha, const T* ap, idx mr, const T* bp, idx nr,
+                  T beta, T* c, idx ldc) noexcept {
+  using B = GemmBlocking<T>;
+  if constexpr (!B::kVectorized) {
+    micro_kernel_ref(kc, alpha, ap, mr, bp, nr, beta, c, ldc);
+  } else {
+    if (scalar_kernel_flag().load(std::memory_order_relaxed)) {
+      micro_kernel_ref(kc, alpha, ap, mr, bp, nr, beta, c, ldc);
+      return;
+    }
+    if constexpr (is_complex_v<T>) {
+      if (mr == B::MR && nr == B::NR) {
+        micro_kernel_cplx(kc, alpha, ap, bp, beta, c, ldc);
+      } else {
+        micro_kernel_cplx_tail(kc, alpha, ap, mr, bp, nr, beta, c, ldc);
+      }
+    } else {
+      if (mr == B::MR && nr == B::NR) {
+        micro_kernel_real(kc, alpha, ap, bp, beta, c, ldc);
+      } else {
+        micro_kernel_real_tail(kc, alpha, ap, mr, bp, nr, beta, c, ldc);
+      }
     }
   }
 }
@@ -156,6 +547,14 @@ template <Scalar T>
 }
 
 }  // namespace detail
+
+/// Ablation switch: route every gemm micro-tile through the scalar
+/// reference kernel even when SIMD kernels are compiled in (true), or
+/// restore the vectorized kernels (false). Returns the previous setting.
+/// Used by bench_gemm's scalar-vs-SIMD comparison and its --smoke guard.
+inline bool set_force_scalar_kernel(bool on) noexcept {
+  return detail::scalar_kernel_flag().exchange(on, std::memory_order_relaxed);
+}
 
 /// Reference three-loop GEMM: C := alpha*op(A)*op(B) + beta*C. Kept public
 /// for the blocked-vs-naive ablation benchmark; correctness baseline in
@@ -190,37 +589,51 @@ void gemm_naive(Trans ta, Trans tb, idx m, idx n, idx k, T alpha, const T* a,
 }
 
 /// Blocked, packed GEMM (xGEMM): C := alpha*op(A)*op(B) + beta*C with
-/// C m x n, op(A) m x k, op(B) k x n.
+/// C m x n, op(A) m x k, op(B) k x n. beta is folded into the first
+/// k-panel's micro-kernel pass (no separate sweep over C); beta == 0
+/// overwrites C, so NaN/Inf in uninitialized C never propagates.
 template <Scalar T>
 void gemm(Trans ta, Trans tb, idx m, idx n, idx k, T alpha, const T* a,
           idx lda, const T* b, idx ldb, T beta, T* c, idx ldc) {
   using B = detail::GemmBlocking<T>;
-  detail::scale_c(m, n, beta, c, ldc);
-  if (m <= 0 || n <= 0 || k <= 0 || alpha == T(0)) {
+  if (m <= 0 || n <= 0) {
+    return;
+  }
+  if (k <= 0 || alpha == T(0)) {
+    detail::scale_c(m, n, beta, c, ldc);
     return;
   }
   // Small problems: the packing overhead dominates; use the direct loops.
   // The flop count is formed in 64-bit — m*n*k overflows a 32-bit long on
-  // LLP64 targets well before the operands themselves get large.
+  // LLP64 targets well before the operands themselves get large. The
+  // cutoff routes through ilaenv so tests can force the packed path.
   if (static_cast<std::int64_t>(m) * n * k <
-      static_cast<std::int64_t>(32) * 32 * 32) {
+      static_cast<std::int64_t>(
+          ilaenv(EnvSpec::Crossover, EnvRoutine::gemm, 0))) {
+    detail::scale_c(m, n, beta, c, ldc);
     gemm_naive(ta, tb, m, n, k, alpha, a, lda, b, ldb, T(1), c, ldc);
     return;
   }
 
-  constexpr std::size_t a_ws =
-      static_cast<std::size_t>(B::MC + B::MR) * B::KC;
+  const idx MC = B::mc();
+  const idx KC = B::kc();
+  const idx NC = B::nc();
   T* const bpack = detail::pack_workspace_b<T>(
-      static_cast<std::size_t>(B::KC) *
-      (static_cast<std::size_t>(B::NC) + B::NR));
+      static_cast<std::size_t>(KC) * static_cast<std::size_t>(NC));
 
-  for (idx jc = 0; jc < n; jc += B::NC) {
-    const idx nc = std::min<idx>(B::NC, n - jc);
+  for (idx jc = 0; jc < n; jc += NC) {
+    const idx nc = std::min<idx>(NC, n - jc);
     const idx nstrips = (nc + B::NR - 1) / B::NR;
-    for (idx kc0 = 0; kc0 < k; kc0 += B::KC) {
-      const idx kc = std::min<idx>(B::KC, k - kc0);
+    for (idx kc0 = 0; kc0 < k; kc0 += KC) {
+      const idx kc = std::min<idx>(KC, k - kc0);
+      // The first k-panel applies beta (the micro-kernel overwrites C when
+      // beta == 0); later panels accumulate. Every C tile is touched by
+      // exactly one worker per panel, so this stays bit-identical across
+      // worker counts.
+      const T betaeff = kc0 == 0 ? beta : T(1);
       // The team packs the shared B panel cooperatively, one NR strip per
-      // chunk; strips occupy disjoint slices of bpack.
+      // chunk; strips occupy disjoint slices of bpack (all full except
+      // possibly the last, so the js-th strip starts at js*kc*NR).
       parallel_for(nstrips, [&](idx js, int) {
         const idx j = js * B::NR;
         detail::pack_b(kc, std::min<idx>(B::NR, nc - j), b, ldb, tb, kc0,
@@ -231,11 +644,12 @@ void gemm(Trans ta, Trans tb, idx m, idx n, idx k, T alpha, const T* a,
       // thread-local buffer and owns a disjoint row band of C, so every
       // reduction order lives inside a chunk and the result cannot depend
       // on the worker count.
-      const idx mblocks = (m + B::MC - 1) / B::MC;
+      const idx mblocks = (m + MC - 1) / MC;
       parallel_for(mblocks, [&](idx icb, int) {
-        const idx ic = icb * B::MC;
-        const idx mc = std::min<idx>(B::MC, m - ic);
-        T* const apack = detail::pack_workspace_a<T>(a_ws);
+        const idx ic = icb * MC;
+        const idx mc = std::min<idx>(MC, m - ic);
+        T* const apack = detail::pack_workspace_a<T>(
+            static_cast<std::size_t>(MC) * static_cast<std::size_t>(KC));
         detail::pack_a(mc, kc, a, lda, ta, ic, kc0, apack);
         const idx mstrips = (mc + B::MR - 1) / B::MR;
         for (idx js = 0; js < nstrips; ++js) {
@@ -247,9 +661,8 @@ void gemm(Trans ta, Trans tb, idx m, idx n, idx k, T alpha, const T* a,
             const idx mr = std::min<idx>(B::MR, mc - i);
             const T* ap = apack + static_cast<std::size_t>(is) * kc * B::MR;
             detail::micro_kernel(
-                kc, alpha, ap, bp,
-                c + static_cast<std::size_t>(jc + j) * ldc + ic + i, ldc, mr,
-                nr);
+                kc, alpha, ap, mr, bp, nr, betaeff,
+                c + static_cast<std::size_t>(jc + j) * ldc + ic + i, ldc);
           }
         }
       });
@@ -321,7 +734,7 @@ void symm_impl(Side side, Uplo uplo, idx m, idx n, T alpha, const T* a,
 template <Scalar T, bool Herm>
 void symm_blocked(Side side, Uplo uplo, idx m, idx n, T alpha, const T* a,
                   idx lda, const T* b, idx ldb, T beta, T* c, idx ldc) {
-  constexpr idx nb = GemmBlocking<T>::MC;
+  const idx nb = GemmBlocking<T>::mc();
   const Trans tt = Herm ? Trans::ConjTrans : Trans::Trans;
   const idx an = side == Side::Left ? m : n;
   for (idx i0 = 0; i0 < an; i0 += nb) {
@@ -374,7 +787,7 @@ void symm(Side side, Uplo uplo, idx m, idx n, T alpha, const T* a, idx lda,
           const T* b, idx ldb, T beta, T* c, idx ldc) noexcept {
   const idx an = side == Side::Left ? m : n;
   if (m <= 0 || n <= 0 || alpha == T(0) ||
-      an <= detail::GemmBlocking<T>::MC) {
+      an <= detail::GemmBlocking<T>::mc()) {
     detail::symm_impl<T, false>(side, uplo, m, n, alpha, a, lda, b, ldb, beta,
                                 c, ldc);
     return;
@@ -389,7 +802,7 @@ void hemm(Side side, Uplo uplo, idx m, idx n, T alpha, const T* a, idx lda,
           const T* b, idx ldb, T beta, T* c, idx ldc) noexcept {
   const idx an = side == Side::Left ? m : n;
   if (m <= 0 || n <= 0 || alpha == T(0) ||
-      an <= detail::GemmBlocking<T>::MC) {
+      an <= detail::GemmBlocking<T>::mc()) {
     detail::symm_impl<T, is_complex_v<T>>(side, uplo, m, n, alpha, a, lda, b,
                                           ldb, beta, c, ldc);
     return;
@@ -522,7 +935,7 @@ void herk_ref(Uplo uplo, Trans trans, idx n, idx k, real_t<T> alpha,
 template <Scalar T>
 void syrk(Uplo uplo, Trans trans, idx n, idx k, T alpha, const T* a, idx lda,
           T beta, T* c, idx ldc) noexcept {
-  constexpr idx nb = detail::GemmBlocking<T>::MC;
+  const idx nb = detail::GemmBlocking<T>::mc();
   if (n <= nb || k <= 0 || alpha == T(0)) {
     detail::syrk_ref(uplo, trans, n, k, alpha, a, lda, beta, c, ldc);
     return;
@@ -563,7 +976,7 @@ void herk(Uplo uplo, Trans trans, idx n, idx k, real_t<T> alpha, const T* a,
     syrk(uplo, trans == Trans::ConjTrans ? Trans::Trans : trans, n, k,
          T(alpha), a, lda, T(beta), c, ldc);
   } else {
-    constexpr idx nb = detail::GemmBlocking<T>::MC;
+    const idx nb = detail::GemmBlocking<T>::mc();
     if (n <= nb || k <= 0 || alpha == real_t<T>(0)) {
       detail::herk_ref(uplo, trans, n, k, alpha, a, lda, beta, c, ldc);
       return;
@@ -752,7 +1165,7 @@ T* rank2k_workspace(int which, std::size_t elems) {
 template <Scalar T>
 void syr2k(Uplo uplo, Trans trans, idx n, idx k, T alpha, const T* a, idx lda,
            const T* b, idx ldb, T beta, T* c, idx ldc) noexcept {
-  constexpr idx nb = detail::GemmBlocking<T>::MC;
+  const idx nb = detail::GemmBlocking<T>::mc();
   if (n <= nb || k <= 0 || alpha == T(0)) {
     detail::syr2k_ref(uplo, trans, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
     return;
@@ -835,7 +1248,7 @@ void her2k(Uplo uplo, Trans trans, idx n, idx k, T alpha, const T* a, idx lda,
     syr2k(uplo, trans == Trans::ConjTrans ? Trans::Trans : trans, n, k, alpha,
           a, lda, b, ldb, T(beta), c, ldc);
   } else {
-    constexpr idx nb = detail::GemmBlocking<T>::MC;
+    const idx nb = detail::GemmBlocking<T>::mc();
     if (n <= nb || k <= 0 || alpha == T(0)) {
       detail::her2k_ref(uplo, trans, n, k, alpha, a, lda, b, ldb, beta, c,
                         ldc);
@@ -1278,7 +1691,7 @@ void trmm(Side side, Uplo uplo, Trans trans, Diag diag, idx m, idx n, T alpha,
     detail::scale_c(m, n, T(0), b, ldb);
     return;
   }
-  constexpr idx nb = detail::GemmBlocking<T>::MC;
+  const idx nb = detail::GemmBlocking<T>::mc();
   const idx an = side == Side::Left ? m : n;
   if (an <= nb) {
     detail::trmm_ref(side, uplo, trans, diag, m, n, alpha, a, lda, b, ldb);
@@ -1356,7 +1769,7 @@ void trsm(Side side, Uplo uplo, Trans trans, Diag diag, idx m, idx n, T alpha,
     detail::scale_c(m, n, T(0), b, ldb);
     return;
   }
-  constexpr idx nb = detail::GemmBlocking<T>::MC;
+  const idx nb = detail::GemmBlocking<T>::mc();
   const idx an = side == Side::Left ? m : n;
   if (an <= nb) {
     detail::trsm_ref(side, uplo, trans, diag, m, n, alpha, a, lda, b, ldb);

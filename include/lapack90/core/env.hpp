@@ -16,8 +16,13 @@ enum class EnvSpec : int {
   BlockSize = 1,       ///< optimal block size NB
   MinBlockSize = 2,    ///< minimum block size for the blocked path
   Crossover = 3,       ///< crossover point N below which unblocked is used
+                       ///< (for EnvRoutine::gemm: the m*n*k flop-product
+                       ///< below which the packed path is skipped)
   Threads = 4,         ///< worker count for the parallel Level-3 runtime
                        ///< (our extension; not a reference ILAENV ISPEC)
+  CacheBlockM = 5,     ///< gemm MC: rows of the packed A block (extension)
+  CacheBlockK = 6,     ///< gemm KC: depth of the packed panels (extension)
+  CacheBlockN = 7,     ///< gemm NC: columns of the shared B panel (extension)
 };
 
 /// Routine families with distinct tuning entries.

@@ -4,6 +4,7 @@
 
 #include <array>
 #include <atomic>
+#include <cstdlib>
 
 #include "lapack90/core/parallel.hpp"
 
@@ -12,7 +13,22 @@ namespace la {
 namespace {
 
 constexpr int kRoutines = static_cast<int>(EnvRoutine::count_);
-constexpr int kSpecs = 4;
+constexpr int kSpecs = 7;
+
+/// Positive integer from the environment, or `fallback` when unset/invalid.
+/// Read once per process (the gemm cache-blocking knobs).
+idx env_idx(const char* name, idx fallback) noexcept {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || v < 1 || v > (1 << 28)) {
+    return fallback;
+  }
+  return static_cast<idx>(v);
+}
 
 struct Defaults {
   idx nb;
@@ -40,8 +56,17 @@ constexpr std::array<Defaults, kRoutines> kDefaults = {{
     {32, 2, 384},  // sytrd
     {32, 2, 128},  // gehrd
     {32, 2, 384},  // gebrd
-    {64, 1, 0},    // gemm (nb = cache block edge)
+    {64, 1, 32768},  // gemm (nb = cache block edge; nx = m*n*k flop-product
+                     // below which packing is skipped)
 }};
+
+// Cache-blocking defaults for the packed gemm (elements, shared by all four
+// element types; the register tile MR/NR is a compile-time per-ISA constant
+// in blas/level3.hpp). Overridable per process via set_env_override or the
+// LAPACK90_GEMM_{MC,KC,NC} environment variables.
+const idx kGemmMC = env_idx("LAPACK90_GEMM_MC", 128);
+const idx kGemmKC = env_idx("LAPACK90_GEMM_KC", 256);
+const idx kGemmNC = env_idx("LAPACK90_GEMM_NC", 512);
 
 std::array<std::atomic<idx>, kRoutines * kSpecs>& overrides() noexcept {
   static std::array<std::atomic<idx>, kRoutines * kSpecs> table{};
@@ -75,6 +100,15 @@ idx ilaenv(EnvSpec spec, EnvRoutine routine, idx n) noexcept {
       // Defers to the parallel runtime's environment-derived default
       // (LAPACK90_NUM_THREADS / OMP_NUM_THREADS / hardware concurrency).
       v = detail::default_thread_count();
+      break;
+    case EnvSpec::CacheBlockM:
+      v = kGemmMC;
+      break;
+    case EnvSpec::CacheBlockK:
+      v = kGemmKC;
+      break;
+    case EnvSpec::CacheBlockN:
+      v = kGemmNC;
       break;
   }
   // Never hand back a block larger than the problem (matches the paper's

@@ -1,7 +1,14 @@
 #include "lapack90/version.hpp"
 
+#include "lapack90/core/simd.hpp"
+
 namespace la {
 
-const char* version() noexcept { return "1.0.0"; }
+// The ISA suffix reports what the la::simd layer lowered to for this build
+// (compile-time dispatch; see core/simd.hpp). It is the library build's view:
+// header-only kernels compiled into user TUs follow those TUs' flags.
+const char* version() noexcept {
+  return "1.1.0 (simd: " LAPACK90_SIMD_ISA_NAME ")";
+}
 
 }  // namespace la

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "lapack90/core/parallel.hpp"
 #include "lapack90/core/simd.hpp"
 #include "lapack90/version.hpp"
 
@@ -23,6 +24,7 @@ inline int run_with_json_default(int argc, char** argv,
   // forced-scalar) are distinguishable after the fact.
   benchmark::AddCustomContext("lapack90_version", la::version());
   benchmark::AddCustomContext("simd_isa", la::simd_isa_name());
+  benchmark::AddCustomContext("thread_backend", la::thread_backend_name());
   std::vector<char*> args(argv, argv + argc);
   bool has_out = false;
   for (int i = 1; i < argc; ++i) {

@@ -1,0 +1,10 @@
+// lapack90/batch/batch.hpp — umbrella for the batched driver subsystem:
+// descriptors, the grain scheduler, batched Level-3 BLAS, and the batched
+// solve/factor drivers. The F90-style span front-end lives in
+// lapack90/f90/batch.hpp (pulled in by the top-level lapack90.hpp).
+#pragma once
+
+#include "lapack90/batch/blas.hpp"        // IWYU pragma: export
+#include "lapack90/batch/descriptor.hpp"  // IWYU pragma: export
+#include "lapack90/batch/drivers.hpp"     // IWYU pragma: export
+#include "lapack90/batch/schedule.hpp"    // IWYU pragma: export

@@ -1,0 +1,243 @@
+// lapack90/batch/drivers.hpp
+//
+// Batched LAPACK drivers: solve/factor every entry of a MatrixBatch in one
+// call. Scheduling follows schedule.hpp (entries fan out across workers
+// below the BatchGrain threshold, run serial-outer with threaded Level-3
+// inside above it); each entry is computed by exactly one worker with
+// serial arithmetic, so results are bit-identical for every worker count.
+//
+// Workspaces are per-worker and thread_local (the workspace-tag machinery
+// from the blocked reductions), so the steady-state batch loop performs no
+// heap allocation. Each entry makes exactly one pass through the
+// alloc_should_fail() injection hook before touching its workspace: an
+// injected failure marks that entry INFO = -100 and leaves its data
+// untouched, exactly like the F90 wrappers' ALLOCATE ... STAT path.
+//
+// Error protocol: per-entry INFO in infos[i] (when infos != nullptr) with
+// the usual meanings (negative = bad entry shape, positive = numerical
+// failure, -100 = workspace). The return value aggregates: 0 when every
+// entry succeeded, else the 1-based index of the first failing entry —
+// deterministic regardless of which worker saw the failure first.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <vector>
+
+#include "lapack90/batch/descriptor.hpp"
+#include "lapack90/batch/schedule.hpp"
+#include "lapack90/core/error.hpp"
+#include "lapack90/core/types.hpp"
+#include "lapack90/lapack/cholesky.hpp"
+#include "lapack90/lapack/lls.hpp"
+#include "lapack90/lapack/lu.hpp"
+#include "lapack90/lapack/qr.hpp"
+
+namespace la::batch {
+
+namespace detail {
+
+// Tags for the per-worker batch workspaces — distinct from every tag the
+// computational layer uses, so a batch worker delegating a large entry to
+// the blocked drivers never aliases its own buffers.
+struct WsBatchTauTag {};
+struct WsBatchWorkTag {};
+
+/// Per-worker pivot workspace (idx is not a Scalar, so the tagged
+/// work_buffer template does not apply). Never shrinks.
+[[nodiscard]] inline idx* pivot_buffer(idx n) {
+  thread_local std::vector<idx> buf;
+  if (static_cast<idx>(buf.size()) < n) {
+    buf.resize(static_cast<std::size_t>(n));
+  }
+  return buf.data();
+}
+
+/// Record entry `i` (0-based) as failed; keeps the smallest index so the
+/// aggregate INFO does not depend on worker interleaving.
+inline void note_failure(std::atomic<idx>& first, idx i) noexcept {
+  idx cur = first.load(std::memory_order_relaxed);
+  while (i + 1 < cur && !first.compare_exchange_weak(
+                            cur, i + 1, std::memory_order_relaxed)) {
+  }
+}
+
+/// Shared driver skeleton: schedule the entries, collect per-entry INFO,
+/// aggregate the first failure. `body(i)` returns the entry's INFO.
+template <class F>
+idx run(idx count, idx maxdim, idx* infos, F&& body) {
+  std::atomic<idx> first{count + 1};
+  for_each_entry(count, maxdim, [&](idx i, int) {
+    const idx linfo = body(i);
+    if (infos != nullptr) {
+      infos[i] = linfo;
+    }
+    if (linfo != 0) {
+      note_failure(first, i);
+    }
+  });
+  const idx f = first.load(std::memory_order_relaxed);
+  return f == count + 1 ? 0 : f;
+}
+
+}  // namespace detail
+
+/// Batched LU solve (xGESV): A_i X_i = B_i, A_i overwritten by its LU
+/// factors, B_i by X_i. Entry INFO: -1 A_i not square, -2 row mismatch,
+/// -100 workspace, > 0 singular U.
+template <Scalar T>
+idx gesv_batch(const MatrixBatch<T>& a, const MatrixBatch<T>& b,
+               idx* infos = nullptr) {
+  assert(a.count() == b.count());
+  const idx maxdim = std::max({a.max_rows(), a.max_cols(), b.max_cols()});
+  return detail::run(a.count(), maxdim, infos, [&](idx i) -> idx {
+    const idx n = a.rows(i);
+    if (a.cols(i) != n) {
+      return -1;
+    }
+    if (b.rows(i) != n) {
+      return -2;
+    }
+    if (n == 0) {
+      return 0;
+    }
+    if (alloc_should_fail()) {
+      return -100;
+    }
+    idx* const piv = detail::pivot_buffer(n);
+    return lapack::gesv(n, b.cols(i), a.ptr(i), a.ld(i), piv, b.ptr(i),
+                        b.ld(i));
+  });
+}
+
+/// Batched Cholesky factorization (xPOTRF): A_i := L_i L_i^H (or
+/// U_i^H U_i). Allocation-free per entry. Entry INFO: -1 not square,
+/// > 0 not positive definite.
+template <Scalar T>
+idx potrf_batch(Uplo uplo, const MatrixBatch<T>& a, idx* infos = nullptr) {
+  const idx maxdim = std::max(a.max_rows(), a.max_cols());
+  return detail::run(a.count(), maxdim, infos, [&](idx i) -> idx {
+    const idx n = a.rows(i);
+    if (a.cols(i) != n) {
+      return -1;
+    }
+    return lapack::potrf(uplo, n, a.ptr(i), a.ld(i));
+  });
+}
+
+/// Batched SPD/HPD solve (xPOSV): Cholesky-factor A_i and solve for B_i.
+/// Allocation-free per entry. Entry INFO: -1 A_i not square, -2 row
+/// mismatch, > 0 not positive definite.
+template <Scalar T>
+idx posv_batch(Uplo uplo, const MatrixBatch<T>& a, const MatrixBatch<T>& b,
+               idx* infos = nullptr) {
+  assert(a.count() == b.count());
+  const idx maxdim = std::max({a.max_rows(), a.max_cols(), b.max_cols()});
+  return detail::run(a.count(), maxdim, infos, [&](idx i) -> idx {
+    const idx n = a.rows(i);
+    if (a.cols(i) != n) {
+      return -1;
+    }
+    if (b.rows(i) != n) {
+      return -2;
+    }
+    return lapack::posv(uplo, n, b.cols(i), a.ptr(i), a.ld(i), b.ptr(i),
+                        b.ld(i));
+  });
+}
+
+/// Batched QR factorization (xGEQRF): A_i = Q_i R_i, reflectors below the
+/// diagonal, scalars in tau entry i (length >= min(rows, cols); build the
+/// tau batch with MatrixBatch factories over k x 1 entries). Entries below
+/// the BatchGrain threshold run the unblocked geqr2 against the per-worker
+/// workspace (allocation-free); larger ones take the blocked geqrf. Entry
+/// INFO: -2 tau entry too short, -100 workspace.
+template <Scalar T>
+idx geqrf_batch(const MatrixBatch<T>& a, const MatrixBatch<T>& tau,
+                idx* infos = nullptr) {
+  assert(a.count() == tau.count());
+  const idx maxdim = std::max(a.max_rows(), a.max_cols());
+  const idx grain = batch_grain();
+  return detail::run(a.count(), maxdim, infos, [&](idx i) -> idx {
+    const idx m = a.rows(i);
+    const idx n = a.cols(i);
+    const idx k = std::min(m, n);
+    if (tau.rows(i) < k) {
+      return -2;
+    }
+    if (k == 0) {
+      return 0;
+    }
+    if (std::max(m, n) < grain) {
+      if (alloc_should_fail()) {
+        return -100;
+      }
+      T* const work = lapack::detail::work_buffer<T, detail::WsBatchWorkTag>(
+          static_cast<std::size_t>(n));
+      lapack::geqr2(m, n, a.ptr(i), a.ld(i), tau.ptr(i), work);
+    } else {
+      lapack::geqrf(m, n, a.ptr(i), a.ld(i), tau.ptr(i));
+    }
+    return 0;
+  });
+}
+
+/// Batched least squares (xGELS): minimize ||A_i X_i - B_i|| (or the
+/// minimum-norm / transposed variants). B entry i is max(m, n) x nrhs:
+/// rows 0..m-1 hold the right-hand sides on entry, rows 0..n-1 the
+/// solution on exit (NoTrans). Small overdetermined NoTrans entries run an
+/// inlined geqr2 + Householder-apply + trtrs against per-worker workspaces
+/// (allocation-free, arithmetic-identical to the library gels on these
+/// shapes); everything else delegates to lapack::gels. Entry INFO: -2 B_i
+/// too short, -100 workspace, > 0 rank deficient.
+template <Scalar T>
+idx gels_batch(Trans trans, const MatrixBatch<T>& a, const MatrixBatch<T>& b,
+               idx* infos = nullptr) {
+  assert(a.count() == b.count());
+  const idx maxdim = std::max({a.max_rows(), a.max_cols(), b.max_cols()});
+  const idx grain = batch_grain();
+  return detail::run(a.count(), maxdim, infos, [&](idx i) -> idx {
+    const idx m = a.rows(i);
+    const idx n = a.cols(i);
+    const idx nrhs = b.cols(i);
+    if (b.rows(i) < std::max(m, n)) {
+      return -2;
+    }
+    T* const ai = a.ptr(i);
+    const idx lda = a.ld(i);
+    T* const bi = b.ptr(i);
+    const idx ldb = b.ld(i);
+    const bool fast = trans == Trans::NoTrans && m >= n &&
+                      std::max(m, n) < grain && std::min(m, n) > 0 &&
+                      nrhs > 0;
+    if (!fast) {
+      // Degenerate shapes return before lapack::gels allocates; the rest
+      // of this branch is the large-entry regime where the blocked path's
+      // internal allocation is off the hot loop.
+      return lapack::gels(trans, m, n, nrhs, ai, lda, bi, ldb);
+    }
+    if (alloc_should_fail()) {
+      return -100;
+    }
+    T* const tau = lapack::detail::work_buffer<T, detail::WsBatchTauTag>(
+        static_cast<std::size_t>(n));
+    T* const work = lapack::detail::work_buffer<T, detail::WsBatchWorkTag>(
+        static_cast<std::size_t>(std::max(n, nrhs)));
+    lapack::geqr2(m, n, ai, lda, tau, work);
+    // B := Q^H B, reflectors applied in forward order exactly as ormqr
+    // does for Side::Left / ConjTrans.
+    for (idx j = 0; j < n; ++j) {
+      T* const col = ai + static_cast<std::size_t>(j) * lda;
+      const T ajj = col[j];
+      col[j] = T(1);
+      lapack::larf(Side::Left, m - j, nrhs, col + j, 1, conj_if(tau[j]),
+                   bi + j, ldb, work);
+      col[j] = ajj;
+    }
+    return lapack::trtrs(Uplo::Upper, Trans::NoTrans, Diag::NonUnit, n, nrhs,
+                         ai, lda, bi, ldb);
+  });
+}
+
+}  // namespace la::batch

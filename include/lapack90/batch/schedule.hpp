@@ -1,0 +1,58 @@
+// lapack90/batch/schedule.hpp
+//
+// Batch scheduling policy. One knob decides where the parallelism goes:
+//
+//   * Small entries (largest dimension below EnvSpec::BatchGrain) are
+//     distributed across the worker team, one entry per chunk. Inside a
+//     worker the Level-3 runtime sees in_parallel_region() and degrades
+//     to serial — per-entry parallelism, serial arithmetic per entry, so
+//     each entry's result is computed by exactly one worker in a fixed
+//     order and cannot depend on the worker count.
+//   * Large entries (>= BatchGrain) run in a serial outer loop so the
+//     threaded Level-3 path inside each entry keeps the whole team busy —
+//     per-entry fan-out would serialize those gemms and lose more than
+//     it gains.
+//
+// The threshold routes through ilaenv (LAPACK90_BATCH_GRAIN, or
+// set_env_override(EnvSpec::BatchGrain, ...)), so tests and benches can
+// force either regime.
+#pragma once
+
+#include <utility>
+
+#include "lapack90/core/env.hpp"
+#include "lapack90/core/parallel.hpp"
+#include "lapack90/core/types.hpp"
+
+namespace la::batch {
+
+/// The per-entry/intra-entry crossover the scheduler will use right now:
+/// entries whose largest dimension reaches this run sequentially with the
+/// threaded Level-3 path inside; smaller entries fan out across workers.
+[[nodiscard]] inline idx batch_grain() noexcept {
+  return ilaenv(EnvSpec::BatchGrain, EnvRoutine::gemm, 0);
+}
+
+namespace detail {
+
+/// Run body(i, tid) for every entry i in [0, count). `max_dim` is the
+/// largest dimension over the batch and selects the regime (see file
+/// comment). In both regimes every entry is executed exactly once by
+/// exactly one worker, and the arithmetic inside an entry is serial —
+/// the bit-identity contract of the batch drivers rests on this.
+template <class F>
+void for_each_entry(idx count, idx max_dim, F&& body) {
+  if (count <= 0) {
+    return;
+  }
+  if (max_dim >= batch_grain()) {
+    for (idx i = 0; i < count; ++i) {
+      body(i, 0);
+    }
+    return;
+  }
+  parallel_for(count, std::forward<F>(body));
+}
+
+}  // namespace detail
+}  // namespace la::batch

@@ -23,6 +23,10 @@ enum class EnvSpec : int {
   CacheBlockM = 5,     ///< gemm MC: rows of the packed A block (extension)
   CacheBlockK = 6,     ///< gemm KC: depth of the packed panels (extension)
   CacheBlockN = 7,     ///< gemm NC: columns of the shared B panel (extension)
+  BatchGrain = 8,      ///< batch scheduler threshold: entries whose largest
+                       ///< dimension reaches this run sequentially with the
+                       ///< threaded Level-3 path inside each entry; smaller
+                       ///< entries are distributed across workers (extension)
 };
 
 /// Routine families with distinct tuning entries.
@@ -39,6 +43,18 @@ enum class EnvRoutine : int {
   gemm,
   count_,  // sentinel
 };
+
+namespace detail {
+
+/// Strict positive-integer parser for environment settings: returns
+/// `fallback` unless `s` is a complete decimal integer in [1, max_value]
+/// (leading/trailing whitespace tolerated). Rejects what a bare strtol
+/// would accept: trailing garbage ("64abc"), values that overflow long,
+/// zero and negatives. Exposed here so the hardening is unit-testable.
+[[nodiscard]] idx parse_env_idx(const char* s, idx max_value,
+                                idx fallback) noexcept;
+
+}  // namespace detail
 
 /// ILAENV equivalent: returns the tuning value for (spec, routine) given
 /// the problem size n. Never returns less than 1.

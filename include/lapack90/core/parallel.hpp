@@ -41,6 +41,13 @@ void parallel_run(idx nchunks, idx nthreads,
 /// Hardware concurrency as seen by this process (>= 1).
 [[nodiscard]] idx hardware_threads() noexcept;
 
+/// The backend parallel_for dispatches to in this build: "openmp" when the
+/// library was compiled with an OpenMP runtime, "std::thread" for the
+/// built-in pool, or "serial" when the process sees a single hardware
+/// thread (the pool is never spun up). Reported in la::version() and the
+/// bench JSON context so measurements are attributable after the fact.
+[[nodiscard]] const char* thread_backend_name() noexcept;
+
 /// The worker count the Level-3 runtime will use right now (>= 1):
 /// the EnvSpec::Threads override when set, else the environment default.
 [[nodiscard]] inline idx num_threads() noexcept {

@@ -1,0 +1,121 @@
+// lapack90/f90/batch.hpp
+//
+// F90-style front-end for the batched drivers: LA_GESV / LA_POSV overloads
+// taking spans of matrices, one system per element.
+//
+//   std::vector<la::Matrix<double>> As(4096), Bs(4096);
+//   ...fill...
+//   std::vector<la::idx> infos(4096);
+//   la::gesv(std::span(As), std::span(Bs), infos);
+//
+// ERINFO protocol, extended entrywise: `infos` (optional) receives every
+// entry's own INFO with the usual single-problem meanings (negative = bad
+// shape for that entry, positive = numerical failure, -100 = workspace).
+// The aggregate code passed to erinfo is 0 when every entry succeeded,
+// -100 when the first failing entry hit the workspace-injection path, and
+// otherwise the 1-based index of the first failing entry — so with no
+// `info` sink a batch with one singular system throws la::Error exactly
+// like the single-problem driver would. Ragged batches (entries of
+// different sizes) are fully supported; scheduling and the bit-identity
+// guarantee come from la::batch (see batch/schedule.hpp).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "lapack90/batch/batch.hpp"
+#include "lapack90/core/error.hpp"
+#include "lapack90/core/matrix.hpp"
+
+namespace la::f90 {
+
+namespace detail {
+
+/// Marshal a span of Matrix objects into a ragged batch descriptor. The
+/// staging arrays live in caller-provided vectors (one batch-level
+/// allocation each, off the per-entry hot loop).
+template <Scalar T>
+[[nodiscard]] batch::MatrixBatch<T> make_batch(std::span<Matrix<T>> ms,
+                                               std::vector<T*>& ptrs,
+                                               std::vector<idx>& dims) {
+  const auto count = static_cast<idx>(ms.size());
+  ptrs.resize(ms.size());
+  dims.resize(3 * ms.size());
+  idx* const rows = dims.data();
+  idx* const cols = rows + count;
+  idx* const lds = cols + count;
+  for (idx i = 0; i < count; ++i) {
+    ptrs[static_cast<std::size_t>(i)] = ms[static_cast<std::size_t>(i)].data();
+    rows[i] = ms[static_cast<std::size_t>(i)].rows();
+    cols[i] = ms[static_cast<std::size_t>(i)].cols();
+    lds[i] = ms[static_cast<std::size_t>(i)].ld();
+  }
+  return batch::MatrixBatch<T>::ragged(ptrs.data(), rows, cols, lds, count);
+}
+
+/// Aggregate-for-erinfo from the batch driver's return (1-based first
+/// failing entry, or 0) and the per-entry codes: workspace failures keep
+/// their -100 identity, anything else reports the entry index.
+inline idx aggregate_info(idx first, const idx* infos) noexcept {
+  if (first == 0) {
+    return 0;
+  }
+  return infos[first - 1] == -100 ? idx{-100} : first;
+}
+
+}  // namespace detail
+
+/// LA_GESV( A(:), B(:), INFOS=infos, INFO=info ) — batched LU solve, one
+/// general system per span element. Each A_i is overwritten by its LU
+/// factors (pivots are internal per-worker workspace), each B_i by the
+/// solution. `infos`, when non-empty, must have one element per entry.
+template <Scalar T>
+void gesv(std::span<Matrix<T>> a, std::span<Matrix<T>> b,
+          std::span<idx> infos = {}, idx* info = nullptr) {
+  idx linfo = 0;
+  if (b.size() != a.size()) {
+    linfo = -2;
+  } else if (!infos.empty() && infos.size() != a.size()) {
+    linfo = -3;
+  } else if (!a.empty()) {
+    std::vector<T*> aptr, bptr;
+    std::vector<idx> adim, bdim;
+    std::vector<idx> local;
+    if (infos.empty()) {
+      local.resize(a.size());
+    }
+    idx* const per = infos.empty() ? local.data() : infos.data();
+    const auto ab = detail::make_batch(a, aptr, adim);
+    const auto bb = detail::make_batch(b, bptr, bdim);
+    linfo = detail::aggregate_info(batch::gesv_batch(ab, bb, per), per);
+  }
+  erinfo(linfo, "LA_GESV", info);
+}
+
+/// LA_POSV( A(:), B(:), UPLO=uplo, INFOS=infos, INFO=info ) — batched
+/// positive definite solve, one system per span element.
+template <Scalar T>
+void posv(std::span<Matrix<T>> a, std::span<Matrix<T>> b,
+          Uplo uplo = Uplo::Upper, std::span<idx> infos = {},
+          idx* info = nullptr) {
+  idx linfo = 0;
+  if (b.size() != a.size()) {
+    linfo = -2;
+  } else if (!infos.empty() && infos.size() != a.size()) {
+    linfo = -4;
+  } else if (!a.empty()) {
+    std::vector<T*> aptr, bptr;
+    std::vector<idx> adim, bdim;
+    std::vector<idx> local;
+    if (infos.empty()) {
+      local.resize(a.size());
+    }
+    idx* const per = infos.empty() ? local.data() : infos.data();
+    const auto ab = detail::make_batch(a, aptr, adim);
+    const auto bb = detail::make_batch(b, bptr, bdim);
+    linfo = detail::aggregate_info(batch::posv_batch(uplo, ab, bb, per), per);
+  }
+  erinfo(linfo, "LA_POSV", info);
+}
+
+}  // namespace la::f90

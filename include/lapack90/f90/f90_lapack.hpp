@@ -8,6 +8,7 @@
 //   CALL LA_GESV( A, B )                 |   la::gesv(A, B);
 #pragma once
 
+#include "lapack90/f90/batch.hpp"
 #include "lapack90/f90/computational.hpp"
 #include "lapack90/f90/eigen.hpp"
 #include "lapack90/f90/least_squares.hpp"

@@ -10,6 +10,7 @@
 //   la::gesv(A, B);   // B now holds the solution of A X = B
 #pragma once
 
+#include "lapack90/batch/batch.hpp"
 #include "lapack90/core/banded.hpp"
 #include "lapack90/core/env.hpp"
 #include "lapack90/core/error.hpp"

@@ -4,30 +4,49 @@
 
 #include <array>
 #include <atomic>
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
 
 #include "lapack90/core/parallel.hpp"
 
 namespace la {
 
-namespace {
+namespace detail {
 
-constexpr int kRoutines = static_cast<int>(EnvRoutine::count_);
-constexpr int kSpecs = 7;
-
-/// Positive integer from the environment, or `fallback` when unset/invalid.
-/// Read once per process (the gemm cache-blocking knobs).
-idx env_idx(const char* name, idx fallback) noexcept {
-  const char* s = std::getenv(name);
+idx parse_env_idx(const char* s, idx max_value, idx fallback) noexcept {
   if (s == nullptr || *s == '\0') {
     return fallback;
   }
+  errno = 0;
   char* end = nullptr;
   const long v = std::strtol(s, &end, 10);
-  if (end == s || v < 1 || v > (1 << 28)) {
-    return fallback;
+  if (end == s || errno == ERANGE) {
+    return fallback;  // no digits, or overflowed long
+  }
+  while (std::isspace(static_cast<unsigned char>(*end))) {
+    ++end;
+  }
+  if (*end != '\0') {
+    return fallback;  // trailing garbage ("64abc", "1e6")
+  }
+  if (v < 1 || v > static_cast<long>(max_value)) {
+    return fallback;  // zero, negative, or out of the legal range
   }
   return static_cast<idx>(v);
+}
+
+}  // namespace detail
+
+namespace {
+
+constexpr int kRoutines = static_cast<int>(EnvRoutine::count_);
+constexpr int kSpecs = 8;
+
+/// Positive integer from the environment, or `fallback` when unset/invalid.
+/// Read once per process (the gemm cache-blocking and batch-grain knobs).
+idx env_idx(const char* name, idx fallback) noexcept {
+  return detail::parse_env_idx(std::getenv(name), idx{1} << 28, fallback);
 }
 
 struct Defaults {
@@ -67,6 +86,14 @@ constexpr std::array<Defaults, kRoutines> kDefaults = {{
 const idx kGemmMC = env_idx("LAPACK90_GEMM_MC", 128);
 const idx kGemmKC = env_idx("LAPACK90_GEMM_KC", 256);
 const idx kGemmNC = env_idx("LAPACK90_GEMM_NC", 512);
+
+// Batch scheduler grain (see EnvSpec::BatchGrain): entries whose largest
+// dimension reaches this threshold run one at a time so their Level-3
+// calls can use the full threaded runtime; smaller entries are spread
+// across workers (one entry per worker, serial inside). 256 is where a
+// single dgetrf stops being "tiny" relative to per-entry dispatch and the
+// threaded gemm starts to win inside one problem (see EXPERIMENTS.md).
+const idx kBatchGrain = env_idx("LAPACK90_BATCH_GRAIN", 256);
 
 std::array<std::atomic<idx>, kRoutines * kSpecs>& overrides() noexcept {
   static std::array<std::atomic<idx>, kRoutines * kSpecs> table{};
@@ -109,6 +136,9 @@ idx ilaenv(EnvSpec spec, EnvRoutine routine, idx n) noexcept {
       break;
     case EnvSpec::CacheBlockN:
       v = kGemmNC;
+      break;
+    case EnvSpec::BatchGrain:
+      v = kBatchGrain;
       break;
   }
   // Never hand back a block larger than the problem (matches the paper's

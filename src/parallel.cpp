@@ -28,17 +28,23 @@ idx hardware_threads() noexcept {
   return hc == 0 ? 1 : static_cast<idx>(hc);
 }
 
+const char* thread_backend_name() noexcept {
+#ifdef LAPACK90_HAVE_OPENMP
+  return "openmp";
+#else
+  return hardware_threads() > 1 ? "std::thread" : "serial";
+#endif
+}
+
 namespace detail {
 
 namespace {
 
 idx env_thread_count(const char* name) noexcept {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') {
-    return 0;
-  }
-  const long n = std::strtol(v, nullptr, 10);
-  return n > 0 ? static_cast<idx>(n) : 0;
+  // Hardened parse (see parse_env_idx): a malformed or absurd
+  // LAPACK90_NUM_THREADS / OMP_NUM_THREADS falls back to 0 = "unset"
+  // rather than, e.g., LONG_MAX truncated to a negative team size.
+  return parse_env_idx(std::getenv(name), idx{1} << 15, 0);
 }
 
 thread_local bool t_in_parallel = false;

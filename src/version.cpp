@@ -1,14 +1,26 @@
 #include "lapack90/version.hpp"
 
+#include <cstring>
+
+#include "lapack90/core/parallel.hpp"
 #include "lapack90/core/simd.hpp"
 
 namespace la {
 
 // The ISA suffix reports what the la::simd layer lowered to for this build
 // (compile-time dispatch; see core/simd.hpp). It is the library build's view:
-// header-only kernels compiled into user TUs follow those TUs' flags.
+// header-only kernels compiled into user TUs follow those TUs' flags. The
+// threads suffix names the parallel_for backend the runtime dispatches to
+// ("openmp", "std::thread", or "serial" on single-hardware-thread hosts).
 const char* version() noexcept {
-  return "1.1.0 (simd: " LAPACK90_SIMD_ISA_NAME ")";
+  const char* backend = thread_backend_name();
+  if (std::strcmp(backend, "openmp") == 0) {
+    return "1.2.0 (simd: " LAPACK90_SIMD_ISA_NAME ", threads: openmp)";
+  }
+  if (std::strcmp(backend, "std::thread") == 0) {
+    return "1.2.0 (simd: " LAPACK90_SIMD_ISA_NAME ", threads: std::thread)";
+  }
+  return "1.2.0 (simd: " LAPACK90_SIMD_ISA_NAME ", threads: serial)";
 }
 
 }  // namespace la

@@ -1,0 +1,85 @@
+// Hardened environment parsing (detail::parse_env_idx) and the ilaenv
+// entries added for the batch subsystem. The parser is exercised directly
+// on string literals — the env vars themselves are read once per process
+// into statics, so the pure function is the testable surface.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "lapack90/core/env.hpp"
+#include "lapack90/core/parallel.hpp"
+#include "lapack90/version.hpp"
+
+namespace la::test {
+namespace {
+
+constexpr idx kMax = idx{1} << 20;
+constexpr idx kFallback = 17;
+
+idx parse(const char* s) { return detail::parse_env_idx(s, kMax, kFallback); }
+
+TEST(EnvParseTest, PlainDecimalValues) {
+  EXPECT_EQ(parse("1"), 1);
+  EXPECT_EQ(parse("64"), 64);
+  EXPECT_EQ(parse("256"), 256);
+}
+
+TEST(EnvParseTest, MissingOrEmptyFallsBack) {
+  EXPECT_EQ(parse(nullptr), kFallback);
+  EXPECT_EQ(parse(""), kFallback);
+}
+
+TEST(EnvParseTest, SurroundingWhitespaceIsAccepted) {
+  EXPECT_EQ(parse(" 64"), 64);
+  EXPECT_EQ(parse("64 "), 64);
+  EXPECT_EQ(parse(" 64 \t"), 64);
+}
+
+TEST(EnvParseTest, TrailingGarbageFallsBack) {
+  EXPECT_EQ(parse("64abc"), kFallback);
+  EXPECT_EQ(parse("64 threads"), kFallback);
+  EXPECT_EQ(parse("6.4"), kFallback);
+  EXPECT_EQ(parse("abc"), kFallback);
+}
+
+TEST(EnvParseTest, NonPositiveFallsBack) {
+  EXPECT_EQ(parse("0"), kFallback);
+  EXPECT_EQ(parse("-3"), kFallback);
+  EXPECT_EQ(parse("-0"), kFallback);
+}
+
+TEST(EnvParseTest, OverflowAndOutOfRangeFallBack) {
+  // Overflows long: strtol reports ERANGE.
+  EXPECT_EQ(parse("99999999999999999999999999"), kFallback);
+  EXPECT_EQ(parse("-99999999999999999999999999"), kFallback);
+  // Parses fine but exceeds the caller's cap.
+  const std::string above = std::to_string(static_cast<long>(kMax) + 1);
+  EXPECT_EQ(parse(above.c_str()), kFallback);
+  EXPECT_EQ(parse(std::to_string(static_cast<long>(kMax)).c_str()), kMax);
+}
+
+TEST(EnvBatchGrainTest, DefaultAndOverride) {
+  // Default 256 unless the process env overrides it (the test environment
+  // does not set LAPACK90_BATCH_GRAIN).
+  EXPECT_EQ(ilaenv(EnvSpec::BatchGrain, EnvRoutine::gemm, 0), 256);
+  const idx prev = set_env_override(EnvSpec::BatchGrain, EnvRoutine::gemm, 64);
+  EXPECT_EQ(ilaenv(EnvSpec::BatchGrain, EnvRoutine::gemm, 0), 64);
+  set_env_override(EnvSpec::BatchGrain, EnvRoutine::gemm, prev);
+  EXPECT_EQ(ilaenv(EnvSpec::BatchGrain, EnvRoutine::gemm, 0), 256);
+}
+
+TEST(VersionTest, ReportsSimdIsaAndThreadBackend) {
+  const char* v = version();
+  EXPECT_NE(std::strstr(v, "simd: "), nullptr) << v;
+  EXPECT_NE(std::strstr(v, "threads: "), nullptr) << v;
+  EXPECT_NE(std::strstr(v, thread_backend_name()), nullptr) << v;
+  const char* b = thread_backend_name();
+  EXPECT_TRUE(std::strcmp(b, "openmp") == 0 ||
+              std::strcmp(b, "std::thread") == 0 ||
+              std::strcmp(b, "serial") == 0)
+      << b;
+}
+
+}  // namespace
+}  // namespace la::test

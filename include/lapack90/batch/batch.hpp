@@ -7,4 +7,5 @@
 #include "lapack90/batch/blas.hpp"        // IWYU pragma: export
 #include "lapack90/batch/descriptor.hpp"  // IWYU pragma: export
 #include "lapack90/batch/drivers.hpp"     // IWYU pragma: export
+#include "lapack90/batch/mixed.hpp"       // IWYU pragma: export
 #include "lapack90/batch/schedule.hpp"    // IWYU pragma: export

@@ -41,9 +41,58 @@ void axpy_contig(idx n, T alpha, const T* x, T* y) noexcept {
       V::fma(va, V::load(x + i), V::load(y + i)).store(y + i);
       i += W;
     }
+    // Masked tail: one partial fma instead of a scalar remainder loop —
+    // the short-vector case (panel solves, narrow tiles) lives here.
+    if (const int rem = static_cast<int>(n - i); rem > 0) {
+      V::fma(va, V::load_partial(x + i, rem), V::load_partial(y + i, rem))
+          .store_partial(y + i, rem);
+    }
+    return;
   }
   for (; i < n; ++i) {
     y[i] += alpha * x[i];
+  }
+}
+
+/// Fused four-column axpy: y_q += alpha_q * x for q = 0..3, one pass over
+/// x. Each element sees the same single fma as four separate axpy_contig
+/// calls (bit-identical), but the shared column is loaded once per trip
+/// and the four independent chains fill the FMA ports — this is the inner
+/// kernel of the grouped trsm solve, where each chain alone is too short
+/// to cover the fma latency.
+template <RealScalar T>
+void axpy4_contig(idx n, const T* alpha, const T* x, T* y0, T* y1, T* y2,
+                  T* y3) noexcept {
+  using V = simd_native<T>;
+  constexpr idx W = simd_width_v<T>;
+  if constexpr (W > 1) {
+    const V a0 = V::broadcast(alpha[0]);
+    const V a1 = V::broadcast(alpha[1]);
+    const V a2 = V::broadcast(alpha[2]);
+    const V a3 = V::broadcast(alpha[3]);
+    idx i = 0;
+    for (; i + W <= n; i += W) {
+      const V vx = V::load(x + i);
+      V::fma(a0, vx, V::load(y0 + i)).store(y0 + i);
+      V::fma(a1, vx, V::load(y1 + i)).store(y1 + i);
+      V::fma(a2, vx, V::load(y2 + i)).store(y2 + i);
+      V::fma(a3, vx, V::load(y3 + i)).store(y3 + i);
+    }
+    if (const int rem = static_cast<int>(n - i); rem > 0) {
+      const V vx = V::load_partial(x + i, rem);
+      V::fma(a0, vx, V::load_partial(y0 + i, rem)).store_partial(y0 + i, rem);
+      V::fma(a1, vx, V::load_partial(y1 + i, rem)).store_partial(y1 + i, rem);
+      V::fma(a2, vx, V::load_partial(y2 + i, rem)).store_partial(y2 + i, rem);
+      V::fma(a3, vx, V::load_partial(y3 + i, rem)).store_partial(y3 + i, rem);
+    }
+    return;
+  }
+  for (idx i = 0; i < n; ++i) {
+    const T xv = x[i];
+    y0[i] += alpha[0] * xv;
+    y1[i] += alpha[1] * xv;
+    y2[i] += alpha[2] * xv;
+    y3[i] += alpha[3] * xv;
   }
 }
 

@@ -175,6 +175,15 @@ void geru(idx m, idx n, T alpha, const T* x, idx incx, const T* y, idx incy,
       continue;
     }
     T* col = a + static_cast<std::size_t>(j) * lda;
+    if constexpr (!is_complex_v<T>) {
+      // Each column update is a contiguous axpy; the SIMD sweep matters in
+      // the getf2/potf2 panel hot loop, where the scalar strided form was
+      // the single largest non-Level-3 cost.
+      if (incx == 1) {
+        detail::axpy_contig(m, t, xb, col);
+        continue;
+      }
+    }
     for (idx i = 0; i < m; ++i) {
       col[i] += xb[i * incx] * t;
     }
@@ -196,6 +205,12 @@ void gerc(idx m, idx n, T alpha, const T* x, idx incx, const T* y, idx incy,
       continue;
     }
     T* col = a + static_cast<std::size_t>(j) * lda;
+    if constexpr (!is_complex_v<T>) {
+      if (incx == 1) {
+        detail::axpy_contig(m, t, xb, col);
+        continue;
+      }
+    }
     for (idx i = 0; i < m; ++i) {
       col[i] += xb[i * incx] * t;
     }
@@ -479,10 +494,14 @@ void trmv(Uplo uplo, Trans trans, Diag diag, idx n, const T* a, idx lda, T* x,
   }
 }
 
-/// Triangular solve op(A) * x = b, overwriting x  (xTRSV).
+/// Triangular solve op(A) * x = b, overwriting x  (xTRSV). Noinline: the
+/// getrs/potrs single-RHS paths require bit-identical solves from every
+/// call site (the mixed drivers' fallback contract), so all callers must
+/// share one codegen of the complex loops the vectorizer would otherwise
+/// lower per-context.
 template <Scalar T>
-void trsv(Uplo uplo, Trans trans, Diag diag, idx n, const T* a, idx lda, T* x,
-          idx incx) noexcept {
+LAPACK90_NOINLINE void trsv(Uplo uplo, Trans trans, Diag diag, idx n,
+                            const T* a, idx lda, T* x, idx incx) noexcept {
   if (n <= 0) {
     return;
   }
@@ -498,6 +517,12 @@ void trsv(Uplo uplo, Trans trans, Diag diag, idx n, const T* a, idx lda, T* x,
           xb[j * incx] /= col[j];
         }
         const T t = xb[j * incx];
+        if constexpr (!is_complex_v<T>) {
+          if (incx == 1) {
+            detail::axpy_contig(j, -t, col, xb);
+            continue;
+          }
+        }
         for (idx i = 0; i < j; ++i) {
           xb[i * incx] -= t * col[i];
         }
@@ -509,6 +534,12 @@ void trsv(Uplo uplo, Trans trans, Diag diag, idx n, const T* a, idx lda, T* x,
           xb[j * incx] /= col[j];
         }
         const T t = xb[j * incx];
+        if constexpr (!is_complex_v<T>) {
+          if (incx == 1) {
+            detail::axpy_contig(n - j - 1, -t, col + j + 1, xb + j + 1);
+            continue;
+          }
+        }
         for (idx i = j + 1; i < n; ++i) {
           xb[i * incx] -= t * col[i];
         }
@@ -519,6 +550,16 @@ void trsv(Uplo uplo, Trans trans, Diag diag, idx n, const T* a, idx lda, T* x,
       for (idx j = 0; j < n; ++j) {
         const T* col = a + static_cast<std::size_t>(j) * lda;
         T t = xb[j * incx];
+        if constexpr (!is_complex_v<T>) {
+          if (incx == 1 && !conj) {
+            t -= detail::dot_contig(j, col, xb);
+            if (!unit) {
+              t /= col[j];
+            }
+            xb[j] = t;
+            continue;
+          }
+        }
         for (idx i = 0; i < j; ++i) {
           t -= cj(col[i]) * xb[i * incx];
         }
@@ -531,6 +572,16 @@ void trsv(Uplo uplo, Trans trans, Diag diag, idx n, const T* a, idx lda, T* x,
       for (idx j = n - 1; j >= 0; --j) {
         const T* col = a + static_cast<std::size_t>(j) * lda;
         T t = xb[j * incx];
+        if constexpr (!is_complex_v<T>) {
+          if (incx == 1) {
+            t -= detail::dot_contig(n - j - 1, col + j + 1, xb + j + 1);
+            if (!unit) {
+              t /= col[j];
+            }
+            xb[j] = t;
+            continue;
+          }
+        }
         for (idx i = j + 1; i < n; ++i) {
           t -= cj(col[i]) * xb[i * incx];
         }

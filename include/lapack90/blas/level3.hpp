@@ -1496,6 +1496,81 @@ void trsm_ref(Side side, Uplo uplo, Trans trans, Diag diag, idx m, idx n,
 
   if (side == Side::Left) {
     if (trans == Trans::NoTrans) {
+      // Real multi-RHS fast path: four columns per sweep. Each column's
+      // k-chain is serial (step k+1 reads what step k wrote), but the four
+      // chains are independent, so interleaving them per k keeps four
+      // updates in flight — and the triangle column is read once per
+      // group of four instead of once per right-hand side.
+      if constexpr (!is_complex_v<T>) {
+        idx j = 0;
+        for (; j + 4 <= n; j += 4) {
+          T* b0 = b + static_cast<std::size_t>(j) * ldb;
+          T* b1 = b0 + ldb;
+          T* b2 = b1 + ldb;
+          T* b3 = b2 + ldb;
+          if (alpha != T(1)) {
+            for (idx i = 0; i < m; ++i) {
+              b0[i] *= alpha;
+              b1[i] *= alpha;
+              b2[i] *= alpha;
+              b3[i] *= alpha;
+            }
+          }
+          if (upper) {
+            for (idx k = m - 1; k >= 0; --k) {
+              const T* ak = acol(k);
+              if (!unit) {
+                const T d = T(1) / ak[k];
+                b0[k] *= d;
+                b1[k] *= d;
+                b2[k] *= d;
+                b3[k] *= d;
+              }
+              const T neg[4] = {-b0[k], -b1[k], -b2[k], -b3[k]};
+              axpy4_contig(k, neg, ak, b0, b1, b2, b3);
+            }
+          } else {
+            for (idx k = 0; k < m; ++k) {
+              const T* ak = acol(k);
+              if (!unit) {
+                const T d = T(1) / ak[k];
+                b0[k] *= d;
+                b1[k] *= d;
+                b2[k] *= d;
+                b3[k] *= d;
+              }
+              const T neg[4] = {-b0[k], -b1[k], -b2[k], -b3[k]};
+              axpy4_contig(m - k - 1, neg, ak + k + 1, b0 + k + 1, b1 + k + 1,
+                           b2 + k + 1, b3 + k + 1);
+            }
+          }
+        }
+        for (; j < n; ++j) {
+          T* bcol = b + static_cast<std::size_t>(j) * ldb;
+          if (alpha != T(1)) {
+            for (idx i = 0; i < m; ++i) {
+              bcol[i] *= alpha;
+            }
+          }
+          if (upper) {
+            for (idx k = m - 1; k >= 0; --k) {
+              if (!unit) {
+                bcol[k] /= acol(k)[k];
+              }
+              axpy_contig(k, -bcol[k], acol(k), bcol);
+            }
+          } else {
+            for (idx k = 0; k < m; ++k) {
+              if (!unit) {
+                bcol[k] /= acol(k)[k];
+              }
+              axpy_contig(m - k - 1, -bcol[k], acol(k) + k + 1,
+                          bcol + k + 1);
+            }
+          }
+        }
+        return;
+      }
       // X := alpha * inv(A) * B
       for (idx j = 0; j < n; ++j) {
         T* bcol = b + static_cast<std::size_t>(j) * ldb;
@@ -1513,8 +1588,12 @@ void trsm_ref(Side side, Uplo uplo, Trans trans, Diag diag, idx m, idx n,
               bcol[k] /= acol(k)[k];
             }
             const T t = bcol[k];
-            for (idx i = 0; i < k; ++i) {
-              bcol[i] -= t * acol(k)[i];
+            if constexpr (!is_complex_v<T>) {
+              axpy_contig(k, -t, acol(k), bcol);
+            } else {
+              for (idx i = 0; i < k; ++i) {
+                bcol[i] -= t * acol(k)[i];
+              }
             }
           }
         } else {
@@ -1526,8 +1605,12 @@ void trsm_ref(Side side, Uplo uplo, Trans trans, Diag diag, idx m, idx n,
               bcol[k] /= acol(k)[k];
             }
             const T t = bcol[k];
-            for (idx i = k + 1; i < m; ++i) {
-              bcol[i] -= t * acol(k)[i];
+            if constexpr (!is_complex_v<T>) {
+              axpy_contig(m - k - 1, -t, acol(k) + k + 1, bcol + k + 1);
+            } else {
+              for (idx i = k + 1; i < m; ++i) {
+                bcol[i] -= t * acol(k)[i];
+              }
             }
           }
         }
@@ -1539,8 +1622,12 @@ void trsm_ref(Side side, Uplo uplo, Trans trans, Diag diag, idx m, idx n,
         if (upper) {
           for (idx i = 0; i < m; ++i) {
             T t = alpha * bcol[i];
-            for (idx k = 0; k < i; ++k) {
-              t -= cj(acol(i)[k]) * bcol[k];
+            if constexpr (!is_complex_v<T>) {
+              t -= dot_contig(i, acol(i), bcol);
+            } else {
+              for (idx k = 0; k < i; ++k) {
+                t -= cj(acol(i)[k]) * bcol[k];
+              }
             }
             if (!unit) {
               t /= cj(acol(i)[i]);
@@ -1550,8 +1637,12 @@ void trsm_ref(Side side, Uplo uplo, Trans trans, Diag diag, idx m, idx n,
         } else {
           for (idx i = m - 1; i >= 0; --i) {
             T t = alpha * bcol[i];
-            for (idx k = i + 1; k < m; ++k) {
-              t -= cj(acol(i)[k]) * bcol[k];
+            if constexpr (!is_complex_v<T>) {
+              t -= dot_contig(m - i - 1, acol(i) + i + 1, bcol + i + 1);
+            } else {
+              for (idx k = i + 1; k < m; ++k) {
+                t -= cj(acol(i)[k]) * bcol[k];
+              }
             }
             if (!unit) {
               t /= cj(acol(i)[i]);
@@ -1578,8 +1669,12 @@ void trsm_ref(Side side, Uplo uplo, Trans trans, Diag diag, idx m, idx n,
               continue;
             }
             const T* bk = b + static_cast<std::size_t>(k) * ldb;
-            for (idx i = 0; i < m; ++i) {
-              bj[i] -= t * bk[i];
+            if constexpr (!is_complex_v<T>) {
+              axpy_contig(m, -t, bk, bj);
+            } else {
+              for (idx i = 0; i < m; ++i) {
+                bj[i] -= t * bk[i];
+              }
             }
           }
           if (!unit) {
@@ -1603,8 +1698,12 @@ void trsm_ref(Side side, Uplo uplo, Trans trans, Diag diag, idx m, idx n,
               continue;
             }
             const T* bk = b + static_cast<std::size_t>(k) * ldb;
-            for (idx i = 0; i < m; ++i) {
-              bj[i] -= t * bk[i];
+            if constexpr (!is_complex_v<T>) {
+              axpy_contig(m, -t, bk, bj);
+            } else {
+              for (idx i = 0; i < m; ++i) {
+                bj[i] -= t * bk[i];
+              }
             }
           }
           if (!unit) {
@@ -1632,8 +1731,12 @@ void trsm_ref(Side side, Uplo uplo, Trans trans, Diag diag, idx m, idx n,
               continue;
             }
             T* bj = b + static_cast<std::size_t>(j) * ldb;
-            for (idx i = 0; i < m; ++i) {
-              bj[i] -= t * bk[i];
+            if constexpr (!is_complex_v<T>) {
+              axpy_contig(m, -t, bk, bj);
+            } else {
+              for (idx i = 0; i < m; ++i) {
+                bj[i] -= t * bk[i];
+              }
             }
           }
           if (alpha != T(1)) {
@@ -1657,8 +1760,12 @@ void trsm_ref(Side side, Uplo uplo, Trans trans, Diag diag, idx m, idx n,
               continue;
             }
             T* bj = b + static_cast<std::size_t>(j) * ldb;
-            for (idx i = 0; i < m; ++i) {
-              bj[i] -= t * bk[i];
+            if constexpr (!is_complex_v<T>) {
+              axpy_contig(m, -t, bk, bj);
+            } else {
+              for (idx i = 0; i < m; ++i) {
+                bj[i] -= t * bk[i];
+              }
             }
           }
           if (alpha != T(1)) {

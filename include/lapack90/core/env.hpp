@@ -27,6 +27,14 @@ enum class EnvSpec : int {
                        ///< dimension reaches this run sequentially with the
                        ///< threaded Level-3 path inside each entry; smaller
                        ///< entries are distributed across workers (extension)
+  IterRefineMaxIter = 9,  ///< mixed-precision refinement: iteration budget
+                          ///< before the ITER<0 stall fallback to the
+                          ///< full-precision factorization (extension;
+                          ///< LAPACK90_IR_MAXITER)
+  IterRefineCutoff = 10,  ///< mixed-precision refinement: problem dimension
+                          ///< below which demote/refine is not attempted and
+                          ///< the driver goes straight to full precision
+                          ///< with ITER = -1 (extension; LAPACK90_IR_CUTOFF)
 };
 
 /// Routine families with distinct tuning entries.

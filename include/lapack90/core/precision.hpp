@@ -24,6 +24,91 @@ using SP = float;
 /// Double precision working type (the paper's DP).
 using DP = double;
 
+namespace detail {
+
+template <class T>
+struct lower_precision_impl {
+  using type = T;
+};
+template <>
+struct lower_precision_impl<double> {
+  using type = float;
+};
+template <>
+struct lower_precision_impl<std::complex<double>> {
+  using type = std::complex<float>;
+};
+
+template <class T>
+struct higher_precision_impl {
+  using type = T;
+};
+template <>
+struct higher_precision_impl<float> {
+  using type = double;
+};
+template <>
+struct higher_precision_impl<std::complex<float>> {
+  using type = std::complex<double>;
+};
+
+}  // namespace detail
+
+/// The next-lower working precision with the same real/complex structure:
+/// lower_precision_t<double> = float, lower_precision_t<complex<double>> =
+/// complex<float>. Identity when no lower LAPACK precision exists. This is
+/// the demotion map of the mixed-precision subsystem (la::mixed): what the
+/// paper's compile-time S/D/C/Z dispatch cannot express, a driver crossing
+/// from WP to the cheaper kind.
+template <Scalar T>
+using lower_precision_t = typename detail::lower_precision_impl<T>::type;
+
+/// The next-higher working precision (promotion map): float -> double,
+/// complex<float> -> complex<double>; identity for the double kinds.
+template <Scalar T>
+using higher_precision_t = typename detail::higher_precision_impl<T>::type;
+
+/// True when T has a strictly lower precision to demote into (the double
+/// kinds). The mixed-precision drivers are constrained on this.
+template <Scalar T>
+inline constexpr bool has_lower_precision_v =
+    !std::is_same_v<T, lower_precision_t<T>>;
+
+/// Compensated accumulator (two-sum / TwoProd, double-double style): keeps
+/// a running sum `hi` plus the rounding error `lo` that plain += discards,
+/// so a length-n accumulation carries an error bound independent of n for
+/// well-scaled data — effectively twice the working precision. This is the
+/// extended-precision residual accumulation of MPLAPACK-style refinement,
+/// built from error-free transformations:
+///
+///   two_sum:  s + v = t + e exactly, with t = fl(s + v);
+///   two_prod: a * b = p + e exactly, with p = fl(a * b), e via FMA.
+template <RealScalar R>
+struct Compensated {
+  R hi{};
+  R lo{};
+
+  /// Absorb a term exactly (Knuth two-sum; no ordering assumption on
+  /// |hi| vs |v|, unlike the cheaper fast-two-sum).
+  constexpr void add(R v) noexcept {
+    const R t = hi + v;
+    const R vv = t - hi;
+    lo += (hi - (t - vv)) + (v - vv);
+    hi = t;
+  }
+
+  /// Absorb the product a * b exactly (TwoProd: the FMA recovers the
+  /// rounding error of the multiply, two_sum the error of the add).
+  void add_prod(R a, R b) noexcept {
+    const R p = a * b;
+    add(p);
+    lo += std::fma(a, b, -p);
+  }
+
+  /// The compensated total, rounded once to working precision.
+  [[nodiscard]] constexpr R result() const noexcept { return hi + lo; }
+};
+
 /// Machine parameters for a working precision, mirroring xLAMCH queries.
 /// All values are for the *real* type underlying T, as in LAPACK (CLAMCH
 /// returns REAL values for COMPLEX computations).

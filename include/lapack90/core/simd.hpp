@@ -61,6 +61,20 @@ namespace la {
   return LAPACK90_SIMD_ISA_NAME;
 }
 
+/// True when simd::fma rounds once (a hardware fused multiply-add).
+/// On targets without one, fma() falls back to mul-then-add — fine for
+/// ordinary kernels, but fatal for error-free transformations: TwoProd's
+/// fma(a, b, -a*b) is exactly zero under the two-rounding emulation, which
+/// silently drops the compensation. Kernels built on EFTs must gate their
+/// vector paths on this and use the scalar std::fma path otherwise.
+#if defined(LAPACK90_SIMD_AVX512) || defined(LAPACK90_SIMD_AVX2) || \
+    defined(LAPACK90_SIMD_NEON) ||                                  \
+    (defined(LAPACK90_SIMD_SSE2) && defined(__FMA__))
+inline constexpr bool simd_has_fma_v = true;
+#else
+inline constexpr bool simd_has_fma_v = false;
+#endif
+
 namespace detail {
 
 template <class T>

@@ -19,6 +19,19 @@ namespace la {
 /// fit in int, i.e. < 2^31).
 using idx = std::int32_t;
 
+/// One shared codegen for kernels whose results must be bitwise identical
+/// across call sites. When a small kernel is inlined into two different
+/// callers, the auto-vectorizer may lower its floating-point loops
+/// differently per context (e.g. the FMA-based complex-multiply pattern),
+/// producing last-ulp divergence between "the same" computation — which
+/// breaks the mixed drivers' fallback bit-identity guarantee. Marking the
+/// kernel noinline pins a single instantiation that every caller shares.
+#if defined(__GNUC__) || defined(__clang__)
+#define LAPACK90_NOINLINE __attribute__((noinline))
+#else
+#define LAPACK90_NOINLINE
+#endif
+
 namespace detail {
 
 template <class T>

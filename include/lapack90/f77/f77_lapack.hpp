@@ -41,6 +41,7 @@
 #include "lapack90/lapack/symeig_dc.hpp"
 #include "lapack90/lapack/symeig_x.hpp"
 #include "lapack90/lapack/tridiag.hpp"
+#include "lapack90/mixed/drivers.hpp"
 
 namespace la::f77 {
 
@@ -53,6 +54,19 @@ template <Scalar T>
 void la_gesv(idx n, idx nrhs, T* a, idx lda, idx* ipiv, T* b, idx ldb,
              idx& info) {
   info = lapack::gesv(n, nrhs, a, lda, ipiv, b, ldb);
+}
+
+/// LA_GESV_MIXED (the DSGESV/ZCGESV argument list): mixed-precision solve
+/// of A X = B — low-precision factorization, compensated-residual
+/// refinement, automatic full-precision fallback. B is preserved, X holds
+/// the solution; ITER reports the refinement path (see mixed/drivers.hpp).
+/// Only defined for working precisions with a lower precision to demote to
+/// (double / complex<double>).
+template <Scalar T>
+  requires has_lower_precision_v<T>
+void la_gesv_mixed(idx n, idx nrhs, T* a, idx lda, idx* ipiv, const T* b,
+                   idx ldb, T* x, idx ldx, idx& iter, idx& info) {
+  info = mixed::gesv(n, nrhs, a, lda, ipiv, b, ldb, x, ldx, iter);
 }
 
 /// LA_GBSV: band solve (factored-form AB layout, ldab >= 2*kl+ku+1).
@@ -73,6 +87,16 @@ template <Scalar T>
 void la_posv(Uplo uplo, idx n, idx nrhs, T* a, idx lda, T* b, idx ldb,
              idx& info) {
   info = lapack::posv(uplo, n, nrhs, a, lda, b, ldb);
+}
+
+/// LA_POSV_MIXED (the DSPOSV/ZCPOSV argument list): mixed-precision
+/// positive definite solve; same contract as la_gesv_mixed with Cholesky
+/// in the low precision.
+template <Scalar T>
+  requires has_lower_precision_v<T>
+void la_posv_mixed(Uplo uplo, idx n, idx nrhs, T* a, idx lda, const T* b,
+                   idx ldb, T* x, idx ldx, idx& iter, idx& info) {
+  info = mixed::posv(uplo, n, nrhs, a, lda, b, ldb, x, ldx, iter);
 }
 
 /// LA_PPSV: packed positive definite solve.

@@ -46,13 +46,27 @@ template <Scalar T>
       return v;
     }
     case Norm::Inf: {
+      // Row-tiled column sweep: partial row sums for a block of rows stay
+      // in cache while every column streams at unit stride — one pass over
+      // A instead of m strided row traversals. Per row the columns are
+      // still absorbed in j order, so the sums match the naive loop.
+      constexpr idx BK = 256;
+      R s[BK];
       R v(0);
-      for (idx i = 0; i < m; ++i) {
-        R s(0);
-        for (idx j = 0; j < n; ++j) {
-          s += std::abs(a[static_cast<std::size_t>(j) * lda + i]);
+      for (idx i0 = 0; i0 < m; i0 += BK) {
+        const idx len = std::min<idx>(BK, m - i0);
+        for (idx i = 0; i < len; ++i) {
+          s[i] = R(0);
         }
-        v = std::max(v, s);
+        for (idx j = 0; j < n; ++j) {
+          const T* col = a + static_cast<std::size_t>(j) * lda + i0;
+          for (idx i = 0; i < len; ++i) {
+            s[i] += std::abs(col[i]);
+          }
+        }
+        for (idx i = 0; i < len; ++i) {
+          v = std::max(v, s[i]);
+        }
       }
       return v;
     }

@@ -1,0 +1,11 @@
+// lapack90/mixed/mixed.hpp — umbrella for the mixed-precision subsystem:
+// precision-crossing kernels (blas/mixed.hpp), the iterative-refinement
+// drivers with the ITER fallback protocol (mixed/drivers.hpp), and the
+// F90-style Matrix/span front-end (mixed/f90.hpp). The batched driver
+// lives with its tier in lapack90/batch/mixed.hpp (pulled in by
+// batch/batch.hpp and by the f90 front-end here).
+#pragma once
+
+#include "lapack90/blas/mixed.hpp"      // IWYU pragma: export
+#include "lapack90/mixed/drivers.hpp"   // IWYU pragma: export
+#include "lapack90/mixed/f90.hpp"       // IWYU pragma: export

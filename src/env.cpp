@@ -41,7 +41,7 @@ idx parse_env_idx(const char* s, idx max_value, idx fallback) noexcept {
 namespace {
 
 constexpr int kRoutines = static_cast<int>(EnvRoutine::count_);
-constexpr int kSpecs = 8;
+constexpr int kSpecs = 10;
 
 /// Positive integer from the environment, or `fallback` when unset/invalid.
 /// Read once per process (the gemm cache-blocking and batch-grain knobs).
@@ -95,6 +95,17 @@ const idx kGemmNC = env_idx("LAPACK90_GEMM_NC", 512);
 // threaded gemm starts to win inside one problem (see EXPERIMENTS.md).
 const idx kBatchGrain = env_idx("LAPACK90_BATCH_GRAIN", 256);
 
+// Mixed-precision iterative refinement (la::mixed). MaxIter follows the
+// reference DSGESV's ITERMAX = 30; a well-conditioned system converges in
+// 2-3 iterations, so exhausting the budget signals a genuine stall and the
+// driver falls back to full precision. The cutoff is the dimension below
+// which the demote/factor/refine round trip cannot beat a direct double
+// factorization (residual passes and conversions are O(n^2) but their
+// constants dominate at small n); both parse through the hardened
+// parse_env_idx, so malformed values fall back instead of misconfiguring.
+const idx kIrMaxIter = env_idx("LAPACK90_IR_MAXITER", 30);
+const idx kIrCutoff = env_idx("LAPACK90_IR_CUTOFF", 64);
+
 std::array<std::atomic<idx>, kRoutines * kSpecs>& overrides() noexcept {
   static std::array<std::atomic<idx>, kRoutines * kSpecs> table{};
   return table;
@@ -139,6 +150,12 @@ idx ilaenv(EnvSpec spec, EnvRoutine routine, idx n) noexcept {
       break;
     case EnvSpec::BatchGrain:
       v = kBatchGrain;
+      break;
+    case EnvSpec::IterRefineMaxIter:
+      v = kIrMaxIter;
+      break;
+    case EnvSpec::IterRefineCutoff:
+      v = kIrCutoff;
       break;
   }
   // Never hand back a block larger than the problem (matches the paper's

@@ -69,6 +69,26 @@ TEST(EnvBatchGrainTest, DefaultAndOverride) {
   EXPECT_EQ(ilaenv(EnvSpec::BatchGrain, EnvRoutine::gemm, 0), 256);
 }
 
+TEST(EnvIterRefineTest, DefaultsAndOverrides) {
+  // Mixed-precision refinement knobs (LAPACK90_IR_MAXITER /
+  // LAPACK90_IR_CUTOFF): reference defaults unless the process env says
+  // otherwise (the test environment sets neither), overridable like every
+  // other ilaenv entry. Both ride the hardened parse_env_idx, covered
+  // above on literals.
+  EXPECT_EQ(ilaenv(EnvSpec::IterRefineMaxIter, EnvRoutine::getrf, 0), 30);
+  EXPECT_EQ(ilaenv(EnvSpec::IterRefineCutoff, EnvRoutine::getrf, 0), 64);
+  const idx prev_it =
+      set_env_override(EnvSpec::IterRefineMaxIter, EnvRoutine::getrf, 5);
+  const idx prev_co =
+      set_env_override(EnvSpec::IterRefineCutoff, EnvRoutine::getrf, 8);
+  EXPECT_EQ(ilaenv(EnvSpec::IterRefineMaxIter, EnvRoutine::getrf, 0), 5);
+  EXPECT_EQ(ilaenv(EnvSpec::IterRefineCutoff, EnvRoutine::getrf, 0), 8);
+  set_env_override(EnvSpec::IterRefineMaxIter, EnvRoutine::getrf, prev_it);
+  set_env_override(EnvSpec::IterRefineCutoff, EnvRoutine::getrf, prev_co);
+  EXPECT_EQ(ilaenv(EnvSpec::IterRefineMaxIter, EnvRoutine::getrf, 0), 30);
+  EXPECT_EQ(ilaenv(EnvSpec::IterRefineCutoff, EnvRoutine::getrf, 0), 64);
+}
+
 TEST(VersionTest, ReportsSimdIsaAndThreadBackend) {
   const char* v = version();
   EXPECT_NE(std::strstr(v, "simd: "), nullptr) << v;

@@ -1,0 +1,560 @@
+// Mixed-precision iterative refinement (la::mixed): convergence on
+// well-conditioned systems, the full fallback triad (cutoff, demotion
+// overflow, refinement stall) with bit-identity against the full-precision
+// drivers, the precision-crossing kernels, the ERINFO two-output protocol
+// (ITER < 0 with INFO == 0 must not terminate), the -100 injection path,
+// and worker-count invariance of the batched driver.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "test_utils.hpp"
+
+namespace la::test {
+namespace {
+
+// The subsystem is defined for the working precisions that have a lower
+// precision to demote to; float/complex<float> participate as the low side.
+using MixedTypes = ::testing::Types<double, std::complex<double>>;
+
+template <class T>
+class MixedTest : public ::testing::Test {};
+TYPED_TEST_SUITE(MixedTest, MixedTypes);
+
+template <class F>
+void with_threads(idx nt, F&& f) {
+  const idx prev = set_num_threads(nt);
+  f();
+  set_num_threads(prev);
+}
+
+/// General matrix with prescribed condition number (geometric spectrum).
+template <Scalar T>
+Matrix<T> cond_matrix(idx n, real_t<T> cond, Iseed& seed) {
+  Matrix<T> a(n, n);
+  lapack::latms(n, n, lapack::SpectrumMode::Geometric, cond, real_t<T>(1),
+                a.data(), a.ld(), seed);
+  return a;
+}
+
+/// Hermitian positive definite matrix with prescribed condition number.
+template <Scalar T>
+Matrix<T> hpd_matrix(idx n, real_t<T> cond, Iseed& seed) {
+  using R = real_t<T>;
+  std::vector<R> d(static_cast<std::size_t>(n));
+  for (idx i = 0; i < n; ++i) {
+    d[i] = n == 1 ? R(1) : std::pow(cond, -R(i) / R(n - 1));
+  }
+  Matrix<T> a(n, n);
+  lapack::laghe(n, d.data(), a.data(), a.ld(), seed);
+  return a;
+}
+
+/// Componentwise backward error max_ik |b - A x|_ik / (|A||x| + |b|)_ik.
+template <Scalar T>
+real_t<T> componentwise_berr(const Matrix<T>& a, const Matrix<T>& x,
+                             const Matrix<T>& b) {
+  using R = real_t<T>;
+  const idx n = a.rows();
+  const idx nrhs = x.cols();
+  Matrix<T> r(n, nrhs);
+  std::vector<Compensated<R>> acc(
+      static_cast<std::size_t>(is_complex_v<T> ? 2 : 1) * n);
+  blas::residual(n, nrhs, a.data(), a.ld(), x.data(), x.ld(), b.data(),
+                 b.ld(), r.data(), r.ld(), acc.data());
+  R berr(0);
+  for (idx k = 0; k < nrhs; ++k) {
+    for (idx i = 0; i < n; ++i) {
+      R denom = abs1(b(i, k));
+      for (idx j = 0; j < n; ++j) {
+        denom += abs1(a(i, j)) * abs1(x(j, k));
+      }
+      if (denom > R(0)) {
+        berr = std::max(berr, abs1(r(i, k)) / denom);
+      }
+    }
+  }
+  return berr;
+}
+
+/// Reference full-precision gesv on copies; returns (factors, x, ipiv).
+template <Scalar T>
+void reference_gesv(const Matrix<T>& a, const Matrix<T>& b, Matrix<T>& fa,
+                    Matrix<T>& x, std::vector<idx>& piv, idx& info) {
+  fa = a;
+  x = b;
+  piv.assign(static_cast<std::size_t>(a.rows()), 0);
+  info = lapack::gesv(a.rows(), b.cols(), fa.data(), fa.ld(), piv.data(),
+                      x.data(), x.ld());
+}
+
+TYPED_TEST(MixedTest, GesvConvergesOnWellConditioned) {
+  using T = TypeParam;
+  const idx n = 128;
+  const idx nrhs = 3;
+  Iseed seed = seed_for(601);
+  const Matrix<T> a = cond_matrix<T>(n, real_t<T>(100), seed);
+  const Matrix<T> b = random_matrix<T>(n, nrhs, seed);
+  Matrix<T> fa = a;
+  Matrix<T> x(n, nrhs);
+  std::vector<idx> piv(n);
+  idx iter = -99;
+  const idx info = mixed::gesv(n, nrhs, fa.data(), fa.ld(), piv.data(),
+                               b.data(), b.ld(), x.data(), x.ld(), iter);
+  ASSERT_EQ(info, 0);
+  // Refined path: converged within a few sweeps, A untouched.
+  EXPECT_GE(iter, 0);
+  EXPECT_LE(iter, 3);
+  EXPECT_EQ(max_diff(fa, a), real_t<T>(0));
+  // Full working accuracy: componentwise backward error at n*eps scale.
+  EXPECT_LE(componentwise_berr(a, x, b), real_t<T>(n) * eps<T>() * 8);
+  EXPECT_LT(solve_ratio(a, x, b), real_t<T>(30));
+}
+
+TYPED_TEST(MixedTest, PosvConvergesOnWellConditioned) {
+  using T = TypeParam;
+  const idx n = 128;
+  const idx nrhs = 2;
+  Iseed seed = seed_for(602);
+  const Matrix<T> a = hpd_matrix<T>(n, real_t<T>(100), seed);
+  const Matrix<T> b = random_matrix<T>(n, nrhs, seed);
+  for (const Uplo uplo : {Uplo::Upper, Uplo::Lower}) {
+    Matrix<T> fa = a;
+    Matrix<T> x(n, nrhs);
+    idx iter = -99;
+    const idx info = mixed::posv(uplo, n, nrhs, fa.data(), fa.ld(), b.data(),
+                                 b.ld(), x.data(), x.ld(), iter);
+    ASSERT_EQ(info, 0);
+    EXPECT_GE(iter, 0);
+    EXPECT_LE(iter, 3);
+    EXPECT_EQ(max_diff(fa, a), real_t<T>(0));
+    EXPECT_LE(componentwise_berr(a, x, b), real_t<T>(n) * eps<T>() * 8);
+  }
+}
+
+TYPED_TEST(MixedTest, GesvStallFallbackIsBitIdentical) {
+  using T = TypeParam;
+  // cond >> 1/eps(float): single-precision refinement cannot contract, so
+  // the driver must exhaust its budget and fall back. Shrink the budget to
+  // keep the test fast; ITER = -(maxiter+1) flags the stall.
+  const idx n = 96;
+  Iseed seed = seed_for(603);
+  const Matrix<T> a = cond_matrix<T>(n, real_t<T>(1e9), seed);
+  const Matrix<T> b = random_matrix<T>(n, 1, seed);
+  const idx prev =
+      set_env_override(EnvSpec::IterRefineMaxIter, EnvRoutine::getrf, 5);
+  Matrix<T> fa = a;
+  Matrix<T> x(n, 1);
+  std::vector<idx> piv(n);
+  idx iter = 0;
+  const idx info = mixed::gesv(n, idx{1}, fa.data(), fa.ld(), piv.data(),
+                               b.data(), b.ld(), x.data(), x.ld(), iter);
+  set_env_override(EnvSpec::IterRefineMaxIter, EnvRoutine::getrf, prev);
+  ASSERT_EQ(info, 0);
+  EXPECT_EQ(iter, -6);
+  Matrix<T> ra(n, n), rx(n, 1);
+  std::vector<idx> rpiv;
+  idx rinfo = 0;
+  reference_gesv(a, b, ra, rx, rpiv, rinfo);
+  ASSERT_EQ(rinfo, 0);
+  // Bit-identical to the full-precision driver: solution, factors, pivots.
+  EXPECT_EQ(max_diff(x, rx), real_t<T>(0));
+  EXPECT_EQ(max_diff(fa, ra), real_t<T>(0));
+  EXPECT_EQ(piv, rpiv);
+}
+
+TYPED_TEST(MixedTest, GesvDemotionOverflowFallsBack) {
+  using T = TypeParam;
+  // Entries beyond float overflow (~3.4e38) cannot demote: ITER = -2 and
+  // the exact full-precision result.
+  const idx n = 80;
+  Iseed seed = seed_for(604);
+  Matrix<T> a = cond_matrix<T>(n, real_t<T>(10), seed);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < n; ++i) {
+      a(i, j) *= real_t<T>(1e200);
+    }
+  }
+  const Matrix<T> b = random_matrix<T>(n, 2, seed);
+  Matrix<T> fa = a;
+  Matrix<T> x(n, 2);
+  std::vector<idx> piv(n);
+  idx iter = 0;
+  const idx info = mixed::gesv(n, idx{2}, fa.data(), fa.ld(), piv.data(),
+                               b.data(), b.ld(), x.data(), x.ld(), iter);
+  ASSERT_EQ(info, 0);
+  EXPECT_EQ(iter, -2);
+  Matrix<T> ra(n, n), rx(n, 2);
+  std::vector<idx> rpiv;
+  idx rinfo = 0;
+  reference_gesv(a, b, ra, rx, rpiv, rinfo);
+  ASSERT_EQ(rinfo, 0);
+  EXPECT_EQ(max_diff(x, rx), real_t<T>(0));
+  EXPECT_EQ(max_diff(fa, ra), real_t<T>(0));
+  EXPECT_EQ(piv, rpiv);
+}
+
+TYPED_TEST(MixedTest, GesvBelowCutoffGoesStraightToFullPrecision) {
+  using T = TypeParam;
+  const idx n = 16;  // below the default IterRefineCutoff of 64
+  Iseed seed = seed_for(605);
+  const Matrix<T> a = cond_matrix<T>(n, real_t<T>(10), seed);
+  const Matrix<T> b = random_matrix<T>(n, 1, seed);
+  Matrix<T> fa = a;
+  Matrix<T> x(n, 1);
+  std::vector<idx> piv(n);
+  idx iter = 0;
+  const idx info = mixed::gesv(n, idx{1}, fa.data(), fa.ld(), piv.data(),
+                               b.data(), b.ld(), x.data(), x.ld(), iter);
+  ASSERT_EQ(info, 0);
+  EXPECT_EQ(iter, -1);
+  Matrix<T> ra(n, n), rx(n, 1);
+  std::vector<idx> rpiv;
+  idx rinfo = 0;
+  reference_gesv(a, b, ra, rx, rpiv, rinfo);
+  EXPECT_EQ(max_diff(x, rx), real_t<T>(0));
+  EXPECT_EQ(max_diff(fa, ra), real_t<T>(0));
+}
+
+TYPED_TEST(MixedTest, PosvFallbacksAreBitIdentical) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  const idx n = 80;
+  Iseed seed = seed_for(606);
+  // (1) Demotion overflow.
+  {
+    Matrix<T> a = hpd_matrix<T>(n, R(10), seed);
+    for (idx j = 0; j < n; ++j) {
+      for (idx i = 0; i < n; ++i) {
+        a(i, j) *= R(1e200);
+      }
+    }
+    const Matrix<T> b = random_matrix<T>(n, 1, seed);
+    Matrix<T> fa = a;
+    Matrix<T> x(n, 1);
+    idx iter = 0;
+    const idx info = mixed::posv(Uplo::Lower, n, idx{1}, fa.data(), fa.ld(),
+                                 b.data(), b.ld(), x.data(), x.ld(), iter);
+    ASSERT_EQ(info, 0);
+    EXPECT_EQ(iter, -2);
+    Matrix<T> ra = a;
+    Matrix<T> rx = b;
+    ASSERT_EQ(lapack::posv(Uplo::Lower, n, idx{1}, ra.data(), ra.ld(),
+                           rx.data(), rx.ld()),
+              0);
+    EXPECT_EQ(max_diff(x, rx), R(0));
+    EXPECT_EQ(max_diff(fa, ra), R(0));
+  }
+  // (2) Ill-conditioned at single precision: refinement stalls (or the
+  // demoted Cholesky loses definiteness, ITER = -3) — either way the
+  // fallback must reproduce the full-precision result exactly.
+  {
+    const Matrix<T> a = hpd_matrix<T>(n, R(1e9), seed);
+    const Matrix<T> b = random_matrix<T>(n, 1, seed);
+    const idx prev =
+        set_env_override(EnvSpec::IterRefineMaxIter, EnvRoutine::getrf, 5);
+    Matrix<T> fa = a;
+    Matrix<T> x(n, 1);
+    idx iter = 0;
+    const idx info = mixed::posv(Uplo::Upper, n, idx{1}, fa.data(), fa.ld(),
+                                 b.data(), b.ld(), x.data(), x.ld(), iter);
+    set_env_override(EnvSpec::IterRefineMaxIter, EnvRoutine::getrf, prev);
+    ASSERT_EQ(info, 0);
+    EXPECT_LT(iter, 0);
+    Matrix<T> ra = a;
+    Matrix<T> rx = b;
+    ASSERT_EQ(lapack::posv(Uplo::Upper, n, idx{1}, ra.data(), ra.ld(),
+                           rx.data(), rx.ld()),
+              0);
+    EXPECT_EQ(max_diff(x, rx), R(0));
+    EXPECT_EQ(max_diff(fa, ra), R(0));
+  }
+}
+
+TYPED_TEST(MixedTest, HermitianResidualMatchesDenseResidual) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  const idx n = 40;
+  const idx nrhs = 2;
+  Iseed seed = seed_for(607);
+  const Matrix<T> a = random_hermitian<T>(n, seed);
+  const Matrix<T> x = random_matrix<T>(n, nrhs, seed);
+  const Matrix<T> b = random_matrix<T>(n, nrhs, seed);
+  std::vector<Compensated<R>> acc(
+      static_cast<std::size_t>(is_complex_v<T> ? 2 : 1) * n);
+  Matrix<T> rd(n, nrhs);
+  blas::residual(n, nrhs, a.data(), a.ld(), x.data(), x.ld(), b.data(),
+                 b.ld(), rd.data(), rd.ld(), acc.data());
+  for (const Uplo uplo : {Uplo::Upper, Uplo::Lower}) {
+    Matrix<T> rh(n, nrhs);
+    blas::residual_hermitian(uplo, n, nrhs, a.data(), a.ld(), x.data(),
+                             x.ld(), b.data(), b.ld(), rh.data(), rh.ld(),
+                             acc.data());
+    // Same sum in a different association order: agreement far below the
+    // size of a single working-precision rounding of the terms.
+    EXPECT_LE(max_diff(rh, rd), R(n) * eps<T>() * eps<T>() * R(100) + R(1e-30));
+  }
+}
+
+TYPED_TEST(MixedTest, DemotePromoteRoundTripAndOverflow) {
+  using T = TypeParam;
+  using S = lower_precision_t<T>;
+  using R = real_t<T>;
+  const idx n = 8;
+  Iseed seed = seed_for(608);
+  const Matrix<T> a = random_matrix<T>(n, n, seed);
+  Matrix<S> sa(n, n);
+  ASSERT_EQ(blas::demote<T>(n, n, a.data(), a.ld(), sa.data(), sa.ld()), 0);
+  Matrix<T> back(n, n);
+  blas::promote<T>(n, n, sa.data(), sa.ld(), back.data(), back.ld());
+  // Values in (-1,1) round-trip within float rounding.
+  EXPECT_LE(max_diff(back, a), R(2) * R(eps<S>()));
+  Matrix<T> big = a;
+  big(n / 2, n / 2) = T(R(1e60));
+  EXPECT_EQ(blas::demote<T>(n, n, big.data(), big.ld(), sa.data(), sa.ld()),
+            1);
+}
+
+TYPED_TEST(MixedTest, F90SurfaceReportsIterAndOverwritesB) {
+  using T = TypeParam;
+  const idx n = 96;
+  Iseed seed = seed_for(609);
+  const Matrix<T> a0 = cond_matrix<T>(n, real_t<T>(50), seed);
+  const Matrix<T> b0 = random_matrix<T>(n, 2, seed);
+  // Raw driver as reference.
+  Matrix<T> fa = a0;
+  Matrix<T> xref(n, 2);
+  std::vector<idx> piv(n);
+  idx riter = 0;
+  ASSERT_EQ(mixed::gesv(n, idx{2}, fa.data(), fa.ld(), piv.data(), b0.data(),
+                        b0.ld(), xref.data(), xref.ld(), riter),
+            0);
+  // Matrix overload: B := X, ITER/INFO through the optional outputs.
+  Matrix<T> a = a0;
+  Matrix<T> b = b0;
+  idx iter = -99;
+  idx info = -99;
+  mixed::gesv(a, b, &iter, &info);
+  EXPECT_EQ(info, 0);
+  EXPECT_EQ(iter, riter);
+  EXPECT_EQ(max_diff(b, xref), real_t<T>(0));
+  // Vector overload.
+  Matrix<T> a2 = a0;
+  Vector<T> bv(n);
+  for (idx i = 0; i < n; ++i) {
+    bv[i] = b0(i, 0);
+  }
+  iter = -99;
+  mixed::gesv(a2, bv, &iter, &info);
+  EXPECT_EQ(info, 0);
+  EXPECT_EQ(iter, riter);
+  for (idx i = 0; i < n; ++i) {
+    EXPECT_EQ(bv[i], xref(i, 0));
+  }
+  // posv surface.
+  const Matrix<T> h0 = hpd_matrix<T>(n, real_t<T>(50), seed);
+  Matrix<T> h = h0;
+  Matrix<T> hb = b0;
+  iter = -99;
+  info = -99;
+  mixed::posv(h, hb, Uplo::Lower, &iter, &info);
+  EXPECT_EQ(info, 0);
+  EXPECT_GE(iter, 0);
+  EXPECT_LT(solve_ratio(h0, hb, b0), real_t<T>(30));
+}
+
+TYPED_TEST(MixedTest, F77SurfaceMatchesRawDriver) {
+  using T = TypeParam;
+  const idx n = 72;
+  Iseed seed = seed_for(610);
+  const Matrix<T> a = cond_matrix<T>(n, real_t<T>(20), seed);
+  const Matrix<T> b = random_matrix<T>(n, 1, seed);
+  Matrix<T> fa = a;
+  Matrix<T> x(n, 1);
+  std::vector<idx> piv(n);
+  idx iter = 0;
+  idx info = -1;
+  f77::la_gesv_mixed(n, idx{1}, fa.data(), fa.ld(), piv.data(), b.data(),
+                     b.ld(), x.data(), x.ld(), iter, info);
+  EXPECT_EQ(info, 0);
+  EXPECT_GE(iter, 0);
+  EXPECT_LT(solve_ratio(a, x, b), real_t<T>(30));
+  const Matrix<T> h = hpd_matrix<T>(n, real_t<T>(20), seed);
+  Matrix<T> fh = h;
+  idx hiter = 0;
+  f77::la_posv_mixed(Uplo::Upper, n, idx{1}, fh.data(), fh.ld(), b.data(),
+                     b.ld(), x.data(), x.ld(), hiter, info);
+  EXPECT_EQ(info, 0);
+  EXPECT_GE(hiter, 0);
+  EXPECT_LT(solve_ratio(h, x, b), real_t<T>(30));
+}
+
+// The ERINFO-hardening contract: a successful fallback is a SUCCESS.
+// ITER < 0 with INFO == 0 must not terminate even with no INFO sink — the
+// wrappers never fold ITER into the code handed to erinfo.
+TYPED_TEST(MixedTest, SuccessfulFallbackDoesNotThrowWithoutInfoSink) {
+  using T = TypeParam;
+  const idx n = 80;
+  Iseed seed = seed_for(611);
+  Matrix<T> a0 = cond_matrix<T>(n, real_t<T>(10), seed);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < n; ++i) {
+      a0(i, j) *= real_t<T>(1e200);  // forces the demotion fallback
+    }
+  }
+  const Matrix<T> b0 = random_matrix<T>(n, 1, seed);
+  idx iter = 0;
+  Matrix<T> a = a0;
+  Matrix<T> b = b0;
+  EXPECT_NO_THROW(mixed::gesv(a, b, &iter));
+  EXPECT_EQ(iter, -2);
+  Matrix<T> h = hpd_matrix<T>(n, real_t<T>(10), seed);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < n; ++i) {
+      h(i, j) *= real_t<T>(1e200);  // scaling keeps definiteness
+    }
+  }
+  Matrix<T> hb = b0;
+  iter = 0;
+  EXPECT_NO_THROW(mixed::posv(h, hb, Uplo::Lower, &iter));
+  EXPECT_EQ(iter, -2);
+  // Span overload with neither INFOS nor INFO: fallbacks must not throw.
+  std::vector<Matrix<T>> as;
+  std::vector<Matrix<T>> bs;
+  as.push_back(a0);
+  bs.push_back(b0);
+  std::vector<idx> iters(1, idx{0});
+  EXPECT_NO_THROW(
+      mixed::gesv(std::span(as), std::span(bs), std::span(iters)));
+  EXPECT_EQ(iters[0], -2);
+}
+
+TYPED_TEST(MixedTest, AllocFailureInjectionReportsMinus100) {
+  using T = TypeParam;
+  const idx n = 8;
+  Iseed seed = seed_for(612);
+  const Matrix<T> a0 = cond_matrix<T>(n, real_t<T>(5), seed);
+  const Matrix<T> b0 = random_matrix<T>(n, 1, seed);
+  idx info = 0;
+  idx iter = 77;
+  {
+    Matrix<T> a = a0;
+    Matrix<T> b = b0;
+    inject_alloc_failures(1);
+    mixed::gesv(a, b, &iter, &info);
+    inject_alloc_failures(0);
+    EXPECT_EQ(info, -100);
+    EXPECT_EQ(max_diff(b, b0), real_t<T>(0));  // data untouched
+  }
+  {
+    Matrix<T> a = a0;
+    Matrix<T> b = b0;
+    inject_alloc_failures(1);
+    mixed::posv(a, b, Uplo::Upper, &iter, &info);
+    inject_alloc_failures(0);
+    EXPECT_EQ(info, -100);
+  }
+  // Batch: serial scheduling so entry 0 deterministically consumes the
+  // injection; the aggregate keeps the -100 identity.
+  with_threads(1, [&] {
+    std::vector<Matrix<T>> as;
+    std::vector<Matrix<T>> bs;
+    for (int k = 0; k < 3; ++k) {
+      as.push_back(a0);
+      bs.push_back(b0);
+    }
+    std::vector<idx> iters(3, idx{0});
+    std::vector<idx> infos(3, idx{0});
+    inject_alloc_failures(1);
+    mixed::gesv(std::span(as), std::span(bs), std::span(iters),
+                std::span(infos), &info);
+    inject_alloc_failures(0);
+    EXPECT_EQ(info, -100);
+    EXPECT_EQ(infos[0], -100);
+    EXPECT_EQ(infos[1], 0);
+    EXPECT_EQ(infos[2], 0);
+  });
+}
+
+TYPED_TEST(MixedTest, BatchMatchesSingleAndIsWorkerInvariant) {
+  using T = TypeParam;
+  // Ragged sizes straddling the refinement cutoff (64) and the batch
+  // fan-out grain: every entry must match the single-problem driver bit
+  // for bit, at every worker count.
+  const std::vector<idx> sizes = {8, 40, 96, 130, 17, 72};
+  const auto count = static_cast<idx>(sizes.size());
+  Iseed seed = seed_for(613);
+  std::vector<Matrix<T>> as0;
+  std::vector<Matrix<T>> bs0;
+  for (const idx n : sizes) {
+    as0.push_back(cond_matrix<T>(n, real_t<T>(50), seed));
+    bs0.push_back(random_matrix<T>(n, 2, seed));
+  }
+  // Single-problem reference per entry.
+  std::vector<Matrix<T>> xref;
+  std::vector<idx> iterref;
+  for (idx i = 0; i < count; ++i) {
+    const idx n = sizes[static_cast<std::size_t>(i)];
+    Matrix<T> fa = as0[static_cast<std::size_t>(i)];
+    Matrix<T> x(n, 2);
+    std::vector<idx> piv(n);
+    idx iter = 0;
+    ASSERT_EQ(mixed::gesv(n, idx{2}, fa.data(), fa.ld(), piv.data(),
+                          bs0[static_cast<std::size_t>(i)].data(),
+                          bs0[static_cast<std::size_t>(i)].ld(), x.data(),
+                          x.ld(), iter),
+              0);
+    xref.push_back(std::move(x));
+    iterref.push_back(iter);
+  }
+  std::vector<std::vector<Matrix<T>>> results;
+  std::vector<std::vector<idx>> iters_by_nt;
+  for (const idx nt : {idx{1}, idx{4}}) {
+    with_threads(nt, [&] {
+      std::vector<Matrix<T>> as = as0;
+      std::vector<Matrix<T>> bs = bs0;
+      std::vector<idx> iters(static_cast<std::size_t>(count), idx{0});
+      std::vector<idx> infos(static_cast<std::size_t>(count), idx{0});
+      idx info = -1;
+      mixed::gesv(std::span(as), std::span(bs), std::span(iters),
+                  std::span(infos), &info);
+      EXPECT_EQ(info, 0);
+      for (idx i = 0; i < count; ++i) {
+        EXPECT_EQ(infos[static_cast<std::size_t>(i)], 0);
+      }
+      results.push_back(std::move(bs));
+      iters_by_nt.push_back(std::move(iters));
+    });
+  }
+  for (std::size_t w = 0; w < results.size(); ++w) {
+    EXPECT_EQ(iters_by_nt[w], iterref) << "worker set " << w;
+    for (idx i = 0; i < count; ++i) {
+      EXPECT_EQ(max_diff(results[w][static_cast<std::size_t>(i)],
+                         xref[static_cast<std::size_t>(i)]),
+                real_t<T>(0))
+          << "entry " << i << " worker set " << w;
+    }
+  }
+}
+
+TYPED_TEST(MixedTest, ZeroSizedAndShapeErrors) {
+  using T = TypeParam;
+  Matrix<T> a(0, 0);
+  Matrix<T> b(0, 2);
+  idx iter = -5;
+  idx info = -5;
+  mixed::gesv(a, b, &iter, &info);
+  EXPECT_EQ(info, 0);
+  EXPECT_EQ(iter, 0);
+  Matrix<T> bad(4, 3);
+  Matrix<T> b4(4, 1);
+  mixed::gesv(bad, b4, &iter, &info);
+  EXPECT_EQ(info, -1);
+  Matrix<T> a4(4, 4);
+  Matrix<T> b5(5, 1);
+  mixed::posv(a4, b5, Uplo::Upper, &iter, &info);
+  EXPECT_EQ(info, -2);
+}
+
+}  // namespace
+}  // namespace la::test

@@ -5,6 +5,10 @@
 // Emits BENCH_drivers.json by default (see bench_json_main.hpp).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "bench_json_main.hpp"
@@ -223,8 +227,194 @@ void BM_DriverGesvx(benchmark::State& state) {
 }
 BENCHMARK(BM_DriverGesvx)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Tiled-factorization thread sweep: the legacy fork-join blocked path vs
+// the task-DAG tiled path (lapack/tiled.hpp) at matched worker counts.
+// Args are {n, workers}. On a single-core container the wall-clock ratio
+// is expected near 1; the scheduler claim there rests on the bit-identity
+// cross-checks in --smoke and ctest -L dag (see EXPERIMENTS.md).
+// ---------------------------------------------------------------------------
+
+void bench_getrf_with(benchmark::State& state, la::TileScheduler sched) {
+  const idx n = state.range(0);
+  const auto prev_sched = la::set_tile_scheduler(sched);
+  const idx prev_nt = la::set_num_threads(state.range(1));
+  const auto a0 = random_mat(n, n, 23);
+  std::vector<idx> piv(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    la::Matrix<double> a = a0;
+    la::lapack::getrf(n, n, a.data(), a.ld(), piv.data());
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  la::set_num_threads(prev_nt);
+  la::set_tile_scheduler(prev_sched);
+}
+
+void BM_GetrfForkJoin(benchmark::State& state) {
+  bench_getrf_with(state, la::TileScheduler::ForkJoin);
+}
+void BM_GetrfTiledDag(benchmark::State& state) {
+  bench_getrf_with(state, la::TileScheduler::TiledDag);
+}
+BENCHMARK(BM_GetrfForkJoin)
+    ->Unit(benchmark::kMillisecond)
+    ->ArgNames({"n", "workers"})
+    ->ArgsProduct({{512, 1024, 2048}, {1, 2, 4}});
+BENCHMARK(BM_GetrfTiledDag)
+    ->Unit(benchmark::kMillisecond)
+    ->ArgNames({"n", "workers"})
+    ->ArgsProduct({{512, 1024, 2048}, {1, 2, 4}});
+
+void bench_potrf_with(benchmark::State& state, la::TileScheduler sched) {
+  const idx n = state.range(0);
+  const auto prev_sched = la::set_tile_scheduler(sched);
+  const idx prev_nt = la::set_num_threads(state.range(1));
+  const auto a0 = spd_mat(n, 24);
+  for (auto _ : state) {
+    la::Matrix<double> a = a0;
+    la::lapack::potrf(la::Uplo::Lower, n, a.data(), a.ld());
+    benchmark::DoNotOptimize(a.data());
+  }
+  la::set_num_threads(prev_nt);
+  la::set_tile_scheduler(prev_sched);
+}
+
+void BM_PotrfForkJoin(benchmark::State& state) {
+  bench_potrf_with(state, la::TileScheduler::ForkJoin);
+}
+void BM_PotrfTiledDag(benchmark::State& state) {
+  bench_potrf_with(state, la::TileScheduler::TiledDag);
+}
+BENCHMARK(BM_PotrfForkJoin)
+    ->Unit(benchmark::kMillisecond)
+    ->ArgNames({"n", "workers"})
+    ->ArgsProduct({{1024}, {1, 4}});
+BENCHMARK(BM_PotrfTiledDag)
+    ->Unit(benchmark::kMillisecond)
+    ->ArgNames({"n", "workers"})
+    ->ArgsProduct({{1024}, {1, 4}});
+
+void bench_geqrf_with(benchmark::State& state, la::TileScheduler sched) {
+  const idx n = state.range(0);
+  const auto prev_sched = la::set_tile_scheduler(sched);
+  const idx prev_nt = la::set_num_threads(state.range(1));
+  const auto a0 = random_mat(n, n, 25);
+  std::vector<double> tau(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    la::Matrix<double> a = a0;
+    la::lapack::geqrf(n, n, a.data(), a.ld(), tau.data());
+    benchmark::DoNotOptimize(a.data());
+  }
+  la::set_num_threads(prev_nt);
+  la::set_tile_scheduler(prev_sched);
+}
+
+void BM_GeqrfForkJoin(benchmark::State& state) {
+  bench_geqrf_with(state, la::TileScheduler::ForkJoin);
+}
+void BM_GeqrfTiledDag(benchmark::State& state) {
+  bench_geqrf_with(state, la::TileScheduler::TiledDag);
+}
+BENCHMARK(BM_GeqrfForkJoin)
+    ->Unit(benchmark::kMillisecond)
+    ->ArgNames({"n", "workers"})
+    ->ArgsProduct({{1024}, {1, 4}});
+BENCHMARK(BM_GeqrfTiledDag)
+    ->Unit(benchmark::kMillisecond)
+    ->ArgNames({"n", "workers"})
+    ->ArgsProduct({{1024}, {1, 4}});
+
+// ---------------------------------------------------------------------------
+// --smoke: self-check for the tiled path inside the ctest loop. Asserts
+// the DESIGN.md section-14 determinism contract (barrier == DAG bitwise,
+// DAG bit-identical across worker counts, pivots equal) and a generous
+// timing bound (tiled getrf no slower than 3x fork-join at n=512 — the
+// point is catching pathological scheduling regressions, not measuring).
+// ---------------------------------------------------------------------------
+
+template <class F>
+double time_best_of(int reps, F&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    best = std::min(best, dt.count());
+  }
+  return best;
+}
+
+int run_smoke() {
+  int failures = 0;
+  const auto check = [&](bool ok, const char* what) {
+    if (!ok) {
+      ++failures;
+      std::fprintf(stderr, "bench_drivers --smoke: FAIL %s\n", what);
+    }
+  };
+  const idx n = 320;
+  const idx prev_nb =
+      la::set_env_override(la::EnvSpec::TileSize, la::EnvRoutine::getrf, 64);
+  const auto a0 = random_mat(n, n, 31);
+  const auto factor = [&](la::TileScheduler s, idx workers,
+                          la::Matrix<double>& f, std::vector<idx>& piv) {
+    const auto ps = la::set_tile_scheduler(s);
+    const idx pt = la::set_num_threads(workers);
+    f = a0;
+    piv.assign(static_cast<std::size_t>(n), -1);
+    la::lapack::getrf(n, n, f.data(), f.ld(), piv.data());
+    la::set_num_threads(pt);
+    la::set_tile_scheduler(ps);
+  };
+  la::Matrix<double> dag1(n, n), dag4(n, n), bar4(n, n);
+  std::vector<idx> p1, p4, pb;
+  factor(la::TileScheduler::TiledDag, 1, dag1, p1);
+  factor(la::TileScheduler::TiledDag, 4, dag4, p4);
+  factor(la::TileScheduler::TiledBarrier, 4, bar4, pb);
+  bool bits14 = p1 == p4, bitsbd = p1 == pb;
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < n; ++i) {
+      bits14 = bits14 && dag1(i, j) == dag4(i, j);
+      bitsbd = bitsbd && dag1(i, j) == bar4(i, j);
+    }
+  }
+  check(bits14, "tiled getrf bit-identity across 1 vs 4 workers");
+  check(bitsbd, "tiled getrf bit-identity barrier vs DAG");
+  la::set_env_override(la::EnvSpec::TileSize, la::EnvRoutine::getrf, prev_nb);
+
+  // Generous perf bound at the shipped tile schedule.
+  const idx np = 512;
+  const auto b0 = random_mat(np, np, 32);
+  std::vector<idx> piv(static_cast<std::size_t>(np));
+  const auto run_once = [&](la::TileScheduler s) {
+    const auto ps = la::set_tile_scheduler(s);
+    la::Matrix<double> a = b0;
+    la::lapack::getrf(np, np, a.data(), a.ld(), piv.data());
+    benchmark::DoNotOptimize(a.data());
+    la::set_tile_scheduler(ps);
+  };
+  const double t_fork =
+      time_best_of(3, [&] { run_once(la::TileScheduler::ForkJoin); });
+  const double t_dag =
+      time_best_of(3, [&] { run_once(la::TileScheduler::TiledDag); });
+  check(t_dag <= 3.0 * t_fork + 1e-3,
+        "tiled getrf within 3x of fork-join at n=512");
+  std::printf(
+      "bench_drivers --smoke (threads=%lld): getrf n=%lld fork-join %.1f ms, "
+      "tiled DAG %.1f ms (ratio %.2f); bit-identity %s\n",
+      static_cast<long long>(la::num_threads()), static_cast<long long>(np),
+      1e3 * t_fork, 1e3 * t_dag, t_dag / t_fork,
+      failures == 0 ? "OK" : "FAILED");
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) {
+    return run_smoke();
+  }
   return la::bench::run_with_json_default(argc, argv, "BENCH_drivers.json");
 }

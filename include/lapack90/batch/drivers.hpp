@@ -177,7 +177,9 @@ idx geqrf_batch(const MatrixBatch<T>& a, const MatrixBatch<T>& tau,
           static_cast<std::size_t>(n));
       lapack::geqr2(m, n, a.ptr(i), a.ld(i), tau.ptr(i), work);
     } else {
-      lapack::geqrf(m, n, a.ptr(i), a.ld(i), tau.ptr(i));
+      // Propagate the library geqrf's INFO (0, or -100 from a failed
+      // tiled-workspace probe) into this entry's slot.
+      return lapack::geqrf(m, n, a.ptr(i), a.ld(i), tau.ptr(i));
     }
     return 0;
   });

@@ -35,6 +35,12 @@ enum class EnvSpec : int {
                           ///< below which demote/refine is not attempted and
                           ///< the driver goes straight to full precision
                           ///< with ITER = -1 (extension; LAPACK90_IR_CUTOFF)
+  TileSize = 11,       ///< tile edge NB for the task-DAG tiled factorizations
+                       ///< (extension; LAPACK90_TILE_NB)
+  TileScheduler = 12,  ///< factorization scheduler: 1 = legacy fork-join
+                       ///< blocked path, 2 = tiled with a barrier per panel
+                       ///< step, 3 = tiled task-DAG with lookahead (default;
+                       ///< extension; LAPACK90_TILE_SCHEDULER)
 };
 
 /// Routine families with distinct tuning entries.
@@ -61,6 +67,13 @@ namespace detail {
 /// zero and negatives. Exposed here so the hardening is unit-testable.
 [[nodiscard]] idx parse_env_idx(const char* s, idx max_value,
                                 idx fallback) noexcept;
+
+/// Hardened environment knob: `getenv(name)` through parse_env_idx. The one
+/// shared reader behind every LAPACK90_* integer variable (thread count,
+/// gemm cache blocks, batch grain, refinement knobs, tile size/scheduler) —
+/// malformed or out-of-range settings fall back instead of misconfiguring.
+[[nodiscard]] idx env_knob(const char* name, idx max_value,
+                           idx fallback) noexcept;
 
 }  // namespace detail
 

@@ -28,6 +28,7 @@
 #include "lapack90/core/types.hpp"
 #include "lapack90/lapack/aux.hpp"
 #include "lapack90/lapack/conest.hpp"
+#include "lapack90/lapack/tiled_fwd.hpp"
 
 namespace la::lapack {
 
@@ -99,11 +100,16 @@ idx potf2(Uplo uplo, idx n, T* a, idx lda) noexcept {
   return 0;
 }
 
-/// Blocked Cholesky (xPOTRF).
+/// Blocked Cholesky (xPOTRF). Past the blocking crossover the tiled
+/// task-DAG path (lapack/tiled.hpp) takes over unless
+/// LAPACK90_TILE_SCHEDULER selects the legacy fork-join loop.
 template <Scalar T>
 idx potrf(Uplo uplo, idx n, T* a, idx lda) {
   if (n == 0) {
     return 0;
+  }
+  if (tiled::enabled(EnvRoutine::potrf, n, n)) {
+    return tiled::potrf(uplo, n, a, lda);
   }
   const idx nb = block_size(EnvRoutine::potrf, n);
   if (nb <= 1 || nb >= n) {
@@ -489,3 +495,7 @@ idx pbsv(Uplo uplo, idx n, idx kd, idx nrhs, T* ab, idx ldab, T* b,
 }
 
 }  // namespace la::lapack
+
+// Tiled task-DAG driver definitions — included last to break the
+// kernel/driver cycle (see lapack/tiled_fwd.hpp for the dispatch gate).
+#include "lapack90/lapack/tiled.hpp"  // IWYU pragma: keep

@@ -32,6 +32,7 @@
 #include "lapack90/lapack/aux.hpp"
 #include "lapack90/lapack/conest.hpp"
 #include "lapack90/lapack/norms.hpp"
+#include "lapack90/lapack/tiled_fwd.hpp"
 
 namespace la::lapack {
 
@@ -70,13 +71,18 @@ idx getf2(idx m, idx n, T* a, idx lda, idx* ipiv) noexcept {
 }
 
 /// Blocked LU with partial pivoting (xGETRF). Same contract as getf2; the
-/// trailing update runs through trsm/gemm so most flops are Level 3.
+/// trailing update runs through trsm/gemm so most flops are Level 3. Past
+/// the blocking crossover the tiled task-DAG path (lapack/tiled.hpp) takes
+/// over unless LAPACK90_TILE_SCHEDULER selects the legacy fork-join loop.
 template <Scalar T>
 idx getrf(idx m, idx n, T* a, idx lda, idx* ipiv) {
   idx info = 0;
   const idx k = std::min(m, n);
   if (k == 0) {
     return 0;
+  }
+  if (tiled::enabled(EnvRoutine::getrf, m, n)) {
+    return tiled::getrf(m, n, a, lda, ipiv);
   }
   const idx nb = block_size(EnvRoutine::getrf, k);
   if (nb <= 1 || nb >= k) {
@@ -468,3 +474,7 @@ idx gesv(idx n, idx nrhs, T* a, idx lda, idx* ipiv, T* b, idx ldb) {
 }
 
 }  // namespace la::lapack
+
+// Tiled task-DAG driver definitions — included last to break the
+// kernel/driver cycle (see lapack/tiled_fwd.hpp for the dispatch gate).
+#include "lapack90/lapack/tiled.hpp"  // IWYU pragma: keep

@@ -28,6 +28,7 @@
 #include "lapack90/core/precision.hpp"
 #include "lapack90/core/types.hpp"
 #include "lapack90/lapack/aux.hpp"
+#include "lapack90/lapack/tiled_fwd.hpp"
 
 namespace la::lapack {
 
@@ -410,19 +411,25 @@ void geqr2(idx m, idx n, T* a, idx lda, T* tau, T* work) noexcept {
   }
 }
 
-/// Blocked QR factorization (xGEQRF).
+/// Blocked QR factorization (xGEQRF). Past the blocking crossover the
+/// tiled task-DAG path (lapack/tiled.hpp) takes over unless
+/// LAPACK90_TILE_SCHEDULER selects the legacy fork-join loop. Returns 0,
+/// or -100 when a tiled workspace probe fails (see core/error.hpp).
 template <Scalar T>
-void geqrf(idx m, idx n, T* a, idx lda, T* tau) {
+idx geqrf(idx m, idx n, T* a, idx lda, T* tau) {
   const idx k = std::min(m, n);
   if (k == 0) {
-    return;
+    return 0;
+  }
+  if (tiled::enabled(EnvRoutine::geqrf, m, n)) {
+    return tiled::geqrf(m, n, a, lda, tau);
   }
   const idx nb = block_size(EnvRoutine::geqrf, k);
   std::vector<T> work(static_cast<std::size_t>(std::max(m, n)) *
                       std::max<idx>(nb, 1));
   if (nb <= 1 || nb >= k) {
     geqr2(m, n, a, lda, tau, work.data());
-    return;
+    return 0;
   }
   std::vector<T> t(static_cast<std::size_t>(nb) * nb);
   for (idx i = 0; i < k; i += nb) {
@@ -438,6 +445,7 @@ void geqrf(idx m, idx n, T* a, idx lda, T* tau) {
             std::max<idx>(n - i - ib, 1));
     }
   }
+  return 0;
 }
 
 namespace detail {
@@ -892,3 +900,7 @@ void geqp3(idx m, idx n, T* a, idx lda, idx* jpvt, T* tau) {
 }
 
 }  // namespace la::lapack
+
+// Tiled task-DAG driver definitions — included last to break the
+// kernel/driver cycle (see lapack/tiled_fwd.hpp for the dispatch gate).
+#include "lapack90/lapack/tiled.hpp"  // IWYU pragma: keep

@@ -1,0 +1,584 @@
+// lapack90/lapack/tiled.hpp
+//
+// Task-DAG tiled factorizations: getrf / potrf / geqrf recast onto square
+// tile kernels (getrf_tile, trsm_tile, gemm_tile, herk_tile, larfb_tile)
+// scheduled by core/dag.hpp with panel lookahead — panel k+1 factors as
+// soon as the tiles feeding it drain, while step-k trailing updates are
+// still in flight. The legacy fork-join blocked paths remain selectable
+// via LAPACK90_TILE_SCHEDULER=1 for fallback and A/B benching, and a
+// barrier-per-step tiled mode (=2) runs the exact same tile kernels in the
+// same per-tile order, so it is bit-identical to the DAG (=3) and gives
+// the test suite a scheduler cross-check.
+//
+// Determinism: a tile's value is produced by a fixed chain of kernel calls
+// (ordered by panel step), and the DAG builders order every pair of tasks
+// that touch overlapping memory with an explicit edge — so any topological
+// execution order, hence any worker count, yields identical bits per fixed
+// tile schedule. See DESIGN.md section 14 for the full argument.
+//
+// Include order: the family headers (lu.hpp, cholesky.hpp, qr.hpp) include
+// lapack/tiled_fwd.hpp at the top (dispatch gate + forward declarations)
+// and this header at the bottom; this header includes all three families
+// so the tile kernels resolve regardless of which header a TU pulls first.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "lapack90/blas/level3.hpp"
+#include "lapack90/core/dag.hpp"
+#include "lapack90/core/env.hpp"
+#include "lapack90/core/error.hpp"
+#include "lapack90/core/parallel.hpp"
+#include "lapack90/core/types.hpp"
+#include "lapack90/lapack/aux.hpp"
+#include "lapack90/lapack/cholesky.hpp"
+#include "lapack90/lapack/lu.hpp"
+#include "lapack90/lapack/qr.hpp"
+#include "lapack90/lapack/tiled_fwd.hpp"
+
+namespace la::lapack::tiled {
+
+namespace detail {
+
+/// Half-open index range [lo, hi) — one tile edge.
+struct Range {
+  idx lo;
+  idx hi;
+  [[nodiscard]] idx len() const noexcept { return hi - lo; }
+};
+
+/// Split [lo, hi) at multiples of nb. The first range may be a fragment
+/// (when lo is unaligned); all later ranges start on tile boundaries, so
+/// `r.lo / nb` is a stable global tile index across panel steps.
+[[nodiscard]] inline std::vector<Range> tile_ranges(idx lo, idx hi, idx nb) {
+  std::vector<Range> r;
+  for (idx p = lo; p < hi;) {
+    const idx e = std::min<idx>(hi, (p / nb + 1) * nb);
+    r.push_back({p, e});
+    p = e;
+  }
+  return r;
+}
+
+struct PanelWorkTag {};  // geqr2 scratch inside tiled QR panel tasks
+struct LarfbWorkTag {};  // larfb scratch inside tiled QR update tasks
+
+constexpr TaskGraph::TaskId kNoTask = -1;
+
+// ---------------------------------------------------------------------------
+// LU: PA = LU with partial pivoting across the full trailing rows.
+//
+// Tasks per panel step s (panel columns [j0, j0+jb) of k = min(m,n)):
+//   P_s           getrf_tile: getf2 on rows [j0, m), absolute pivots
+//   S_{s,c}       trsm_tile:  row swaps + L11^{-1} solve on column range c
+//   G_{s,r,c}     gemm_tile:  A(r,c) -= L(r,s) U(s,c)
+// Pivot row swaps left of each panel are applied serially after the graph
+// drains — those columns are never read by any task, so deferring them is
+// arithmetically identical to LAPACK's interleaved scheme.
+// ---------------------------------------------------------------------------
+template <Scalar T>
+struct LuTiles {
+  idx m, n, k, nb;
+  T* a;
+  idx lda;
+  idx* ipiv;
+  std::atomic<idx> info{0};
+
+  [[nodiscard]] T* at(idx i, idx j) const noexcept {
+    return a + static_cast<std::size_t>(j) * lda + i;
+  }
+  [[nodiscard]] idx j0(idx s) const noexcept { return s * nb; }
+  [[nodiscard]] idx jb(idx s) const noexcept {
+    return std::min<idx>(nb, k - s * nb);
+  }
+
+  /// Panel factorization (getf2 over the full remaining rows). The first
+  /// singular pivot wins the INFO race; panels are chain-ordered by the
+  /// schedule, so the winner is deterministic.
+  void getrf_tile(idx s) noexcept {
+    const idx j = j0(s), w = jb(s);
+    const idx pinfo = getf2(m - j, w, at(j, j), lda, ipiv + j);
+    if (pinfo != 0) {
+      idx expected = 0;
+      info.compare_exchange_strong(expected, pinfo + j,
+                                   std::memory_order_relaxed);
+    }
+    for (idx i = j; i < j + w; ++i) {
+      ipiv[i] += j;
+    }
+  }
+
+  /// Apply step-s row interchanges to column range c, then U := L11^{-1} U.
+  void trsm_tile(idx s, Range c) noexcept {
+    const idx j = j0(s), w = jb(s);
+    laswp(c.len(), at(0, c.lo), lda, j, j + w, ipiv);
+    blas::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::Unit, w,
+               c.len(), T(1), at(j, j), lda, at(j, c.lo), lda);
+  }
+
+  /// Rank-jb trailing update of the (r, c) tile.
+  void gemm_tile(idx s, Range r, Range c) noexcept {
+    const idx j = j0(s), w = jb(s);
+    blas::gemm(Trans::NoTrans, Trans::NoTrans, r.len(), c.len(), w, T(-1),
+               at(r.lo, j), lda, at(j, c.lo), lda, T(1), at(r.lo, c.lo), lda);
+  }
+
+  /// Deferred interchanges left of each panel (columns [0, j0(s))).
+  void left_swaps() noexcept {
+    const idx steps = (k + nb - 1) / nb;
+    for (idx s = 1; s < steps; ++s) {
+      laswp(j0(s), a, lda, j0(s), j0(s) + jb(s), ipiv);
+    }
+  }
+};
+
+template <Scalar T>
+idx lu_run_barrier(LuTiles<T>& t) {
+  const idx steps = (t.k + t.nb - 1) / t.nb;
+  for (idx s = 0; s < steps; ++s) {
+    t.getrf_tile(s);
+    const idx j = t.j0(s) + t.jb(s);
+    const auto cols = tile_ranges(j, t.n, t.nb);
+    const auto rows = tile_ranges(j, t.m, t.nb);
+    parallel_for(static_cast<idx>(cols.size()),
+                 [&](idx ci, int) { t.trsm_tile(s, cols[ci]); });
+    const idx nc = static_cast<idx>(cols.size());
+    parallel_for(static_cast<idx>(rows.size()) * nc, [&](idx q, int) {
+      t.gemm_tile(s, rows[static_cast<std::size_t>(q / nc)],
+                  cols[static_cast<std::size_t>(q % nc)]);
+    });
+  }
+  t.left_swaps();
+  return t.info.load(std::memory_order_relaxed);
+}
+
+template <Scalar T>
+idx lu_run_dag(LuTiles<T>& t) {
+  using TaskId = TaskGraph::TaskId;
+  const idx nb = t.nb;
+  const idx steps = (t.k + nb - 1) / nb;
+  const idx mt = (t.m + nb - 1) / nb;
+  const idx nt = (t.n + nb - 1) / nb;
+  TaskGraph g;
+  // Task ids of the previous step, indexed by global tile coordinates.
+  std::vector<TaskId> sprev(static_cast<std::size_t>(nt), kNoTask);
+  std::vector<std::vector<TaskId>> gprev(
+      static_cast<std::size_t>(mt),
+      std::vector<TaskId>(static_cast<std::size_t>(nt), kNoTask));
+  auto scur = sprev;
+  auto gcur = gprev;
+  for (idx s = 0; s < steps; ++s) {
+    const idx j = t.j0(s) + t.jb(s);
+    // Panel: ready once every step-(s-1) update of its column tile landed.
+    const TaskId p =
+        g.add([&t, s] { t.getrf_tile(s); }, TaskGraph::Priority::High);
+    if (s > 0) {
+      const std::size_t cp = static_cast<std::size_t>(t.j0(s) / nb);
+      bool any = false;
+      for (idx r = 0; r < mt; ++r) {
+        if (gprev[static_cast<std::size_t>(r)][cp] != kNoTask) {
+          g.add_edge(gprev[static_cast<std::size_t>(r)][cp], p);
+          any = true;
+        }
+      }
+      if (!any && sprev[cp] != kNoTask) {
+        g.add_edge(sprev[cp], p);
+      }
+    }
+    const auto cols = tile_ranges(j, t.n, nb);
+    const auto rows = tile_ranges(j, t.m, nb);
+    std::fill(scur.begin(), scur.end(), kNoTask);
+    for (auto& row : gcur) {
+      std::fill(row.begin(), row.end(), kNoTask);
+    }
+    for (std::size_t ci = 0; ci < cols.size(); ++ci) {
+      const Range c = cols[ci];
+      const std::size_t ct = static_cast<std::size_t>(c.lo / nb);
+      // The first trailing range feeds panel s+1: keep it on the critical
+      // path so the lookahead panel can start early.
+      const auto pr = ci == 0 ? TaskGraph::Priority::High
+                              : TaskGraph::Priority::Normal;
+      const TaskId sid = g.add([&t, s, c] { t.trsm_tile(s, c); }, pr);
+      g.add_edge(p, sid);
+      if (s > 0) {
+        bool any = false;
+        for (idx r = 0; r < mt; ++r) {
+          if (gprev[static_cast<std::size_t>(r)][ct] != kNoTask) {
+            g.add_edge(gprev[static_cast<std::size_t>(r)][ct], sid);
+            any = true;
+          }
+        }
+        if (!any && sprev[ct] != kNoTask) {
+          g.add_edge(sprev[ct], sid);
+        }
+      }
+      scur[ct] = sid;
+      for (const Range r : rows) {
+        const TaskId gid =
+            g.add([&t, s, r, c] { t.gemm_tile(s, r, c); }, pr);
+        g.add_edge(sid, gid);
+        gcur[static_cast<std::size_t>(r.lo / nb)][ct] = gid;
+      }
+    }
+    sprev.swap(scur);
+    gprev.swap(gcur);
+  }
+  g.run();
+  t.left_swaps();
+  return t.info.load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Cholesky: right-looking tiled A = L L^H / U^H U over the n x n grid.
+//
+// Tasks per step k: F_k (potf2 on the diagonal tile), T_{k,i} (triangular
+// solve of the off-diagonal tiles against F_k), Y_{k,i} (herk onto the
+// (i,i) diagonal), Z_{k,i,j} (gemm onto the strictly off-diagonal (i,j)).
+// Updates onto the same tile are chained by step, pinning the accumulation
+// order; a non-positive-definite diagonal cancels the graph with the
+// 1-based leading-minor index.
+// ---------------------------------------------------------------------------
+template <Scalar T>
+struct CholTiles {
+  using R = real_t<T>;
+  Uplo uplo;
+  idx n, nb;
+  T* a;
+  idx lda;
+
+  [[nodiscard]] T* at(idx i, idx j) const noexcept {
+    return a + static_cast<std::size_t>(j) * lda + i;
+  }
+  [[nodiscard]] idx d0(idx i) const noexcept { return i * nb; }
+  [[nodiscard]] idx db(idx i) const noexcept {
+    return std::min<idx>(nb, n - i * nb);
+  }
+
+  /// Diagonal factorization; returns 0 or the 1-based global minor index.
+  [[nodiscard]] idx potrf_tile(idx kk) noexcept {
+    const idx fi = potf2(uplo, db(kk), at(d0(kk), d0(kk)), lda);
+    return fi == 0 ? 0 : fi + d0(kk);
+  }
+
+  /// Off-diagonal tile solve against the step-k diagonal factor.
+  void trsm_tile(idx kk, idx i) noexcept {
+    if (uplo == Uplo::Lower) {
+      blas::trsm(Side::Right, Uplo::Lower, conj_trans_for<T>(),
+                 Diag::NonUnit, db(i), db(kk), T(1), at(d0(kk), d0(kk)), lda,
+                 at(d0(i), d0(kk)), lda);
+    } else {
+      blas::trsm(Side::Left, Uplo::Upper, conj_trans_for<T>(), Diag::NonUnit,
+                 db(kk), db(i), T(1), at(d0(kk), d0(kk)), lda,
+                 at(d0(kk), d0(i)), lda);
+    }
+  }
+
+  /// Rank-nb Hermitian update of the (i,i) diagonal tile.
+  void herk_tile(idx kk, idx i) noexcept {
+    if (uplo == Uplo::Lower) {
+      blas::herk(Uplo::Lower, Trans::NoTrans, db(i), db(kk), R(-1),
+                 at(d0(i), d0(kk)), lda, R(1), at(d0(i), d0(i)), lda);
+    } else {
+      blas::herk(Uplo::Upper, conj_trans_for<T>(), db(i), db(kk), R(-1),
+                 at(d0(kk), d0(i)), lda, R(1), at(d0(i), d0(i)), lda);
+    }
+  }
+
+  /// Off-diagonal gemm update: tile (i,j), i > j > kk (Lower; mirrored for
+  /// Upper where the stored tile is (j,i)).
+  void gemm_tile(idx kk, idx i, idx j) noexcept {
+    if (uplo == Uplo::Lower) {
+      blas::gemm(Trans::NoTrans, conj_trans_for<T>(), db(i), db(j), db(kk),
+                 T(-1), at(d0(i), d0(kk)), lda, at(d0(j), d0(kk)), lda, T(1),
+                 at(d0(i), d0(j)), lda);
+    } else {
+      blas::gemm(conj_trans_for<T>(), Trans::NoTrans, db(j), db(i), db(kk),
+                 T(-1), at(d0(kk), d0(j)), lda, at(d0(kk), d0(i)), lda, T(1),
+                 at(d0(j), d0(i)), lda);
+    }
+  }
+};
+
+template <Scalar T>
+idx chol_run_barrier(CholTiles<T>& t) {
+  const idx nt = (t.n + t.nb - 1) / t.nb;
+  for (idx kk = 0; kk < nt; ++kk) {
+    const idx fi = t.potrf_tile(kk);
+    if (fi != 0) {
+      return fi;
+    }
+    const idx rem = nt - kk - 1;
+    parallel_for(rem, [&](idx q, int) { t.trsm_tile(kk, kk + 1 + q); });
+    // All step-k updates (herk on the diagonal, gemm off it) in one sweep:
+    // pair q covers target tile (i, j), kk < j <= i.
+    parallel_for(rem * (rem + 1) / 2, [&](idx q, int) {
+      idx i = kk + 1, left = q;
+      while (left > i - kk - 1) {
+        left -= i - kk;
+        ++i;
+      }
+      const idx j = kk + 1 + left;
+      if (i == j) {
+        t.herk_tile(kk, i);
+      } else {
+        t.gemm_tile(kk, i, j);
+      }
+    });
+  }
+  return 0;
+}
+
+template <Scalar T>
+idx chol_run_dag(CholTiles<T>& t) {
+  using TaskId = TaskGraph::TaskId;
+  const idx nt = (t.n + t.nb - 1) / t.nb;
+  TaskGraph g;
+  // Last writer chains per tile: diagonal (i,i) and off-diagonal (i,j).
+  std::vector<TaskId> ydiag(static_cast<std::size_t>(nt), kNoTask);
+  std::vector<std::vector<TaskId>> zoff(
+      static_cast<std::size_t>(nt),
+      std::vector<TaskId>(static_cast<std::size_t>(nt), kNoTask));
+  std::vector<TaskId> tid(static_cast<std::size_t>(nt), kNoTask);
+  for (idx kk = 0; kk < nt; ++kk) {
+    const TaskId f = g.add(
+        [&t, &g, kk] {
+          if (const idx fi = t.potrf_tile(kk)) {
+            g.cancel(fi);
+          }
+        },
+        TaskGraph::Priority::High);
+    if (ydiag[static_cast<std::size_t>(kk)] != kNoTask) {
+      g.add_edge(ydiag[static_cast<std::size_t>(kk)], f);
+    }
+    for (idx i = kk + 1; i < nt; ++i) {
+      const TaskId tt = g.add([&t, kk, i] { t.trsm_tile(kk, i); },
+                              TaskGraph::Priority::High);
+      g.add_edge(f, tt);
+      if (zoff[static_cast<std::size_t>(i)][static_cast<std::size_t>(kk)] !=
+          kNoTask) {
+        g.add_edge(
+            zoff[static_cast<std::size_t>(i)][static_cast<std::size_t>(kk)],
+            tt);
+      }
+      tid[static_cast<std::size_t>(i)] = tt;
+    }
+    for (idx i = kk + 1; i < nt; ++i) {
+      // The (k+1, k+1) diagonal update feeds the next panel: high priority
+      // is what lets F_{k+1} factor while step-k gemm tiles still drain.
+      const TaskId y = g.add([&t, kk, i] { t.herk_tile(kk, i); },
+                             i == kk + 1 ? TaskGraph::Priority::High
+                                         : TaskGraph::Priority::Normal);
+      g.add_edge(tid[static_cast<std::size_t>(i)], y);
+      if (ydiag[static_cast<std::size_t>(i)] != kNoTask) {
+        g.add_edge(ydiag[static_cast<std::size_t>(i)], y);
+      }
+      ydiag[static_cast<std::size_t>(i)] = y;
+      for (idx j = kk + 1; j < i; ++j) {
+        const TaskId z = g.add([&t, kk, i, j] { t.gemm_tile(kk, i, j); },
+                               TaskGraph::Priority::Normal);
+        g.add_edge(tid[static_cast<std::size_t>(i)], z);
+        g.add_edge(tid[static_cast<std::size_t>(j)], z);
+        if (zoff[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] !=
+            kNoTask) {
+          g.add_edge(
+              zoff[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)],
+              z);
+        }
+        zoff[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = z;
+      }
+    }
+  }
+  return g.run();
+}
+
+// ---------------------------------------------------------------------------
+// QR: tiled blocked Householder. P_s = geqr2 + larft on the panel (the T
+// factors live in driver storage, one nb x nb slot per step); U_{s,c} =
+// larfb_tile applying the panel's compact-WY block to column range c.
+// Per-task workspaces come from thread-local buffers guarded by the
+// alloc_should_fail probe: a failed probe cancels the remaining graph and
+// surfaces INFO = -100 — the satellite-3 cancellation path.
+// ---------------------------------------------------------------------------
+template <Scalar T>
+struct QrTiles {
+  idx m, n, k, nb;
+  T* a;
+  idx lda;
+  T* tau;
+  T* tstore;  // steps * nb * nb, T factor of step s at tstore + s*nb*nb
+  std::atomic<idx> winfo{0};
+  TaskGraph* graph = nullptr;  // null in barrier mode
+
+  [[nodiscard]] T* at(idx i, idx j) const noexcept {
+    return a + static_cast<std::size_t>(j) * lda + i;
+  }
+  [[nodiscard]] idx j0(idx s) const noexcept { return s * nb; }
+  [[nodiscard]] idx jb(idx s) const noexcept {
+    return std::min<idx>(nb, k - s * nb);
+  }
+
+  /// Workspace probe shared by both run modes: on injected failure, latch
+  /// INFO = -100 and cancel the rest of the graph (DAG mode).
+  [[nodiscard]] bool workspace_fails() noexcept {
+    if (!alloc_should_fail()) {
+      return false;
+    }
+    idx expected = 0;
+    winfo.compare_exchange_strong(expected, idx{-100},
+                                  std::memory_order_relaxed);
+    if (graph != nullptr) {
+      graph->cancel(-100);
+    }
+    return true;
+  }
+
+  /// Panel: geqr2 over the remaining rows + larft into this step's T slot.
+  void geqrf_tile(idx s) noexcept {
+    if (winfo.load(std::memory_order_relaxed) != 0 || workspace_fails()) {
+      return;
+    }
+    const idx j = j0(s), w = jb(s);
+    T* const work =
+        lapack::detail::work_buffer<T, PanelWorkTag>(
+            static_cast<std::size_t>(nb));
+    geqr2(m - j, w, at(j, j), lda, tau + j, work);
+    if (j + w < n) {
+      larft(m - j, w, at(j, j), lda, tau + j,
+            tstore + static_cast<std::size_t>(s) * nb * nb, w);
+    }
+  }
+
+  /// Apply the step-s compact-WY block to column range c.
+  void larfb_tile(idx s, Range c) noexcept {
+    if (winfo.load(std::memory_order_relaxed) != 0 || workspace_fails()) {
+      return;
+    }
+    const idx j = j0(s), w = jb(s);
+    T* const work = lapack::detail::work_buffer<T, LarfbWorkTag>(
+        static_cast<std::size_t>(c.len()) * nb);
+    larfb(Side::Left, conj_trans_for<T>(), m - j, c.len(), w, at(j, j), lda,
+          tstore + static_cast<std::size_t>(s) * nb * nb, w, at(j, c.lo),
+          lda, work, std::max<idx>(c.len(), 1));
+  }
+};
+
+template <Scalar T>
+idx qr_run_barrier(QrTiles<T>& t) {
+  const idx steps = (t.k + t.nb - 1) / t.nb;
+  for (idx s = 0; s < steps; ++s) {
+    t.geqrf_tile(s);
+    const auto cols = tile_ranges(t.j0(s) + t.jb(s), t.n, t.nb);
+    parallel_for(static_cast<idx>(cols.size()),
+                 [&](idx ci, int) { t.larfb_tile(s, cols[ci]); });
+    if (t.winfo.load(std::memory_order_relaxed) != 0) {
+      break;
+    }
+  }
+  return t.winfo.load(std::memory_order_relaxed);
+}
+
+template <Scalar T>
+idx qr_run_dag(QrTiles<T>& t) {
+  using TaskId = TaskGraph::TaskId;
+  const idx nb = t.nb;
+  const idx steps = (t.k + nb - 1) / nb;
+  const idx nt = (t.n + nb - 1) / nb;
+  TaskGraph g;
+  t.graph = &g;
+  std::vector<TaskId> uprev(static_cast<std::size_t>(nt), kNoTask);
+  auto ucur = uprev;
+  for (idx s = 0; s < steps; ++s) {
+    const TaskId p =
+        g.add([&t, s] { t.geqrf_tile(s); }, TaskGraph::Priority::High);
+    if (s > 0) {
+      const std::size_t cp = static_cast<std::size_t>(t.j0(s) / nb);
+      if (uprev[cp] != kNoTask) {
+        g.add_edge(uprev[cp], p);
+      }
+    }
+    const auto cols = tile_ranges(t.j0(s) + t.jb(s), t.n, nb);
+    std::fill(ucur.begin(), ucur.end(), kNoTask);
+    for (std::size_t ci = 0; ci < cols.size(); ++ci) {
+      const Range c = cols[ci];
+      const std::size_t ct = static_cast<std::size_t>(c.lo / nb);
+      const TaskId u = g.add([&t, s, c] { t.larfb_tile(s, c); },
+                             ci == 0 ? TaskGraph::Priority::High
+                                     : TaskGraph::Priority::Normal);
+      g.add_edge(p, u);
+      if (s > 0 && uprev[ct] != kNoTask) {
+        g.add_edge(uprev[ct], u);
+      }
+      ucur[ct] = u;
+    }
+    uprev.swap(ucur);
+  }
+  g.run();
+  t.graph = nullptr;
+  return t.winfo.load(std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+/// Tiled LU with partial pivoting. Contract matches lapack::getrf; the
+/// scheduler (barrier or DAG) comes from LAPACK90_TILE_SCHEDULER and the
+/// tile edge from LAPACK90_TILE_NB. Degenerate shapes never build a graph.
+template <Scalar T>
+idx getrf(idx m, idx n, T* a, idx lda, idx* ipiv) {
+  const idx k = std::min(m, n);
+  if (k <= 0) {
+    return 0;  // quick return: no graph, no workspace
+  }
+  const idx nb = tile_nb(EnvRoutine::getrf, k);
+  if (nb <= 1 || k <= nb) {
+    return getf2(m, n, a, lda, ipiv);  // single tile: unblocked, no graph
+  }
+  detail::LuTiles<T> t{m, n, k, nb, a, lda, ipiv};
+  return tile_scheduler() == TileScheduler::TiledBarrier
+             ? detail::lu_run_barrier(t)
+             : detail::lu_run_dag(t);
+}
+
+/// Tiled Cholesky. Contract matches lapack::potrf (info = 1-based order of
+/// the first non-positive-definite leading minor).
+template <Scalar T>
+idx potrf(Uplo uplo, idx n, T* a, idx lda) {
+  if (n <= 0) {
+    return 0;
+  }
+  const idx nb = tile_nb(EnvRoutine::potrf, n);
+  if (nb <= 1 || n <= nb) {
+    return potf2(uplo, n, a, lda);
+  }
+  detail::CholTiles<T> t{uplo, n, nb, a, lda};
+  return tile_scheduler() == TileScheduler::TiledBarrier
+             ? detail::chol_run_barrier(t)
+             : detail::chol_run_dag(t);
+}
+
+/// Tiled blocked-Householder QR. Returns 0, or -100 when a tile-workspace
+/// probe fails (the probe cancels the remaining task graph).
+template <Scalar T>
+idx geqrf(idx m, idx n, T* a, idx lda, T* tau) {
+  const idx k = std::min(m, n);
+  if (k <= 0) {
+    return 0;
+  }
+  const idx nb = tile_nb(EnvRoutine::geqrf, k);
+  const idx steps = (k + nb - 1) / nb;
+  if (nb <= 1 || k <= nb) {
+    // Single tile: plain unblocked path, no graph, no T storage.
+    std::vector<T> work(static_cast<std::size_t>(std::max<idx>(n, 1)));
+    geqr2(m, n, a, lda, tau, work.data());
+    return 0;
+  }
+  std::vector<T> tstore(static_cast<std::size_t>(steps) * nb * nb);
+  detail::QrTiles<T> t{m, n, k, nb, a, lda, tau, tstore.data()};
+  return tile_scheduler() == TileScheduler::TiledBarrier
+             ? detail::qr_run_barrier(t)
+             : detail::qr_run_dag(t);
+}
+
+}  // namespace la::lapack::tiled

@@ -12,6 +12,7 @@
 
 #include "lapack90/batch/batch.hpp"
 #include "lapack90/core/banded.hpp"
+#include "lapack90/core/dag.hpp"
 #include "lapack90/core/env.hpp"
 #include "lapack90/core/error.hpp"
 #include "lapack90/core/matrix.hpp"

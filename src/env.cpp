@@ -36,17 +36,22 @@ idx parse_env_idx(const char* s, idx max_value, idx fallback) noexcept {
   return static_cast<idx>(v);
 }
 
+idx env_knob(const char* name, idx max_value, idx fallback) noexcept {
+  return parse_env_idx(std::getenv(name), max_value, fallback);
+}
+
 }  // namespace detail
 
 namespace {
 
 constexpr int kRoutines = static_cast<int>(EnvRoutine::count_);
-constexpr int kSpecs = 10;
+constexpr int kSpecs = 12;
 
 /// Positive integer from the environment, or `fallback` when unset/invalid.
-/// Read once per process (the gemm cache-blocking and batch-grain knobs).
+/// Read once per process (the gemm cache-blocking, batch-grain, refinement
+/// and tile knobs all funnel through the one hardened reader).
 idx env_idx(const char* name, idx fallback) noexcept {
-  return detail::parse_env_idx(std::getenv(name), idx{1} << 28, fallback);
+  return detail::env_knob(name, idx{1} << 28, fallback);
 }
 
 struct Defaults {
@@ -106,6 +111,18 @@ const idx kBatchGrain = env_idx("LAPACK90_BATCH_GRAIN", 256);
 const idx kIrMaxIter = env_idx("LAPACK90_IR_MAXITER", 30);
 const idx kIrCutoff = env_idx("LAPACK90_IR_CUTOFF", 64);
 
+// Task-DAG tiled factorizations (lapack/tiled.hpp). TileSize is the square
+// tile edge shared by getrf/potrf/geqrf; 128 keeps a complex<double> tile
+// pair inside L2 while giving the DAG enough tasks to overlap panels with
+// trailing updates from ~3 tiles up. TileScheduler selects the runtime:
+// 1 = legacy fork-join blocked loops, 2 = tiled with a barrier after each
+// panel step (same tile kernels, bit-identical to the DAG), 3 = tiled
+// task-DAG with panel lookahead (the default). Both parse through the
+// hardened env_knob, so garbage, zero/negative or absurd settings fall
+// back to the measured defaults instead of misconfiguring the runtime.
+const idx kTileNb = detail::env_knob("LAPACK90_TILE_NB", idx{1} << 20, 128);
+const idx kTileScheduler = detail::env_knob("LAPACK90_TILE_SCHEDULER", 3, 3);
+
 std::array<std::atomic<idx>, kRoutines * kSpecs>& overrides() noexcept {
   static std::array<std::atomic<idx>, kRoutines * kSpecs> table{};
   return table;
@@ -156,6 +173,12 @@ idx ilaenv(EnvSpec spec, EnvRoutine routine, idx n) noexcept {
       break;
     case EnvSpec::IterRefineCutoff:
       v = kIrCutoff;
+      break;
+    case EnvSpec::TileSize:
+      v = kTileNb;
+      break;
+    case EnvSpec::TileScheduler:
+      v = kTileScheduler;
       break;
   }
   // Never hand back a block larger than the problem (matches the paper's

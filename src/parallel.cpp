@@ -41,10 +41,10 @@ namespace detail {
 namespace {
 
 idx env_thread_count(const char* name) noexcept {
-  // Hardened parse (see parse_env_idx): a malformed or absurd
+  // Shared hardened reader (see detail::env_knob): a malformed or absurd
   // LAPACK90_NUM_THREADS / OMP_NUM_THREADS falls back to 0 = "unset"
   // rather than, e.g., LONG_MAX truncated to a negative team size.
-  return parse_env_idx(std::getenv(name), idx{1} << 15, 0);
+  return env_knob(name, idx{1} << 15, 0);
 }
 
 thread_local bool t_in_parallel = false;

@@ -15,12 +15,12 @@ namespace la {
 const char* version() noexcept {
   const char* backend = thread_backend_name();
   if (std::strcmp(backend, "openmp") == 0) {
-    return "1.3.0 (simd: " LAPACK90_SIMD_ISA_NAME ", threads: openmp)";
+    return "1.4.0 (simd: " LAPACK90_SIMD_ISA_NAME ", threads: openmp)";
   }
   if (std::strcmp(backend, "std::thread") == 0) {
-    return "1.3.0 (simd: " LAPACK90_SIMD_ISA_NAME ", threads: std::thread)";
+    return "1.4.0 (simd: " LAPACK90_SIMD_ISA_NAME ", threads: std::thread)";
   }
-  return "1.3.0 (simd: " LAPACK90_SIMD_ISA_NAME ", threads: serial)";
+  return "1.4.0 (simd: " LAPACK90_SIMD_ISA_NAME ", threads: serial)";
 }
 
 }  // namespace la

@@ -268,5 +268,6 @@ int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) {
     return run_smoke();
   }
-  return la::bench::run_with_json_default(argc, argv, "BENCH_batch.json");
+  return la::bench::run_with_json_default(
+      argc, argv, "BENCH_batch.json", "^BM_DGesvBatch/");
 }

@@ -416,5 +416,9 @@ int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) {
     return run_smoke();
   }
-  return la::bench::run_with_json_default(argc, argv, "BENCH_drivers.json");
+  return la::bench::run_with_json_default(
+      argc, argv, "BENCH_drivers.json",
+      "^BM_DriverGesv$|^BM_DriverPosv$|"
+      "^BM_GetrfTiledDag/n:1024/workers:1$|"
+      "^BM_PotrfTiledDag/n:1024/workers:1$");
 }

@@ -188,5 +188,7 @@ int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) {
     return run_smoke();
   }
-  return la::bench::run_with_json_default(argc, argv, "BENCH_gemm.json");
+  return la::bench::run_with_json_default(
+      argc, argv, "BENCH_gemm.json",
+      "^BM_DGemmBlocked/(256|1024)$|^BM_ZGemmBlocked/256$");
 }

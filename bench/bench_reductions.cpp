@@ -184,5 +184,6 @@ BENCHMARK(BM_GehrdThreads)->Arg(1)->Arg(2)->Arg(4)
 }  // namespace
 
 int main(int argc, char** argv) {
-  return la::bench::run_with_json_default(argc, argv, "BENCH_reductions.json");
+  return la::bench::run_with_json_default(
+      argc, argv, "BENCH_reductions.json", "^BM_SytrdBlocked/512$");
 }

@@ -5,6 +5,21 @@
 // (the paper's LA_GETRI listing calls ILAENV to pick NB). We keep the same
 // contract — a process-wide, overridable table keyed by routine family —
 // so benches can ablate block sizes and tests can force the unblocked path.
+//
+// Value resolution (most to least authoritative):
+//
+//   1. environment variable (LAPACK90_GEMM_KC, LAPACK90_TILE_NB, ...) — a
+//      deployment-level pin that beats everything programmatic;
+//   2. set_env_override — the process-wide programmatic override;
+//   3. tuning file — machine-signature-keyed values measured by the
+//      la::tune sweep engine, lazily loaded on the first ilaenv call
+//      (see include/lapack90/tune/tune.hpp for the format and paths);
+//   4. builtin default — the hand-measured constants below.
+//
+// EnvSpec::Threads is the one exception: it keeps the historical
+// override-beats-environment order (set_num_threads is the API every bench
+// and test uses to force a team size, and LAPACK90_NUM_THREADS is already
+// merely the *default* source) and never reads the tuning file.
 #pragma once
 
 #include "lapack90/core/types.hpp"
@@ -58,6 +73,10 @@ enum class EnvRoutine : int {
   count_,  // sentinel
 };
 
+/// Extent of the (spec, routine) table: specs are 1-based ISPEC values.
+inline constexpr int kEnvSpecCount = 12;
+inline constexpr int kEnvRoutineCount = static_cast<int>(EnvRoutine::count_);
+
 namespace detail {
 
 /// Strict positive-integer parser for environment settings: returns
@@ -75,14 +94,55 @@ namespace detail {
 [[nodiscard]] idx env_knob(const char* name, idx max_value,
                            idx fallback) noexcept;
 
+/// True when (spec, routine) indexes a real slot of the tuning table —
+/// the guard that keeps a cast-from-integer enum from walking off the
+/// override array. Everything that writes a slot routes through this.
+[[nodiscard]] bool valid_env_slot(EnvSpec spec, EnvRoutine routine) noexcept;
+
+/// Flat slot index for a (validated) pair.
+[[nodiscard]] inline int env_slot(EnvSpec spec, EnvRoutine routine) noexcept {
+  return (static_cast<int>(spec) - 1) * kEnvRoutineCount +
+         static_cast<int>(routine);
+}
+
+/// Largest legal value per spec: the same clamp the env readers, the
+/// tuning-file parser, and set_env_override all apply (e.g. TileScheduler
+/// tops out at 3, thread counts at 2^15, block sizes at 2^20).
+[[nodiscard]] idx env_spec_max(EnvSpec spec) noexcept;
+
+/// Environment variable carrying this spec's pin, or nullptr when the spec
+/// has none (BlockSize/MinBlockSize/Crossover are builtin/tuning-file only;
+/// Threads resolves through the parallel runtime instead).
+[[nodiscard]] const char* env_knob_name(EnvSpec spec) noexcept;
+
+/// Re-read every LAPACK90_* knob variable into the process cache. The cache
+/// is populated once on first use; this hook exists for the tests (which
+/// setenv/unsetenv around precedence checks) and the tune CLI.
+void refresh_env_cache() noexcept;
+
+/// True when at least one knob environment variable is set and valid —
+/// feeds the "tune: env..." component of la::version().
+[[nodiscard]] bool any_env_knob_set() noexcept;
+
+/// Tuning-file layer lookup (implemented in src/tune.cpp): the value for
+/// this slot from the lazily-loaded, machine-signature-keyed tuning table,
+/// or 0 when no table is loaded / the slot is untuned. Never throws; never
+/// consulted for EnvSpec::Threads.
+[[nodiscard]] idx tuned_value(EnvSpec spec, EnvRoutine routine) noexcept;
+
 }  // namespace detail
 
 /// ILAENV equivalent: returns the tuning value for (spec, routine) given
-/// the problem size n. Never returns less than 1.
+/// the problem size n, resolved through the precedence chain in the file
+/// comment. Never returns less than 1; an out-of-range (spec, routine)
+/// pair returns 1 instead of reading past the table.
 [[nodiscard]] idx ilaenv(EnvSpec spec, EnvRoutine routine, idx n) noexcept;
 
 /// Override a tuning value for the whole process (0 restores the default).
-/// Returns the previous override (0 when none was set).
+/// Returns the previous override (0 when none was set). Validated like the
+/// env readers: an out-of-range (spec, routine) pair is a no-op returning
+/// 0, and a negative value or one above detail::env_spec_max(spec) is
+/// rejected — the slot keeps its current setting, which is returned.
 idx set_env_override(EnvSpec spec, EnvRoutine routine, idx value) noexcept;
 
 /// Convenience: the block size actually used for `routine` at size n —

@@ -1,4 +1,9 @@
 // ILAENV-analog tuning tables — see include/lapack90/core/env.hpp.
+//
+// Resolution order for every spec except Threads: environment variable >
+// set_env_override > tuning file (la::tune, lazily loaded) > builtin.
+// Threads keeps override > environment default and never reads the
+// tuning file (set_num_threads is the team-size forcing API).
 
 #include "lapack90/core/env.hpp"
 
@@ -40,19 +45,67 @@ idx env_knob(const char* name, idx max_value, idx fallback) noexcept {
   return parse_env_idx(std::getenv(name), max_value, fallback);
 }
 
+bool valid_env_slot(EnvSpec spec, EnvRoutine routine) noexcept {
+  const int s = static_cast<int>(spec);
+  const int r = static_cast<int>(routine);
+  return s >= 1 && s <= kEnvSpecCount && r >= 0 && r < kEnvRoutineCount;
+}
+
+idx env_spec_max(EnvSpec spec) noexcept {
+  switch (spec) {
+    case EnvSpec::BlockSize:
+    case EnvSpec::MinBlockSize:
+    case EnvSpec::TileSize:
+      return idx{1} << 20;
+    case EnvSpec::Threads:
+      return idx{1} << 15;  // matches the parallel runtime's env clamp
+    case EnvSpec::TileScheduler:
+      return 3;  // ForkJoin / TiledBarrier / TiledDag
+    case EnvSpec::Crossover:
+    case EnvSpec::CacheBlockM:
+    case EnvSpec::CacheBlockK:
+    case EnvSpec::CacheBlockN:
+    case EnvSpec::BatchGrain:
+    case EnvSpec::IterRefineMaxIter:
+    case EnvSpec::IterRefineCutoff:
+      return idx{1} << 28;
+  }
+  return idx{1} << 28;
+}
+
+const char* env_knob_name(EnvSpec spec) noexcept {
+  switch (spec) {
+    case EnvSpec::CacheBlockM:
+      return "LAPACK90_GEMM_MC";
+    case EnvSpec::CacheBlockK:
+      return "LAPACK90_GEMM_KC";
+    case EnvSpec::CacheBlockN:
+      return "LAPACK90_GEMM_NC";
+    case EnvSpec::BatchGrain:
+      return "LAPACK90_BATCH_GRAIN";
+    case EnvSpec::IterRefineMaxIter:
+      return "LAPACK90_IR_MAXITER";
+    case EnvSpec::IterRefineCutoff:
+      return "LAPACK90_IR_CUTOFF";
+    case EnvSpec::TileSize:
+      return "LAPACK90_TILE_NB";
+    case EnvSpec::TileScheduler:
+      return "LAPACK90_TILE_SCHEDULER";
+    case EnvSpec::BlockSize:
+    case EnvSpec::MinBlockSize:
+    case EnvSpec::Crossover:
+    case EnvSpec::Threads:  // resolved by the parallel runtime instead
+      return nullptr;
+  }
+  return nullptr;
+}
+
 }  // namespace detail
 
 namespace {
 
-constexpr int kRoutines = static_cast<int>(EnvRoutine::count_);
-constexpr int kSpecs = 12;
-
-/// Positive integer from the environment, or `fallback` when unset/invalid.
-/// Read once per process (the gemm cache-blocking, batch-grain, refinement
-/// and tile knobs all funnel through the one hardened reader).
-idx env_idx(const char* name, idx fallback) noexcept {
-  return detail::env_knob(name, idx{1} << 28, fallback);
-}
+constexpr int kRoutines = kEnvRoutineCount;
+constexpr int kSpecs = kEnvSpecCount;
 
 struct Defaults {
   idx nb;
@@ -68,8 +121,8 @@ struct Defaults {
 // trailing updates carry enough flops — on the CI box (one core, 105 MB
 // L3 that keeps level-2 streaming unusually competitive) blocked gehrd
 // crosses between n=128 and 256, sytrd and gebrd between 256 and 512.
-// Machines with ordinary cache hierarchies cross earlier; override via
-// set_env_override if tuning matters.
+// Machines with ordinary cache hierarchies cross earlier; run the
+// la::tune sweep (lapack90_tune) or set_env_override if tuning matters.
 constexpr std::array<Defaults, kRoutines> kDefaults = {{
     {64, 2, 128},  // getrf
     {64, 2, 128},  // potrf
@@ -84,102 +137,129 @@ constexpr std::array<Defaults, kRoutines> kDefaults = {{
                      // below which packing is skipped)
 }};
 
-// Cache-blocking defaults for the packed gemm (elements, shared by all four
-// element types; the register tile MR/NR is a compile-time per-ISA constant
-// in blas/level3.hpp). Overridable per process via set_env_override or the
-// LAPACK90_GEMM_{MC,KC,NC} environment variables.
-const idx kGemmMC = env_idx("LAPACK90_GEMM_MC", 128);
-const idx kGemmKC = env_idx("LAPACK90_GEMM_KC", 256);
-const idx kGemmNC = env_idx("LAPACK90_GEMM_NC", 512);
+// Builtin values for the routine-independent specs (the per-VM hand
+// measurements PRs 1..6 shipped). The gemm cache blocks are in elements,
+// shared by all four element types (the register tile MR/NR is a
+// compile-time per-ISA constant in blas/level3.hpp); 256 is where a single
+// dgetrf stops being "tiny" for the batch scheduler; the refinement knobs
+// follow the reference DSGESV (ITERMAX=30) and the measured demote/refine
+// round-trip break-even; TileSize 128 keeps a complex<double> tile pair in
+// L2; TileScheduler 3 = task-DAG with lookahead. The tuning file replaces
+// these per machine signature — see include/lapack90/tune/tune.hpp.
+constexpr idx kGemmMCDefault = 128;
+constexpr idx kGemmKCDefault = 256;
+constexpr idx kGemmNCDefault = 512;
+constexpr idx kBatchGrainDefault = 256;
+constexpr idx kIrMaxIterDefault = 30;
+constexpr idx kIrCutoffDefault = 64;
+constexpr idx kTileNbDefault = 128;
+constexpr idx kTileSchedulerDefault = 3;
 
-// Batch scheduler grain (see EnvSpec::BatchGrain): entries whose largest
-// dimension reaches this threshold run one at a time so their Level-3
-// calls can use the full threaded runtime; smaller entries are spread
-// across workers (one entry per worker, serial inside). 256 is where a
-// single dgetrf stops being "tiny" relative to per-entry dispatch and the
-// threaded gemm starts to win inside one problem (see EXPERIMENTS.md).
-const idx kBatchGrain = env_idx("LAPACK90_BATCH_GRAIN", 256);
+idx builtin_value(EnvSpec spec, EnvRoutine routine) noexcept {
+  const Defaults& d = kDefaults[static_cast<int>(routine)];
+  switch (spec) {
+    case EnvSpec::BlockSize:
+      return d.nb;
+    case EnvSpec::MinBlockSize:
+      return d.nbmin;
+    case EnvSpec::Crossover:
+      return d.nx;
+    case EnvSpec::Threads:
+      return detail::default_thread_count();
+    case EnvSpec::CacheBlockM:
+      return kGemmMCDefault;
+    case EnvSpec::CacheBlockK:
+      return kGemmKCDefault;
+    case EnvSpec::CacheBlockN:
+      return kGemmNCDefault;
+    case EnvSpec::BatchGrain:
+      return kBatchGrainDefault;
+    case EnvSpec::IterRefineMaxIter:
+      return kIrMaxIterDefault;
+    case EnvSpec::IterRefineCutoff:
+      return kIrCutoffDefault;
+    case EnvSpec::TileSize:
+      return kTileNbDefault;
+    case EnvSpec::TileScheduler:
+      return kTileSchedulerDefault;
+  }
+  return 1;
+}
 
-// Mixed-precision iterative refinement (la::mixed). MaxIter follows the
-// reference DSGESV's ITERMAX = 30; a well-conditioned system converges in
-// 2-3 iterations, so exhausting the budget signals a genuine stall and the
-// driver falls back to full precision. The cutoff is the dimension below
-// which the demote/factor/refine round trip cannot beat a direct double
-// factorization (residual passes and conversions are O(n^2) but their
-// constants dominate at small n); both parse through the hardened
-// parse_env_idx, so malformed values fall back instead of misconfiguring.
-const idx kIrMaxIter = env_idx("LAPACK90_IR_MAXITER", 30);
-const idx kIrCutoff = env_idx("LAPACK90_IR_CUTOFF", 64);
+// Per-spec cache of the LAPACK90_* knob variables, 0 = unset or invalid.
+// Populated once on first use through the hardened env_knob reader;
+// detail::refresh_env_cache() re-reads for the tests and the tune CLI.
+struct EnvVarCache {
+  std::array<std::atomic<idx>, kSpecs> value{};
+};
 
-// Task-DAG tiled factorizations (lapack/tiled.hpp). TileSize is the square
-// tile edge shared by getrf/potrf/geqrf; 128 keeps a complex<double> tile
-// pair inside L2 while giving the DAG enough tasks to overlap panels with
-// trailing updates from ~3 tiles up. TileScheduler selects the runtime:
-// 1 = legacy fork-join blocked loops, 2 = tiled with a barrier after each
-// panel step (same tile kernels, bit-identical to the DAG), 3 = tiled
-// task-DAG with panel lookahead (the default). Both parse through the
-// hardened env_knob, so garbage, zero/negative or absurd settings fall
-// back to the measured defaults instead of misconfiguring the runtime.
-const idx kTileNb = detail::env_knob("LAPACK90_TILE_NB", idx{1} << 20, 128);
-const idx kTileScheduler = detail::env_knob("LAPACK90_TILE_SCHEDULER", 3, 3);
+void fill_env_cache(EnvVarCache& c) noexcept {
+  for (int s = 1; s <= kSpecs; ++s) {
+    const auto spec = static_cast<EnvSpec>(s);
+    const char* name = detail::env_knob_name(spec);
+    c.value[static_cast<std::size_t>(s - 1)].store(
+        name != nullptr ? detail::env_knob(name, detail::env_spec_max(spec), 0)
+                        : 0,
+        std::memory_order_relaxed);
+  }
+}
+
+EnvVarCache& env_cache() noexcept {
+  static EnvVarCache cache;
+  // Magic-static guard: the first caller fills the cache, concurrent
+  // callers wait on the guard until it is initialized.
+  static const bool initialized = (fill_env_cache(cache), true);
+  (void)initialized;
+  return cache;
+}
+
+idx env_var_value(EnvSpec spec) noexcept {
+  return env_cache()
+      .value[static_cast<std::size_t>(static_cast<int>(spec) - 1)]
+      .load(std::memory_order_relaxed);
+}
 
 std::array<std::atomic<idx>, kRoutines * kSpecs>& overrides() noexcept {
   static std::array<std::atomic<idx>, kRoutines * kSpecs> table{};
   return table;
 }
 
-int slot(EnvSpec spec, EnvRoutine routine) noexcept {
-  return (static_cast<int>(spec) - 1) * kRoutines + static_cast<int>(routine);
-}
-
 }  // namespace
 
-idx ilaenv(EnvSpec spec, EnvRoutine routine, idx n) noexcept {
-  const idx ov = overrides()[slot(spec, routine)].load(std::memory_order_relaxed);
-  if (ov > 0) {
-    return ov;
+namespace detail {
+
+void refresh_env_cache() noexcept { fill_env_cache(env_cache()); }
+
+bool any_env_knob_set() noexcept {
+  for (int s = 1; s <= kSpecs; ++s) {
+    if (env_var_value(static_cast<EnvSpec>(s)) > 0) {
+      return true;
+    }
   }
-  const Defaults& d = kDefaults[static_cast<int>(routine)];
-  idx v = 1;
-  switch (spec) {
-    case EnvSpec::BlockSize:
-      v = d.nb;
-      break;
-    case EnvSpec::MinBlockSize:
-      v = d.nbmin;
-      break;
-    case EnvSpec::Crossover:
-      v = d.nx;
-      break;
-    case EnvSpec::Threads:
-      // Defers to the parallel runtime's environment-derived default
-      // (LAPACK90_NUM_THREADS / OMP_NUM_THREADS / hardware concurrency).
-      v = detail::default_thread_count();
-      break;
-    case EnvSpec::CacheBlockM:
-      v = kGemmMC;
-      break;
-    case EnvSpec::CacheBlockK:
-      v = kGemmKC;
-      break;
-    case EnvSpec::CacheBlockN:
-      v = kGemmNC;
-      break;
-    case EnvSpec::BatchGrain:
-      v = kBatchGrain;
-      break;
-    case EnvSpec::IterRefineMaxIter:
-      v = kIrMaxIter;
-      break;
-    case EnvSpec::IterRefineCutoff:
-      v = kIrCutoff;
-      break;
-    case EnvSpec::TileSize:
-      v = kTileNb;
-      break;
-    case EnvSpec::TileScheduler:
-      v = kTileScheduler;
-      break;
+  return false;
+}
+
+}  // namespace detail
+
+idx ilaenv(EnvSpec spec, EnvRoutine routine, idx n) noexcept {
+  if (!detail::valid_env_slot(spec, routine)) {
+    return 1;
+  }
+  const idx ov =
+      overrides()[detail::env_slot(spec, routine)].load(std::memory_order_relaxed);
+  idx v;
+  if (spec == EnvSpec::Threads) {
+    // Historical order: the set_num_threads override beats the environment
+    // default (which already folds in LAPACK90_NUM_THREADS/OMP_NUM_THREADS).
+    v = ov > 0 ? ov : detail::default_thread_count();
+  } else if (const idx ev = env_var_value(spec); ev > 0) {
+    v = ev;  // deployment pin: the env var beats everything programmatic
+  } else if (ov > 0) {
+    v = ov;
+  } else if (const idx tv = detail::tuned_value(spec, routine); tv > 0) {
+    v = tv;
+  } else {
+    v = builtin_value(spec, routine);
   }
   // Never hand back a block larger than the problem (matches the paper's
   // LA_GETRI guard: IF (NB < 1 .OR. NB >= N) NB = 1).
@@ -190,8 +270,17 @@ idx ilaenv(EnvSpec spec, EnvRoutine routine, idx n) noexcept {
 }
 
 idx set_env_override(EnvSpec spec, EnvRoutine routine, idx value) noexcept {
-  return overrides()[slot(spec, routine)].exchange(value,
-                                                   std::memory_order_relaxed);
+  if (!detail::valid_env_slot(spec, routine)) {
+    return 0;
+  }
+  std::atomic<idx>& slot = overrides()[detail::env_slot(spec, routine)];
+  if (value < 0 || value > detail::env_spec_max(spec)) {
+    // Rejected with the env readers' clamping rules: the slot keeps its
+    // current setting instead of storing a team size of -3 or a
+    // TileScheduler of 7 verbatim.
+    return slot.load(std::memory_order_relaxed);
+  }
+  return slot.exchange(value, std::memory_order_relaxed);
 }
 
 idx block_size(EnvRoutine routine, idx n) noexcept {

@@ -1,9 +1,11 @@
 #include "lapack90/version.hpp"
 
-#include <cstring>
+#include <cstdio>
 
+#include "lapack90/core/env.hpp"
 #include "lapack90/core/parallel.hpp"
 #include "lapack90/core/simd.hpp"
+#include "lapack90/tune/tune.hpp"
 
 namespace la {
 
@@ -12,15 +14,17 @@ namespace la {
 // header-only kernels compiled into user TUs follow those TUs' flags. The
 // threads suffix names the parallel_for backend the runtime dispatches to
 // ("openmp", "std::thread", or "serial" on single-hardware-thread hosts).
+// The tune suffix reports where ilaenv's knob values come from right now:
+// "builtin", "file" (loaded tuning file), "api" (tune::install), with
+// "+env" appended when at least one LAPACK90_* knob variable pins a value
+// above all of them — so benches and bug reports show what was in effect.
 const char* version() noexcept {
-  const char* backend = thread_backend_name();
-  if (std::strcmp(backend, "openmp") == 0) {
-    return "1.4.0 (simd: " LAPACK90_SIMD_ISA_NAME ", threads: openmp)";
-  }
-  if (std::strcmp(backend, "std::thread") == 0) {
-    return "1.4.0 (simd: " LAPACK90_SIMD_ISA_NAME ", threads: std::thread)";
-  }
-  return "1.4.0 (simd: " LAPACK90_SIMD_ISA_NAME ", threads: serial)";
+  static thread_local char buf[128];
+  const char* tune_src = tune::source();
+  std::snprintf(buf, sizeof buf, "1.5.0 (simd: %s, threads: %s, tune: %s%s)",
+                simd_isa_name(), thread_backend_name(), tune_src,
+                detail::any_env_knob_set() ? "+env" : "");
+  return buf;
 }
 
 }  // namespace la

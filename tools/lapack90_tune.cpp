@@ -1,0 +1,11 @@
+// lapack90_tune: measure this machine's ilaenv knob values and persist
+// them to the signature-keyed tuning file (see lapack90/tune/tune.hpp).
+//
+//   lapack90_tune                 full sweep, write the default tune file
+//   lapack90_tune --dry-run       sweep and print, write nothing
+//   lapack90_tune --out FILE      write FILE instead of the default path
+//   lapack90_tune --budget SECS   cap the sweep wall-clock (default 60)
+
+#include "lapack90/tune/tune.hpp"
+
+int main(int argc, char** argv) { return la::tune::tune_main(argc, argv); }

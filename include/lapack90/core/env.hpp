@@ -56,6 +56,20 @@ enum class EnvSpec : int {
                        ///< blocked path, 2 = tiled with a barrier per panel
                        ///< step, 3 = tiled task-DAG with lookahead (default;
                        ///< extension; LAPACK90_TILE_SCHEDULER)
+  ServeQueueDepth = 13,  ///< serving subsystem admission bound: maximum
+                         ///< admitted-but-uncompleted job entries per
+                         ///< la::serve::Server before submissions are
+                         ///< rejected with INFO = kInfoRejected (extension;
+                         ///< LAPACK90_SERVE_QUEUE)
+  ServeFlushUs = 14,   ///< serving subsystem coalescing deadline in
+                       ///< microseconds: a pending coalesce group is flushed
+                       ///< to the batch drivers once its oldest entry has
+                       ///< waited this long, bounding latency under light
+                       ///< load (extension; LAPACK90_SERVE_FLUSH_US)
+  ServeBatchMax = 15,  ///< serving subsystem coalescing width: a group is
+                       ///< flushed as soon as it holds this many entries;
+                       ///< 1 disables coalescing (per-job execution)
+                       ///< (extension; LAPACK90_SERVE_BATCH)
 };
 
 /// Routine families with distinct tuning entries.
@@ -74,7 +88,7 @@ enum class EnvRoutine : int {
 };
 
 /// Extent of the (spec, routine) table: specs are 1-based ISPEC values.
-inline constexpr int kEnvSpecCount = 12;
+inline constexpr int kEnvSpecCount = 15;
 inline constexpr int kEnvRoutineCount = static_cast<int>(EnvRoutine::count_);
 
 namespace detail {

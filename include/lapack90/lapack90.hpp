@@ -24,4 +24,5 @@
 #include "lapack90/f77/f77_lapack.hpp"
 #include "lapack90/f90/f90_lapack.hpp"
 #include "lapack90/mixed/mixed.hpp"
+#include "lapack90/serve/serve.hpp"
 #include "lapack90/version.hpp"

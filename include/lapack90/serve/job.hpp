@@ -1,0 +1,136 @@
+// lapack90/serve/job.hpp
+//
+// Job vocabulary for the serving subsystem (la::serve). A client submits a
+// gesv/posv/gels/geqrf job — one problem, or a whole MatrixBatch — and
+// receives a std::future<JobResult>. Internally every job is expanded into
+// per-problem Units; the Unit is the coalescing currency: the server's
+// coalescer is free to group units from different jobs into one batched
+// driver call, and a large job's units may be spread over several calls.
+// A shared completion block ties a job's units back together: the last
+// unit to finish aggregates the per-entry INFOs and stage timestamps into
+// the JobResult and fulfils the promise.
+//
+// Data ownership follows the batch descriptors: the server never owns or
+// copies matrix data. Operand buffers must stay alive (and untouched by
+// the client) until the job's future is ready.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <complex>
+#include <cstdint>
+#include <future>
+#include <limits>
+#include <memory>
+
+#include "lapack90/core/types.hpp"
+
+namespace la::serve {
+
+/// The four served routine families. gesv/posv solve in place (A becomes
+/// its factors, B the solution); geqrf factors in place (tau alongside);
+/// gels overwrites B's leading rows with the least-squares solution.
+enum class Routine : int { gesv = 0, posv, gels, geqrf, count_ };
+
+/// Element type of a job's operands (the LAPACK S/D/C/Z prefix).
+enum class Dtype : int { s = 0, d, c, z, count_ };
+
+inline constexpr int kServeRoutineCount = static_cast<int>(Routine::count_);
+inline constexpr int kServeDtypeCount = static_cast<int>(Dtype::count_);
+
+/// Routine name for logs and the demo CLI ("gesv", ...).
+[[nodiscard]] const char* routine_name(Routine rt) noexcept;
+
+template <Scalar T>
+[[nodiscard]] consteval Dtype dtype_of() noexcept {
+  if constexpr (std::same_as<T, float>) {
+    return Dtype::s;
+  } else if constexpr (std::same_as<T, double>) {
+    return Dtype::d;
+  } else if constexpr (std::same_as<T, std::complex<float>>) {
+    return Dtype::c;
+  } else {
+    return Dtype::z;
+  }
+}
+
+/// JobResult::info when admission control turned the job away: the
+/// in-flight bound (EnvSpec::ServeQueueDepth) was already met, or the
+/// server is shutting down. Sits in the same infrastructure block as the
+/// ERINFO protocol's -100 (workspace allocation failed) — it is neither an
+/// argument error (-200 < info < 0 with -info naming the argument) nor a
+/// numerical failure (info > 0). A rejected job's operands are untouched.
+inline constexpr idx kInfoRejected = -120;
+
+/// Completed-job report delivered through the future. The stage
+/// timestamps every unit carries (enqueue, coalesce/flush, execute) are
+/// folded into the three durations: queue_us is admission to the start of
+/// the first batch call that carried one of the job's entries, exec_us
+/// spans the first to the last of those calls, total_us is admission to
+/// promise fulfilment as observed by the server.
+struct JobResult {
+  idx info = 0;      ///< 0, kInfoRejected, or 1-based first failing entry
+  idx entries = 0;   ///< problems in the job (1 for the single-problem API)
+  idx batches = 0;   ///< batched driver calls that carried those entries
+  double queue_us = 0.0;
+  double exec_us = 0.0;
+  double total_us = 0.0;
+};
+
+namespace detail {
+
+using clock = std::chrono::steady_clock;
+
+[[nodiscard]] inline std::int64_t to_ns(clock::time_point t) noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             t.time_since_epoch())
+      .count();
+}
+
+/// Per-job completion block shared by the job's units. All fields except
+/// the promise are updated with relaxed atomics from the executor; the
+/// last unit (remaining hits zero) reads them back single-threadedly.
+struct JobShared {
+  std::promise<JobResult> promise;
+  std::atomic<idx> remaining{0};
+  std::atomic<idx> first_fail{0};  // 0 = all ok, else min 1-based entry
+  std::atomic<std::int64_t> exec_start_ns{
+      std::numeric_limits<std::int64_t>::max()};
+  std::atomic<std::int64_t> done_ns{0};
+  std::atomic<idx> batches{0};
+  idx entries = 0;
+  clock::time_point t_submit{};
+};
+
+/// Record entry index i (0-based within the job) as failed, keeping the
+/// smallest — the batch drivers' deterministic aggregate-INFO rule.
+inline void note_unit_failure(JobShared& sh, idx i) noexcept {
+  idx cur = sh.first_fail.load(std::memory_order_relaxed);
+  while ((cur == 0 || i + 1 < cur) &&
+         !sh.first_fail.compare_exchange_weak(cur, i + 1,
+                                              std::memory_order_relaxed)) {
+  }
+}
+
+/// Type-erased single problem: the coalescing currency. `a` is the system
+/// matrix (am x an, leading dimension lda); `b` is the right-hand-side /
+/// solution block for gesv/posv/gels and the tau vector (bm x 1) for
+/// geqrf. Pointers are client-owned; dtype names the element type they
+/// actually point at.
+struct Unit {
+  Routine routine = Routine::gesv;
+  Dtype dtype = Dtype::d;
+  Uplo uplo = Uplo::Lower;        // posv only
+  Trans trans = Trans::NoTrans;   // gels only
+  void* a = nullptr;
+  idx am = 0, an = 0, lda = 1;
+  void* b = nullptr;
+  idx bm = 0, bn = 0, ldb = 1;
+  idx* info_out = nullptr;        // per-entry INFO slot, may be null
+  idx entry_index = 0;            // position within the job
+  std::shared_ptr<JobShared> shared;
+};
+
+}  // namespace detail
+
+}  // namespace la::serve

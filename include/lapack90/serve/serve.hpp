@@ -1,0 +1,21 @@
+// lapack90/serve/serve.hpp — umbrella for the serving subsystem: job
+// vocabulary, the Server engine (admission -> coalesce -> execute), and
+// the process-wide statistics view. See DESIGN.md §16.
+#pragma once
+
+#include "lapack90/serve/job.hpp"     // IWYU pragma: export
+#include "lapack90/serve/server.hpp"  // IWYU pragma: export
+#include "lapack90/serve/stats.hpp"   // IWYU pragma: export
+
+namespace la::serve {
+
+/// Process-wide serving statistics: the merge of every live Server's
+/// counters plus the final totals of servers already destroyed. Histogram
+/// merge keeps the percentiles meaningful across the whole process.
+[[nodiscard]] Stats stats();
+
+/// Zero the process-wide view: clears the retired accumulator and resets
+/// every live server (test/bench helper).
+void reset_stats();
+
+}  // namespace la::serve

@@ -1,0 +1,204 @@
+// lapack90/serve/server.hpp
+//
+// The serving engine. One Server owns one dispatcher thread running the
+// three-stage pipeline:
+//
+//   admission  — a bounded MPMC submission queue. The depth bound counts
+//                every admitted-but-uncompleted problem (queued,
+//                coalescing, or executing); a submission that would exceed
+//                it resolves immediately with info = kInfoRejected instead
+//                of blocking the client or growing without bound.
+//   coalescing — units are bucketed by (routine, dtype, uplo/trans).
+//                A bucket flushes when it reaches ServeBatchMax entries,
+//                when its oldest entry has waited ServeFlushUs
+//                microseconds (the latency bound under light load), or at
+//                drain/shutdown. Entries at or above the BatchGrain
+//                threshold skip coalescing entirely and flush solo — the
+//                batch layer would run them serial-outer anyway, and
+//                holding a large solve back only adds latency.
+//   execution  — each flush is one la::batch ragged-descriptor driver
+//                call issued from the dispatcher thread, so the PR-1
+//                worker pool parallelizes *inside* the batch call and is
+//                never oversubscribed by competing teams. Per-entry INFO
+//                flows back through the units into the per-job aggregate
+//                (first failing entry, batch-driver rule), and -100
+//                workspace injections mark the affected entries exactly
+//                like the direct drivers.
+//
+// Because the executor is the la::batch layer, every served result is
+// bit-identical to the corresponding direct la::lapack driver call — the
+// serving layer adds scheduling, never different arithmetic.
+//
+// Knobs resolve through ilaenv at construction: EnvSpec::ServeQueueDepth
+// (LAPACK90_SERVE_QUEUE), ServeFlushUs (LAPACK90_SERVE_FLUSH_US),
+// ServeBatchMax (LAPACK90_SERVE_BATCH); a nonzero Config field beats the
+// environment for that server instance.
+#pragma once
+
+#include <algorithm>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "lapack90/batch/descriptor.hpp"
+#include "lapack90/core/env.hpp"
+#include "lapack90/core/types.hpp"
+#include "lapack90/serve/job.hpp"
+#include "lapack90/serve/stats.hpp"
+
+namespace la::serve {
+
+/// Per-server knob overrides; 0 = resolve through ilaenv (env var >
+/// set_env_override > tuning file > builtin).
+struct Config {
+  idx queue_depth = 0;  ///< max in-flight entries (ServeQueueDepth)
+  idx flush_us = 0;     ///< coalescing deadline, microseconds (ServeFlushUs)
+  idx batch_max = 0;    ///< max entries per coalesced flush (ServeBatchMax)
+};
+
+class Server {
+ public:
+  Server();
+  explicit Server(const Config& cfg);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The knob values this server resolved at construction.
+  [[nodiscard]] Config config() const noexcept;
+
+  /// Block until every admitted job has completed (the queue and the
+  /// coalescer are empty). New submissions remain accepted throughout.
+  void wait_idle();
+
+  /// Stop accepting jobs, drain everything already admitted, and join the
+  /// dispatcher. Idempotent; the destructor calls it.
+  void shutdown();
+
+  /// Statistics snapshot / reset for this server.
+  [[nodiscard]] Stats stats() const;
+  void reset_stats();
+
+  // -- single-problem submissions -----------------------------------------
+  // Operand buffers are client-owned and must stay untouched until the
+  // future is ready. On success the result overwrites the inputs exactly
+  // as the underlying la::lapack driver would.
+
+  template <Scalar T>
+  std::future<JobResult> gesv(idx n, idx nrhs, T* a, idx lda, T* b, idx ldb) {
+    detail::Unit u = make_unit<T>(Routine::gesv, n, n, a, lda, n, nrhs, b, ldb);
+    return submit_units(&u, 1);
+  }
+
+  template <Scalar T>
+  std::future<JobResult> posv(Uplo uplo, idx n, idx nrhs, T* a, idx lda, T* b,
+                              idx ldb) {
+    detail::Unit u = make_unit<T>(Routine::posv, n, n, a, lda, n, nrhs, b, ldb);
+    u.uplo = uplo;
+    return submit_units(&u, 1);
+  }
+
+  template <Scalar T>
+  std::future<JobResult> gels(Trans trans, idx m, idx n, idx nrhs, T* a,
+                              idx lda, T* b, idx ldb) {
+    detail::Unit u = make_unit<T>(Routine::gels, m, n, a, lda,
+                                  std::max(m, n), nrhs, b, ldb);
+    u.trans = trans;
+    return submit_units(&u, 1);
+  }
+
+  template <Scalar T>
+  std::future<JobResult> geqrf(idx m, idx n, T* a, idx lda, T* tau) {
+    const idx k = std::min(m, n);
+    detail::Unit u = make_unit<T>(Routine::geqrf, m, n, a, lda, k, 1, tau,
+                                  std::max<idx>(k, 1));
+    return submit_units(&u, 1);
+  }
+
+  // -- batch submissions --------------------------------------------------
+  // One future covers the whole batch; per-entry INFO lands in infos[i]
+  // when provided (same protocol as the la::batch drivers). The
+  // descriptors are read at submission; the matrix data they name must
+  // outlive the future.
+
+  template <Scalar T>
+  std::future<JobResult> gesv(const batch::MatrixBatch<T>& a,
+                              const batch::MatrixBatch<T>& b,
+                              idx* infos = nullptr) {
+    return submit_batch<T>(Routine::gesv, Uplo::Lower, Trans::NoTrans, a, b,
+                           infos);
+  }
+
+  template <Scalar T>
+  std::future<JobResult> posv(Uplo uplo, const batch::MatrixBatch<T>& a,
+                              const batch::MatrixBatch<T>& b,
+                              idx* infos = nullptr) {
+    return submit_batch<T>(Routine::posv, uplo, Trans::NoTrans, a, b, infos);
+  }
+
+  template <Scalar T>
+  std::future<JobResult> gels(Trans trans, const batch::MatrixBatch<T>& a,
+                              const batch::MatrixBatch<T>& b,
+                              idx* infos = nullptr) {
+    return submit_batch<T>(Routine::gels, Uplo::Lower, trans, a, b, infos);
+  }
+
+  template <Scalar T>
+  std::future<JobResult> geqrf(const batch::MatrixBatch<T>& a,
+                               const batch::MatrixBatch<T>& tau,
+                               idx* infos = nullptr) {
+    return submit_batch<T>(Routine::geqrf, Uplo::Lower, Trans::NoTrans, a, tau,
+                           infos);
+  }
+
+ private:
+  struct Engine;
+
+  template <Scalar T>
+  [[nodiscard]] static detail::Unit make_unit(Routine rt, idx am, idx an, T* a,
+                                              idx lda, idx bm, idx bn, T* b,
+                                              idx ldb) noexcept {
+    detail::Unit u;
+    u.routine = rt;
+    u.dtype = dtype_of<T>();
+    u.a = a;
+    u.am = am;
+    u.an = an;
+    u.lda = lda;
+    u.b = b;
+    u.bm = bm;
+    u.bn = bn;
+    u.ldb = ldb;
+    return u;
+  }
+
+  template <Scalar T>
+  std::future<JobResult> submit_batch(Routine rt, Uplo uplo, Trans trans,
+                                      const batch::MatrixBatch<T>& a,
+                                      const batch::MatrixBatch<T>& b,
+                                      idx* infos) {
+    const idx count = a.count();
+    std::vector<detail::Unit> units(static_cast<std::size_t>(count));
+    for (idx i = 0; i < count; ++i) {
+      detail::Unit& u = units[static_cast<std::size_t>(i)];
+      u = make_unit<T>(rt, a.rows(i), a.cols(i), a.ptr(i), a.ld(i), b.rows(i),
+                       b.cols(i), b.ptr(i), b.ld(i));
+      u.uplo = uplo;
+      u.trans = trans;
+      u.info_out = infos != nullptr ? infos + i : nullptr;
+    }
+    return submit_units(units.data(), count);
+  }
+
+  /// Type-erased core: stamps the shared completion block, admits or
+  /// rejects, enqueues. Implemented in src/serve.cpp.
+  std::future<JobResult> submit_units(detail::Unit* units, idx count);
+
+  // Process-wide stats registry hooks (src/serve.cpp).
+  static void register_server(Server* s);
+  static void unregister_server(Server* s);
+
+  std::unique_ptr<Engine> eng_;
+};
+
+}  // namespace la::serve

@@ -61,6 +61,9 @@ idx env_spec_max(EnvSpec spec) noexcept {
       return idx{1} << 15;  // matches the parallel runtime's env clamp
     case EnvSpec::TileScheduler:
       return 3;  // ForkJoin / TiledBarrier / TiledDag
+    case EnvSpec::ServeQueueDepth:
+    case EnvSpec::ServeBatchMax:
+      return idx{1} << 20;
     case EnvSpec::Crossover:
     case EnvSpec::CacheBlockM:
     case EnvSpec::CacheBlockK:
@@ -68,6 +71,7 @@ idx env_spec_max(EnvSpec spec) noexcept {
     case EnvSpec::BatchGrain:
     case EnvSpec::IterRefineMaxIter:
     case EnvSpec::IterRefineCutoff:
+    case EnvSpec::ServeFlushUs:
       return idx{1} << 28;
   }
   return idx{1} << 28;
@@ -91,6 +95,12 @@ const char* env_knob_name(EnvSpec spec) noexcept {
       return "LAPACK90_TILE_NB";
     case EnvSpec::TileScheduler:
       return "LAPACK90_TILE_SCHEDULER";
+    case EnvSpec::ServeQueueDepth:
+      return "LAPACK90_SERVE_QUEUE";
+    case EnvSpec::ServeFlushUs:
+      return "LAPACK90_SERVE_FLUSH_US";
+    case EnvSpec::ServeBatchMax:
+      return "LAPACK90_SERVE_BATCH";
     case EnvSpec::BlockSize:
     case EnvSpec::MinBlockSize:
     case EnvSpec::Crossover:
@@ -154,6 +164,14 @@ constexpr idx kIrMaxIterDefault = 30;
 constexpr idx kIrCutoffDefault = 64;
 constexpr idx kTileNbDefault = 128;
 constexpr idx kTileSchedulerDefault = 3;
+// Serving defaults: 4096 in-flight entries bounds a server's memory and
+// tail latency without starving the load generator's saturation runs; a
+// 200 us flush deadline caps the coalescer's added latency at roughly the
+// cost of one mid-sized solve; 64 entries per coalesced batch is past the
+// point where per-flush overhead is fully amortized for tiny problems.
+constexpr idx kServeQueueDefault = 4096;
+constexpr idx kServeFlushUsDefault = 200;
+constexpr idx kServeBatchMaxDefault = 64;
 
 idx builtin_value(EnvSpec spec, EnvRoutine routine) noexcept {
   const Defaults& d = kDefaults[static_cast<int>(routine)];
@@ -182,6 +200,12 @@ idx builtin_value(EnvSpec spec, EnvRoutine routine) noexcept {
       return kTileNbDefault;
     case EnvSpec::TileScheduler:
       return kTileSchedulerDefault;
+    case EnvSpec::ServeQueueDepth:
+      return kServeQueueDefault;
+    case EnvSpec::ServeFlushUs:
+      return kServeFlushUsDefault;
+    case EnvSpec::ServeBatchMax:
+      return kServeBatchMaxDefault;
   }
   return 1;
 }

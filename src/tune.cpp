@@ -41,6 +41,7 @@ const char* const kSpecNames[kEnvSpecCount] = {
     "Threads",      "CacheBlockM",       "CacheBlockK",
     "CacheBlockN",  "BatchGrain",        "IterRefineMaxIter",
     "IterRefineCutoff", "TileSize",      "TileScheduler",
+    "ServeQueueDepth",  "ServeFlushUs",  "ServeBatchMax",
 };
 
 const char* const kRoutineNames[kEnvRoutineCount] = {

@@ -18,10 +18,13 @@ namespace la {
 // "builtin", "file" (loaded tuning file), "api" (tune::install), with
 // "+env" appended when at least one LAPACK90_* knob variable pins a value
 // above all of them — so benches and bug reports show what was in effect.
+// The serve suffix confirms the async serving subsystem (la::serve) is
+// compiled into this build.
 const char* version() noexcept {
   static thread_local char buf[128];
   const char* tune_src = tune::source();
-  std::snprintf(buf, sizeof buf, "1.5.0 (simd: %s, threads: %s, tune: %s%s)",
+  std::snprintf(buf, sizeof buf,
+                "1.6.0 (simd: %s, threads: %s, tune: %s%s, serve: on)",
                 simd_isa_name(), thread_backend_name(), tune_src,
                 detail::any_env_knob_set() ? "+env" : "");
   return buf;

@@ -4,6 +4,7 @@
 // into statics, so the pure function is the testable surface.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -89,10 +90,72 @@ TEST(EnvIterRefineTest, DefaultsAndOverrides) {
   EXPECT_EQ(ilaenv(EnvSpec::IterRefineCutoff, EnvRoutine::getrf, 0), 64);
 }
 
+TEST(EnvServeTest, DefaultsAndOverrides) {
+  // Serving knobs (LAPACK90_SERVE_QUEUE / _FLUSH_US / _BATCH): reference
+  // defaults unless the process env says otherwise (the test environment
+  // sets none), overridable like every other ilaenv entry.
+  EXPECT_EQ(ilaenv(EnvSpec::ServeQueueDepth, EnvRoutine::gemm, 0), 4096);
+  EXPECT_EQ(ilaenv(EnvSpec::ServeFlushUs, EnvRoutine::gemm, 0), 200);
+  EXPECT_EQ(ilaenv(EnvSpec::ServeBatchMax, EnvRoutine::gemm, 0), 64);
+  const idx prev =
+      set_env_override(EnvSpec::ServeBatchMax, EnvRoutine::gemm, 8);
+  EXPECT_EQ(ilaenv(EnvSpec::ServeBatchMax, EnvRoutine::gemm, 0), 8);
+  set_env_override(EnvSpec::ServeBatchMax, EnvRoutine::gemm, prev);
+  EXPECT_EQ(ilaenv(EnvSpec::ServeBatchMax, EnvRoutine::gemm, 0), 64);
+}
+
+TEST(EnvServeTest, KnobNamesAndCaps) {
+  EXPECT_STREQ(detail::env_knob_name(EnvSpec::ServeQueueDepth),
+               "LAPACK90_SERVE_QUEUE");
+  EXPECT_STREQ(detail::env_knob_name(EnvSpec::ServeFlushUs),
+               "LAPACK90_SERVE_FLUSH_US");
+  EXPECT_STREQ(detail::env_knob_name(EnvSpec::ServeBatchMax),
+               "LAPACK90_SERVE_BATCH");
+  EXPECT_EQ(detail::env_spec_max(EnvSpec::ServeQueueDepth), idx{1} << 20);
+  EXPECT_EQ(detail::env_spec_max(EnvSpec::ServeFlushUs), idx{1} << 28);
+  EXPECT_EQ(detail::env_spec_max(EnvSpec::ServeBatchMax), idx{1} << 20);
+  // An out-of-range override is rejected, keeping the current setting.
+  set_env_override(EnvSpec::ServeBatchMax, EnvRoutine::gemm,
+                   (idx{1} << 20) + 1);
+  EXPECT_EQ(ilaenv(EnvSpec::ServeBatchMax, EnvRoutine::gemm, 0), 64);
+  set_env_override(EnvSpec::ServeBatchMax, EnvRoutine::gemm, -7);
+  EXPECT_EQ(ilaenv(EnvSpec::ServeBatchMax, EnvRoutine::gemm, 0), 64);
+}
+
+TEST(EnvServeTest, MalformedEnvironmentFallsBack) {
+  // The serve knobs ride the shared hardened reader: garbage, zero,
+  // negatives, and out-of-range values fall back to the builtin defaults
+  // instead of misconfiguring the server.
+  const auto check = [](const char* name, EnvSpec spec, idx builtin) {
+    ASSERT_EQ(::setenv(name, "96", 1), 0);
+    detail::refresh_env_cache();
+    EXPECT_EQ(ilaenv(spec, EnvRoutine::gemm, 0), 96) << name;
+    for (const char* bad : {"96abc", "0", "-12", "", " ", "9.6",
+                            "99999999999999999999999999"}) {
+      ASSERT_EQ(::setenv(name, bad, 1), 0);
+      detail::refresh_env_cache();
+      EXPECT_EQ(ilaenv(spec, EnvRoutine::gemm, 0), builtin)
+          << name << "=\"" << bad << "\"";
+    }
+    const std::string above =
+        std::to_string(static_cast<long>(detail::env_spec_max(spec)) + 1);
+    ASSERT_EQ(::setenv(name, above.c_str(), 1), 0);
+    detail::refresh_env_cache();
+    EXPECT_EQ(ilaenv(spec, EnvRoutine::gemm, 0), builtin) << name;
+    ASSERT_EQ(::unsetenv(name), 0);
+    detail::refresh_env_cache();
+    EXPECT_EQ(ilaenv(spec, EnvRoutine::gemm, 0), builtin) << name;
+  };
+  check("LAPACK90_SERVE_QUEUE", EnvSpec::ServeQueueDepth, 4096);
+  check("LAPACK90_SERVE_FLUSH_US", EnvSpec::ServeFlushUs, 200);
+  check("LAPACK90_SERVE_BATCH", EnvSpec::ServeBatchMax, 64);
+}
+
 TEST(VersionTest, ReportsSimdIsaAndThreadBackend) {
   const char* v = version();
   EXPECT_NE(std::strstr(v, "simd: "), nullptr) << v;
   EXPECT_NE(std::strstr(v, "threads: "), nullptr) << v;
+  EXPECT_NE(std::strstr(v, "serve: on"), nullptr) << v;
   EXPECT_NE(std::strstr(v, thread_backend_name()), nullptr) << v;
   const char* b = thread_backend_name();
   EXPECT_TRUE(std::strcmp(b, "openmp") == 0 ||
